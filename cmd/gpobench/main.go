@@ -1,0 +1,241 @@
+// Command gpobench regenerates the evaluation artifacts of the paper:
+// Table 1 (NSDP/ASAT/OVER/RW across all four engines) and the scaling
+// behavior behind Figures 1 and 2. Paper-published values are printed
+// beside the measured ones where the paper reports them.
+//
+// Usage:
+//
+//	gpobench -table1                 # all four families, paper sizes
+//	gpobench -table1 -family nsdp    # one family
+//	gpobench -figure 1 -max 12       # interleaving blow-up sweep
+//	gpobench -figure 2 -max 12       # conflict-pair blow-up sweep
+//	gpobench -all                    # everything
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/petri"
+	"repro/internal/reach"
+	"repro/internal/stubborn"
+	"repro/internal/symbolic"
+	"repro/internal/verify"
+)
+
+// row is one Table 1 line: a model instance plus the paper's published
+// numbers (0 = not reported / not applicable).
+type row struct {
+	family    string
+	size      int
+	paperFull float64 // paper "States"
+	paperPO   int     // paper SPIN+PO states
+	paperBDD  int     // paper SMV peak BDD size (0 = >24h in the paper)
+	paperGPO  int     // paper GPO states
+	skipFull  bool    // too big to enumerate here
+	skipBDD   bool    // symbolic blow-up guard
+}
+
+var table1 = []row{
+	{family: "nsdp", size: 2, paperFull: 18, paperPO: 12, paperBDD: 1068, paperGPO: 3},
+	{family: "nsdp", size: 4, paperFull: 322, paperPO: 110, paperBDD: 10018, paperGPO: 3},
+	{family: "nsdp", size: 6, paperFull: 5778, paperPO: 1422, paperBDD: 52320, paperGPO: 3},
+	{family: "nsdp", size: 8, paperFull: 103682, paperPO: 19270, paperBDD: 687263, paperGPO: 3},
+	{family: "nsdp", size: 10, paperFull: 1.86e6, paperPO: 239308, paperBDD: 0, paperGPO: 3},
+	{family: "asat", size: 2, paperFull: 88, paperPO: 33, paperBDD: 1587, paperGPO: 8},
+	{family: "asat", size: 4, paperFull: 7822, paperPO: 192, paperBDD: 117667, paperGPO: 14},
+	{family: "asat", size: 8, paperFull: 1.58e6, paperPO: 3598, paperBDD: 0, paperGPO: 23, skipBDD: true},
+	{family: "over", size: 2, paperFull: 65, paperPO: 28, paperBDD: 3511, paperGPO: 6},
+	{family: "over", size: 3, paperFull: 519, paperPO: 107, paperBDD: 10203, paperGPO: 7},
+	{family: "over", size: 4, paperFull: 4175, paperPO: 467, paperBDD: 11759, paperGPO: 8},
+	{family: "over", size: 5, paperFull: 33460, paperPO: 2059, paperBDD: 24860, paperGPO: 9},
+	{family: "rw", size: 6, paperFull: 72, paperPO: 72, paperBDD: 3689, paperGPO: 2},
+	{family: "rw", size: 9, paperFull: 523, paperPO: 523, paperBDD: 9886, paperGPO: 2},
+	{family: "rw", size: 12, paperFull: 4110, paperPO: 4110, paperBDD: 10037, paperGPO: 2},
+	{family: "rw", size: 15, paperFull: 29642, paperPO: 29642, paperBDD: 10267, paperGPO: 2},
+}
+
+func main() {
+	var (
+		doTable1 = flag.Bool("table1", false, "regenerate Table 1")
+		family   = flag.String("family", "all", "restrict Table 1 to one family (nsdp, asat, over, rw)")
+		figure   = flag.Int("figure", 0, "regenerate the Figure 1 or Figure 2 sweep")
+		maxN     = flag.Int("max", 10, "largest size in figure sweeps")
+		doAll    = flag.Bool("all", false, "regenerate everything")
+		maxNodes = flag.Int("max-nodes", 3_000_000, "BDD node cap for the symbolic engine")
+	)
+	flag.Parse()
+
+	if *doAll {
+		*doTable1 = true
+	}
+	ran := false
+	if *doTable1 {
+		runTable1(*family, *maxNodes)
+		ran = true
+	}
+	if *figure == 1 || *doAll {
+		if *figure == 1 || *doAll {
+			runFigure1(*maxN)
+			ran = true
+		}
+	}
+	if *figure == 2 || *doAll {
+		runFigure2(*maxN)
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runTable1(family string, maxNodes int) {
+	fmt.Println("Table 1 — Results of Generalized Partial Order Analysis")
+	fmt.Println("(paper-published values in parentheses on the second line of each row;")
+	fmt.Println(" PO = stubborn sets, best seed; PO+prov adds the cycle proviso, which is")
+	fmt.Println(" what removes all reduction on RW as the paper observed for SPIN+PO;")
+	fmt.Println(" '-' = not run, '>' = aborted at cap)")
+	fmt.Println()
+	fmt.Printf("%-10s | %18s | %10s %10s %9s | %16s %9s | %10s %9s\n",
+		"Problem", "States", "PO", "PO+prov", "time", "Symbolic peak", "time", "GPO", "time")
+	fmt.Println(strings.Repeat("-", 118))
+
+	for _, r := range table1 {
+		if family != "all" && family != r.family {
+			continue
+		}
+		net, err := models.ByName(r.family, r.size)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		name := fmt.Sprintf("%s(%d)", strings.ToUpper(r.family), r.size)
+
+		fullS := measureFull(net, r)
+		poS, _ := measurePO(net, false)
+		provS, poT := measurePO(net, true)
+		bddS, bddT := measureBDD(net, r, maxNodes)
+		gpoS, gpoT := measureGPO(net)
+
+		fmt.Printf("%-10s | %10s %7s | %10s %10s %9s | %16s %9s | %10s %9s\n",
+			name,
+			fullS, paren(r.paperFull),
+			poS, provS, poT,
+			bddS, bddT,
+			gpoS, gpoT)
+		fmt.Printf("%-10s | %18s | %10s %10s %9s | %16s %9s | %10s %9s\n",
+			"", "", paren(float64(r.paperPO)), "", "", parenBDD(r.paperBDD), "", paren(float64(r.paperGPO)), "")
+	}
+	fmt.Println()
+}
+
+func measureFull(net *petri.Net, r row) string {
+	if r.skipFull {
+		return "-"
+	}
+	res, err := reach.Explore(net, reach.Options{MaxStates: 20_000_000})
+	if err != nil {
+		if errors.Is(err, reach.ErrStateLimit) {
+			return ">2e7"
+		}
+		return "err"
+	}
+	return fmt.Sprint(res.States)
+}
+
+func measurePO(net *petri.Net, proviso bool) (string, string) {
+	start := time.Now()
+	res, err := stubborn.Explore(net, stubborn.Options{
+		MaxStates: 20_000_000,
+		Seed:      stubborn.SeedBest,
+		Proviso:   proviso,
+	})
+	if err != nil {
+		return "err", "-"
+	}
+	return fmt.Sprint(res.States), fmtDur(time.Since(start))
+}
+
+func measureBDD(net *petri.Net, r row, maxNodes int) (string, string) {
+	if r.skipBDD {
+		return "-", "-"
+	}
+	start := time.Now()
+	res, err := symbolic.Analyze(net, symbolic.Options{MaxNodes: maxNodes})
+	if err != nil {
+		if errors.Is(err, symbolic.ErrNodeLimit) {
+			return fmt.Sprintf(">%d", maxNodes), fmtDur(time.Since(start))
+		}
+		return "err", "-"
+	}
+	return fmt.Sprint(res.PeakNodes), fmtDur(time.Since(start))
+}
+
+func measureGPO(net *petri.Net) (string, string) {
+	start := time.Now()
+	rep, err := verify.CheckDeadlock(net, verify.Options{Engine: verify.GPO})
+	if err != nil {
+		return "err", "-"
+	}
+	return fmt.Sprint(rep.States), fmtDur(time.Since(start))
+}
+
+func runFigure1(maxN int) {
+	fmt.Println("Figure 1 — interleaving blow-up: n independent transitions")
+	fmt.Printf("%4s %12s %12s %12s\n", "n", "full(2^n)", "PO(n+1)", "GPO")
+	for n := 1; n <= maxN; n++ {
+		net := models.Fig1(n)
+		full, _ := reach.CountStates(net)
+		po, _ := stubborn.Explore(net, stubborn.Options{})
+		gpo, _ := verify.CheckDeadlock(net, verify.Options{Engine: verify.GPO})
+		fmt.Printf("%4d %12d %12d %12d\n", n, full, po.States, gpo.States)
+	}
+	fmt.Println()
+}
+
+func runFigure2(maxN int) {
+	fmt.Println("Figure 2 — conflict-place blow-up: n concurrently marked conflict pairs")
+	fmt.Printf("%4s %12s %16s %12s\n", "n", "full(3^n)", "PO(2^(n+1)-1)", "GPO")
+	for n := 1; n <= maxN; n++ {
+		net := models.Fig2(n)
+		full, _ := reach.CountStates(net)
+		po, _ := stubborn.Explore(net, stubborn.Options{})
+		gpo, _ := verify.CheckDeadlock(net, verify.Options{Engine: verify.GPO})
+		fmt.Printf("%4d %12d %16d %12d\n", n, full, po.States, gpo.States)
+	}
+	fmt.Println()
+}
+
+func paren(v float64) string {
+	if v == 0 {
+		return ""
+	}
+	if v == float64(int64(v)) && v < 1e6 {
+		return fmt.Sprintf("(%d)", int64(v))
+	}
+	return fmt.Sprintf("(%.3g)", v)
+}
+
+func parenBDD(v int) string {
+	if v == 0 {
+		return "(>24h)"
+	}
+	return fmt.Sprintf("(%d)", v)
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	case d < time.Second:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

@@ -1,0 +1,173 @@
+// Command gpoverify checks a safe Petri net for deadlocks or a safety
+// property with a selectable analysis engine.
+//
+// Usage:
+//
+//	gpoverify -model nsdp -size 5                     # built-in model, GPO engine
+//	gpoverify -net system.pn -engine partial-order    # .pn file, stubborn sets
+//	gpoverify -model nsdp -size 4 -engine exhaustive -compare
+//	gpoverify -net system.pn -safety "critA,critB"    # mutual exclusion check
+//
+// Engines: exhaustive, partial-order, symbolic, gpo (default), gpo-explicit,
+// unfolding. With -compare, all engines run and their statistics are
+// tabulated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/models"
+	"repro/internal/petri"
+	"repro/internal/pnio"
+	"repro/internal/proc"
+	"repro/internal/structural"
+	"repro/internal/verify"
+)
+
+func main() {
+	var (
+		netFile   = flag.String("net", "", "read the net from this .pn file")
+		specFile  = flag.String("spec", "", "compile the net from this process-algebra spec file")
+		model     = flag.String("model", "", "use a built-in model family: "+strings.Join(models.Families(), ", "))
+		size      = flag.Int("size", 3, "parameter of the built-in model")
+		engine    = flag.String("engine", "gpo", "engine: exhaustive, partial-order, symbolic, gpo, gpo-explicit, unfolding")
+		safety    = flag.String("safety", "", "comma-separated places; check if all can be marked at once")
+		stop      = flag.Bool("stop", false, "stop at the first deadlock/violation")
+		maxStates = flag.Int("max-states", 0, "abort explicit searches beyond this many states")
+		maxNodes  = flag.Int("max-nodes", 0, "abort symbolic searches beyond this many BDD nodes")
+		proviso   = flag.Bool("proviso", false, "apply the cycle proviso in the partial-order engine")
+		compare   = flag.Bool("compare", false, "run all engines and tabulate")
+		explain   = flag.Bool("explain", true, "explain deadlock witnesses structurally (empty siphon)")
+	)
+	flag.Parse()
+
+	net, err := loadNet(*netFile, *specFile, *model, *size)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("net %s: %d places, %d transitions, %d conflict clusters\n",
+		net.Name(), net.NumPlaces(), net.NumTrans(), len(net.Clusters()))
+
+	var bad []petri.Place
+	if *safety != "" {
+		for _, name := range strings.Split(*safety, ",") {
+			p, ok := net.PlaceByName(strings.TrimSpace(name))
+			if !ok {
+				fatal(fmt.Errorf("no place named %q", name))
+			}
+			bad = append(bad, p)
+		}
+	}
+
+	engines := []verify.Engine{}
+	if *compare {
+		engines = []verify.Engine{verify.Exhaustive, verify.PartialOrder,
+			verify.Symbolic, verify.Unfolding, verify.GPO}
+	} else {
+		e, err := verify.ParseEngine(*engine)
+		if err != nil {
+			fatal(err)
+		}
+		engines = append(engines, e)
+	}
+
+	fmt.Printf("%-14s %-10s %10s %12s %12s %10s\n",
+		"engine", "verdict", "states", "peak-bdd", "peak-sets", "time")
+	for _, eng := range engines {
+		opts := verify.Options{
+			Engine:      eng,
+			StopAtFirst: *stop,
+			MaxStates:   *maxStates,
+			MaxNodes:    *maxNodes,
+			Proviso:     *proviso,
+		}
+		var rep *verify.Report
+		if len(bad) > 0 {
+			rep, err = verify.CheckSafety(net, bad, opts)
+		} else {
+			rep, err = verify.CheckDeadlock(net, opts)
+		}
+		if err != nil {
+			fmt.Printf("%-14s error: %v\n", eng, err)
+			continue
+		}
+		verdict := "ok"
+		if rep.Deadlock {
+			if len(bad) > 0 {
+				verdict = "REACHABLE"
+			} else {
+				verdict = "DEADLOCK"
+			}
+		}
+		fmt.Printf("%-14s %-10s %10d %12s %12s %10v\n",
+			eng, verdict, rep.States, dash(rep.PeakBDD), dashF(rep.PeakSets), rep.Elapsed.Round(10e3))
+		if rep.Witness != nil {
+			fmt.Printf("  witness: %s\n", rep.Witness.String(net))
+			if *explain && len(bad) == 0 {
+				siphon := structural.DeadlockSiphon(net, rep.Witness)
+				var names []string
+				for _, p := range siphon {
+					names = append(names, net.PlaceName(p))
+				}
+				fmt.Printf("  empty siphon: {%s}\n", strings.Join(names, ","))
+			}
+		}
+	}
+}
+
+func loadNet(file, spec, model string, size int) (*petri.Net, error) {
+	sources := 0
+	for _, s := range []string{file, spec, model} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources > 1 {
+		return nil, fmt.Errorf("use exactly one of -net, -spec, -model")
+	}
+	switch {
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return pnio.Parse(f)
+	case spec != "":
+		src, err := os.ReadFile(spec)
+		if err != nil {
+			return nil, err
+		}
+		parsed, err := proc.Parse(string(src))
+		if err != nil {
+			return nil, err
+		}
+		return proc.Compile(parsed)
+	case model != "":
+		return models.ByName(model, size)
+	default:
+		return nil, fmt.Errorf("need -net <file.pn>, -spec <file.proc> or -model <family>")
+	}
+}
+
+func dash(v int) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprint(v)
+}
+
+func dashF(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.6g", v)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpoverify:", err)
+	os.Exit(1)
+}

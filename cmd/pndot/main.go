@@ -1,0 +1,78 @@
+// Command pndot exports a Petri net — or its reachability graph — as a
+// Graphviz DOT digraph on standard output.
+//
+// Usage:
+//
+//	pndot -model fig7                 # net structure
+//	pndot -net system.pn -rg          # full reachability graph
+//	pndot -model nsdp -size 2 -rg | dot -Tsvg > rg.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/models"
+	"repro/internal/petri"
+	"repro/internal/pnio"
+	"repro/internal/reach"
+)
+
+func main() {
+	var (
+		netFile   = flag.String("net", "", "read the net from this .pn file")
+		model     = flag.String("model", "", "use a built-in model family: "+strings.Join(models.Families(), ", "))
+		size      = flag.Int("size", 3, "parameter of the built-in model")
+		rg        = flag.Bool("rg", false, "export the reachability graph instead of the net")
+		maxStates = flag.Int("max-states", 10000, "reachability graph size guard")
+	)
+	flag.Parse()
+
+	var net *petri.Net
+	var err error
+	switch {
+	case *netFile != "" && *model != "":
+		err = fmt.Errorf("use -net or -model, not both")
+	case *netFile != "":
+		var f *os.File
+		if f, err = os.Open(*netFile); err == nil {
+			net, err = pnio.Parse(f)
+			f.Close()
+		}
+	case *model != "":
+		net, err = models.ByName(*model, *size)
+	default:
+		err = fmt.Errorf("need -net <file.pn> or -model <family>")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pndot:", err)
+		os.Exit(1)
+	}
+
+	if !*rg {
+		if err := pnio.NetDOT(os.Stdout, net); err != nil {
+			fmt.Fprintln(os.Stderr, "pndot:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	res, err := reach.Explore(net, reach.Options{StoreGraph: true, MaxStates: *maxStates})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pndot:", err)
+		os.Exit(1)
+	}
+	err = pnio.GraphDOT(os.Stdout, net, res.Graph.States, func(from int) []pnio.Edge {
+		var out []pnio.Edge
+		for _, e := range res.Graph.Edges[from] {
+			out = append(out, pnio.Edge{T: e.T, To: e.To})
+		}
+		return out
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pndot:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,190 @@
+// Modem: an embedded-system verification scenario in the spirit of the
+// paper's real-life application (a QAM modem, Section 5 / reference [16]).
+//
+// The design is written as communicating processes, compiled to a safe
+// Petri net with repro.CompileSpec, and verified: the datapath pipeline
+// must be deadlock-free and the controller/datapath reconfiguration
+// handshake must never wedge. A buggy controller variant (the classic
+// crossed handshake) is then checked to show the engines catching it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// The modem: a framer feeds symbols to a mapper that, per frame, picks a
+// constellation (QAM-16 or QAM-64 — a data-dependent choice), the
+// modulator pushes samples to the line driver, and a controller can
+// reconfigure the mapper between frames via a request/grant handshake.
+const goodModem = `
+proc framer = *( frame ; !sym )
+
+proc mapper = *(
+    ( ?sym ; ( map16 + map64 ) ; !iq
+    + ?cfgreq ; retune ; !cfgack )
+)
+
+proc modulator = *( ?iq ; shape ; !smp )
+
+proc driver = *( ?smp ; emit )
+
+proc controller = *( monitor ; !cfgreq ; ?cfgack )
+
+system framer mapper modulator driver controller
+`
+
+// The buggy variant: the controller demands the acknowledgement BEFORE
+// issuing the request (a swapped handshake), while the mapper still
+// answers request-then-ack. Both sides wait forever — but only on the
+// reconfiguration path, which a simulation can easily miss.
+const buggyModem = `
+proc framer = *( frame ; !sym )
+
+proc mapper = *(
+    ( ?sym ; ( map16 + map64 ) ; !iq
+    + ?cfgreq ; retune ; !cfgack )
+)
+
+proc modulator = *( ?iq ; shape ; !smp )
+
+proc driver = *( ?smp ; emit )
+
+proc controller = *( monitor ; ?cfgack ; !cfgreq )
+
+system framer mapper modulator driver controller
+`
+
+func main() {
+	check("good modem", goodModem)
+	fmt.Println()
+	check("buggy modem (swapped handshake)", buggyModem)
+	fmt.Println()
+	liveness()
+	fmt.Println()
+	drained()
+}
+
+// liveness shows the starvation directly: in the buggy design the
+// controller and the mapper's reconfiguration path are dead even though
+// the datapath keeps streaming, so deadlock detection alone cannot see
+// the bug — transition liveness can.
+func liveness() {
+	fmt.Println("=== liveness comparison ===")
+	for _, tc := range []struct{ label, src string }{
+		{"good", goodModem},
+		{"buggy", buggyModem},
+	} {
+		net, err := repro.CompileSpec(tc.src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		live, err := repro.Liveness(net)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var dead []string
+		for t := repro.Trans(0); int(t) < net.NumTrans(); t++ {
+			if !live[t] {
+				dead = append(dead, net.TransName(t))
+			}
+		}
+		fmt.Printf("  %-6s non-live transitions: %v\n", tc.label, dead)
+	}
+}
+
+// drained makes the starvation a total deadlock by bounding the workload:
+// with a framer that sends two frames and halts, the buggy handshake
+// wedges the entire system once the pipeline drains — and every engine
+// reports it.
+func drained() {
+	fmt.Println("=== bounded workload: the wedge becomes a total deadlock ===")
+	finite := `
+proc framer = frame ; !sym ; frame ; !sym ; halt
+
+proc mapper = *(
+    ( ?sym ; ( map16 + map64 ) ; !iq
+    + ?cfgreq ; retune ; !cfgack )
+)
+
+proc modulator = *( ?iq ; shape ; !smp )
+
+proc driver = *( ?smp ; emit )
+
+proc controller = *( monitor ; ?cfgack ; !cfgreq )
+
+system framer mapper modulator driver controller
+`
+	net, err := repro.CompileSpec(finite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, eng := range []repro.Engine{repro.Exhaustive, repro.GPO} {
+		rep, err := repro.CheckDeadlock(net, repro.Options{Engine: eng})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s deadlock=%v (%d states)\n", eng, rep.Deadlock, rep.States)
+		if rep.Deadlock {
+			fmt.Printf("    witness: %s\n", rep.Witness.String(net))
+		}
+	}
+}
+
+func check(label, src string) {
+	net, err := repro.CompileSpec(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := repro.CountStates(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== %s ===\n", label)
+	fmt.Printf("compiled: %d places, %d transitions, %d reachable markings\n",
+		net.NumPlaces(), net.NumTrans(), full)
+
+	for _, eng := range []repro.Engine{repro.Exhaustive, repro.PartialOrder, repro.GPO} {
+		rep, err := repro.CheckDeadlock(net, repro.Options{Engine: eng})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s deadlock=%-5v states=%-6d %v\n",
+			eng, rep.Deadlock, rep.States, rep.Elapsed.Round(10e3))
+		if rep.Deadlock && eng == repro.GPO {
+			fmt.Printf("    witness: %s\n", rep.Witness.String(net))
+		}
+	}
+
+	// Safety: the mapper must never be retuning while the modulator is
+	// shaping a symbol of the old constellation... here we simply check
+	// that a mapped symbol and a retune can't be in flight at once is NOT
+	// guaranteed by this design (the pipeline is decoupled), which the
+	// checker duly reports as reachable.
+	retune, ok1 := findPlaceAfter(net, "mapper.retune")
+	shaping, ok2 := findPlaceAfter(net, "modulator.shape")
+	if ok1 && ok2 {
+		rep, err := repro.CheckSafety(net, []repro.Place{retune, shaping},
+			repro.Options{Engine: repro.Exhaustive})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  retune-while-shaping reachable: %v\n", rep.Deadlock)
+	}
+}
+
+// findPlaceAfter returns the output place of the named transition, which
+// is the control location "just after" that action.
+func findPlaceAfter(net *repro.Net, trans string) (repro.Place, bool) {
+	t, ok := net.TransByName(trans)
+	if !ok {
+		return 0, false
+	}
+	post := net.Post(t)
+	if len(post) == 0 {
+		return 0, false
+	}
+	return post[0], true
+}

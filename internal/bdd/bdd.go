@@ -1,0 +1,395 @@
+// Package bdd implements reduced ordered binary decision diagrams
+// (Bryant 1986, the paper's reference [2]): hash-consed nodes, the ITE
+// operator, quantification, the relational product and variable renaming —
+// everything the symbolic reachability engine of internal/symbolic (the
+// paper's SMV stand-in, Section 2.4) needs, plus the model-set extraction
+// used to build the generalized analysis' initial valid sets as ZDDs.
+//
+// Nodes are interned in a manager-wide unique table, so structural
+// equality is pointer (id) equality, and the manager records its peak node
+// count — the "Peak BDD-size" statistic of the paper's Table 1.
+package bdd
+
+import (
+	"fmt"
+	"math"
+)
+
+// Node is a BDD node reference. The constants False and True are the
+// terminals; all other values index the manager's node arena.
+type Node int32
+
+// Terminal nodes.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+type node struct {
+	level     int32 // variable index; terminals use level = maxLevel
+	low, high Node
+}
+
+// Manager owns a BDD forest over a fixed number of ordered variables.
+// Variable i is at level i: smaller levels are tested first.
+type Manager struct {
+	nvars  int
+	nodes  []node
+	unique map[[3]int32]Node
+	ite    map[[3]Node]Node
+	and2   map[[2]Node]Node
+	peak   int
+}
+
+// NewManager returns a manager over nvars ordered variables.
+func NewManager(nvars int) *Manager {
+	m := &Manager{
+		nvars:  nvars,
+		unique: make(map[[3]int32]Node),
+		ite:    make(map[[3]Node]Node),
+		and2:   make(map[[2]Node]Node),
+	}
+	term := int32(nvars)
+	m.nodes = []node{{level: term}, {level: term}} // False, True
+	m.peak = 2
+	return m
+}
+
+// NumVars returns the number of variables.
+func (m *Manager) NumVars() int { return m.nvars }
+
+// Size returns the number of currently allocated nodes (terminals
+// included). Nodes are never freed, so this is also the peak.
+func (m *Manager) Size() int { return len(m.nodes) }
+
+// Peak returns the largest node count observed.
+func (m *Manager) Peak() int { return m.peak }
+
+// Level returns the variable level tested by n (nvars for terminals).
+func (m *Manager) Level(n Node) int { return int(m.nodes[n].level) }
+
+// Low and High return the cofactors of an internal node.
+func (m *Manager) Low(n Node) Node  { return m.nodes[n].low }
+func (m *Manager) High(n Node) Node { return m.nodes[n].high }
+
+// mk returns the canonical node (level, low, high), applying the
+// redundant-test reduction rule.
+func (m *Manager) mk(level int32, low, high Node) Node {
+	if low == high {
+		return low
+	}
+	key := [3]int32{level, int32(low), int32(high)}
+	if n, ok := m.unique[key]; ok {
+		return n
+	}
+	n := Node(len(m.nodes))
+	m.nodes = append(m.nodes, node{level: level, low: low, high: high})
+	m.unique[key] = n
+	if len(m.nodes) > m.peak {
+		m.peak = len(m.nodes)
+	}
+	return n
+}
+
+// Var returns the function of variable v.
+func (m *Manager) Var(v int) Node {
+	if v < 0 || v >= m.nvars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, m.nvars))
+	}
+	return m.mk(int32(v), False, True)
+}
+
+// NVar returns the negation of variable v.
+func (m *Manager) NVar(v int) Node { return m.mk(int32(v), True, False) }
+
+// ITE computes if-then-else(f, g, h), the universal binary operator.
+func (m *Manager) ITE(f, g, h Node) Node {
+	// Terminal cases.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	key := [3]Node{f, g, h}
+	if r, ok := m.ite[key]; ok {
+		return r
+	}
+	top := m.nodes[f].level
+	if l := m.nodes[g].level; l < top {
+		top = l
+	}
+	if l := m.nodes[h].level; l < top {
+		top = l
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	h0, h1 := m.cofactors(h, top)
+	r := m.mk(top, m.ITE(f0, g0, h0), m.ITE(f1, g1, h1))
+	m.ite[key] = r
+	return r
+}
+
+func (m *Manager) cofactors(f Node, level int32) (lo, hi Node) {
+	if m.nodes[f].level == level {
+		return m.nodes[f].low, m.nodes[f].high
+	}
+	return f, f
+}
+
+// And returns f ∧ g.
+func (m *Manager) And(f, g Node) Node {
+	if f > g {
+		f, g = g, f
+	}
+	switch {
+	case f == False:
+		return False
+	case f == True:
+		return g
+	case f == g:
+		return f
+	}
+	key := [2]Node{f, g}
+	if r, ok := m.and2[key]; ok {
+		return r
+	}
+	top := m.nodes[f].level
+	if l := m.nodes[g].level; l < top {
+		top = l
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	r := m.mk(top, m.And(f0, g0), m.And(f1, g1))
+	m.and2[key] = r
+	return r
+}
+
+// Or returns f ∨ g.
+func (m *Manager) Or(f, g Node) Node { return m.ITE(f, True, g) }
+
+// Not returns ¬f.
+func (m *Manager) Not(f Node) Node { return m.ITE(f, False, True) }
+
+// Xor returns f ⊕ g.
+func (m *Manager) Xor(f, g Node) Node { return m.ITE(f, m.Not(g), g) }
+
+// Implies returns f → g.
+func (m *Manager) Implies(f, g Node) Node { return m.ITE(f, g, True) }
+
+// Equiv returns f ↔ g.
+func (m *Manager) Equiv(f, g Node) Node { return m.ITE(f, g, m.Not(g)) }
+
+// AndN folds And over its arguments (True for none).
+func (m *Manager) AndN(fs ...Node) Node {
+	r := True
+	for _, f := range fs {
+		r = m.And(r, f)
+	}
+	return r
+}
+
+// OrN folds Or over its arguments (False for none).
+func (m *Manager) OrN(fs ...Node) Node {
+	r := False
+	for _, f := range fs {
+		r = m.Or(r, f)
+	}
+	return r
+}
+
+// Exists existentially quantifies the variables for which vars[v] is true.
+func (m *Manager) Exists(f Node, vars []bool) Node {
+	memo := make(map[Node]Node)
+	var rec func(Node) Node
+	rec = func(f Node) Node {
+		lvl := m.nodes[f].level
+		if int(lvl) >= m.nvars {
+			return f
+		}
+		if r, ok := memo[f]; ok {
+			return r
+		}
+		lo, hi := rec(m.nodes[f].low), rec(m.nodes[f].high)
+		var r Node
+		if vars[lvl] {
+			r = m.Or(lo, hi)
+		} else {
+			r = m.mk(lvl, lo, hi)
+		}
+		memo[f] = r
+		return r
+	}
+	return rec(f)
+}
+
+// AndExists computes ∃vars. f ∧ g without building the full conjunction —
+// the relational product at the heart of symbolic image computation.
+func (m *Manager) AndExists(f, g Node, vars []bool) Node {
+	type key struct{ f, g Node }
+	memo := make(map[key]Node)
+	var rec func(f, g Node) Node
+	rec = func(f, g Node) Node {
+		if f == False || g == False {
+			return False
+		}
+		if f == True && g == True {
+			return True
+		}
+		if f > g {
+			f, g = g, f
+		}
+		k := key{f, g}
+		if r, ok := memo[k]; ok {
+			return r
+		}
+		top := m.nodes[f].level
+		if l := m.nodes[g].level; l < top {
+			top = l
+		}
+		if int(top) >= m.nvars {
+			return m.And(f, g)
+		}
+		f0, f1 := m.cofactors(f, top)
+		g0, g1 := m.cofactors(g, top)
+		var r Node
+		if vars[top] {
+			lo := rec(f0, g0)
+			if lo == True {
+				r = True
+			} else {
+				r = m.Or(lo, rec(f1, g1))
+			}
+		} else {
+			r = m.mk(top, rec(f0, g0), rec(f1, g1))
+		}
+		memo[k] = r
+		return r
+	}
+	return rec(f, g)
+}
+
+// Rename maps each variable v to perm[v] (a level-respecting permutation is
+// not required, but the common use here — shifting primed variables onto
+// unprimed ones in an interleaved order — is monotone, which keeps the
+// recursion sound; callers must only use monotone renamings).
+func (m *Manager) Rename(f Node, perm []int) Node {
+	memo := make(map[Node]Node)
+	var rec func(Node) Node
+	rec = func(f Node) Node {
+		lvl := m.nodes[f].level
+		if int(lvl) >= m.nvars {
+			return f
+		}
+		if r, ok := memo[f]; ok {
+			return r
+		}
+		v := m.Var(perm[lvl])
+		r := m.ITE(v, rec(m.nodes[f].high), rec(m.nodes[f].low))
+		memo[f] = r
+		return r
+	}
+	return rec(f)
+}
+
+// SatCount returns the number of satisfying assignments of f over all
+// variables of the manager.
+func (m *Manager) SatCount(f Node) float64 {
+	memo := make(map[Node]float64)
+	var rec func(Node) float64
+	rec = func(f Node) float64 {
+		if f == False {
+			return 0
+		}
+		lvl := int(m.nodes[f].level)
+		if f == True {
+			return math.Exp2(float64(m.nvars - lvl))
+		}
+		if c, ok := memo[f]; ok {
+			return c
+		}
+		lo, hi := m.nodes[f].low, m.nodes[f].high
+		c := rec(lo)*math.Exp2(float64(int(m.nodes[lo].level)-lvl-1)) +
+			rec(hi)*math.Exp2(float64(int(m.nodes[hi].level)-lvl-1))
+		memo[f] = c
+		return c
+	}
+	if f == True {
+		return math.Exp2(float64(m.nvars))
+	}
+	if f == False {
+		return 0
+	}
+	return rec(f) * math.Exp2(float64(m.nodes[f].level))
+}
+
+// AnySat returns one satisfying assignment of f (value per variable;
+// unconstrained variables are reported false), or ok=false if f is False.
+func (m *Manager) AnySat(f Node) (assign []bool, ok bool) {
+	if f == False {
+		return nil, false
+	}
+	assign = make([]bool, m.nvars)
+	for f != True {
+		n := m.nodes[f]
+		if n.low != False {
+			f = n.low
+		} else {
+			assign[n.level] = true
+			f = n.high
+		}
+	}
+	return assign, true
+}
+
+// NodeCount returns the number of distinct nodes reachable from f
+// (terminals excluded).
+func (m *Manager) NodeCount(f Node) int {
+	seen := make(map[Node]bool)
+	var rec func(Node)
+	rec = func(f Node) {
+		if f <= True || seen[f] {
+			return
+		}
+		seen[f] = true
+		rec(m.nodes[f].low)
+		rec(m.nodes[f].high)
+	}
+	rec(f)
+	return len(seen)
+}
+
+// Support reports which variables f depends on.
+func (m *Manager) Support(f Node) []bool {
+	out := make([]bool, m.nvars)
+	seen := make(map[Node]bool)
+	var rec func(Node)
+	rec = func(f Node) {
+		if f <= True || seen[f] {
+			return
+		}
+		seen[f] = true
+		out[m.nodes[f].level] = true
+		rec(m.nodes[f].low)
+		rec(m.nodes[f].high)
+	}
+	rec(f)
+	return out
+}
+
+// Eval evaluates f under a complete assignment.
+func (m *Manager) Eval(f Node, assign []bool) bool {
+	for f > True {
+		n := m.nodes[f]
+		if assign[n.level] {
+			f = n.high
+		} else {
+			f = n.low
+		}
+	}
+	return f == True
+}

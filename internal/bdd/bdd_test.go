@@ -1,0 +1,217 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTerminals(t *testing.T) {
+	m := NewManager(4)
+	if m.Not(True) != False || m.Not(False) != True {
+		t.Fatal("negation of terminals")
+	}
+	if m.And(True, False) != False || m.Or(True, False) != True {
+		t.Fatal("binary ops on terminals")
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	m := NewManager(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	// (a ∧ b) ∨ c built two different ways must be the same node.
+	f1 := m.Or(m.And(a, b), c)
+	f2 := m.Not(m.And(m.Not(m.And(a, b)), m.Not(c)))
+	if f1 != f2 {
+		t.Errorf("equivalent functions got different nodes: %d vs %d", f1, f2)
+	}
+}
+
+func TestVarNVar(t *testing.T) {
+	m := NewManager(2)
+	if m.And(m.Var(0), m.NVar(0)) != False {
+		t.Error("x ∧ ¬x must be False")
+	}
+	if m.Or(m.Var(0), m.NVar(0)) != True {
+		t.Error("x ∨ ¬x must be True")
+	}
+}
+
+// TestAgainstTruthTable exhaustively compares BDD evaluation with direct
+// boolean evaluation for randomly constructed formulas over 6 variables.
+func TestAgainstTruthTable(t *testing.T) {
+	const nv = 6
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		m := NewManager(nv)
+		// Build a random formula tree and in parallel an evaluator.
+		var build func(depth int) (Node, func([]bool) bool)
+		build = func(depth int) (Node, func([]bool) bool) {
+			if depth == 0 || rng.Intn(4) == 0 {
+				v := rng.Intn(nv)
+				if rng.Intn(2) == 0 {
+					return m.Var(v), func(a []bool) bool { return a[v] }
+				}
+				return m.NVar(v), func(a []bool) bool { return !a[v] }
+			}
+			l, fl := build(depth - 1)
+			r, fr := build(depth - 1)
+			switch rng.Intn(4) {
+			case 0:
+				return m.And(l, r), func(a []bool) bool { return fl(a) && fr(a) }
+			case 1:
+				return m.Or(l, r), func(a []bool) bool { return fl(a) || fr(a) }
+			case 2:
+				return m.Xor(l, r), func(a []bool) bool { return fl(a) != fr(a) }
+			default:
+				return m.Implies(l, r), func(a []bool) bool { return !fl(a) || fr(a) }
+			}
+		}
+		f, eval := build(4)
+		count := 0.0
+		assign := make([]bool, nv)
+		for bits := 0; bits < 1<<nv; bits++ {
+			for v := 0; v < nv; v++ {
+				assign[v] = bits&(1<<v) != 0
+			}
+			want := eval(assign)
+			if got := m.Eval(f, assign); got != want {
+				t.Fatalf("trial %d: Eval mismatch at %v: got %v want %v", trial, assign, got, want)
+			}
+			if want {
+				count++
+			}
+		}
+		if got := m.SatCount(f); got != count {
+			t.Errorf("trial %d: SatCount=%v want %v", trial, got, count)
+		}
+		if assignment, ok := m.AnySat(f); ok {
+			if !m.Eval(f, assignment) {
+				t.Errorf("trial %d: AnySat returned a non-model", trial)
+			}
+		} else if count != 0 {
+			t.Errorf("trial %d: AnySat found nothing but SatCount=%v", trial, count)
+		}
+	}
+}
+
+func TestExists(t *testing.T) {
+	m := NewManager(3)
+	a, b := m.Var(0), m.Var(1)
+	f := m.And(a, b)
+	vars := []bool{true, false, false}
+	// ∃a. a∧b = b
+	if got := m.Exists(f, vars); got != b {
+		t.Errorf("∃a.(a∧b) != b")
+	}
+	// ∃a. a = True
+	if got := m.Exists(a, vars); got != True {
+		t.Errorf("∃a.a != True")
+	}
+}
+
+// TestAndExistsMatchesComposition checks the relational product against
+// And followed by Exists on random formulas.
+func TestAndExistsMatchesComposition(t *testing.T) {
+	const nv = 8
+	rng := rand.New(rand.NewSource(7))
+	m := NewManager(nv)
+	randForm := func() Node {
+		f := True
+		for i := 0; i < 5; i++ {
+			cl := False
+			for j := 0; j < 3; j++ {
+				v := rng.Intn(nv)
+				if rng.Intn(2) == 0 {
+					cl = m.Or(cl, m.Var(v))
+				} else {
+					cl = m.Or(cl, m.NVar(v))
+				}
+			}
+			f = m.And(f, cl)
+		}
+		return f
+	}
+	for trial := 0; trial < 30; trial++ {
+		f, g := randForm(), randForm()
+		vars := make([]bool, nv)
+		for v := range vars {
+			vars[v] = rng.Intn(2) == 0
+		}
+		want := m.Exists(m.And(f, g), vars)
+		got := m.AndExists(f, g, vars)
+		if got != want {
+			t.Fatalf("trial %d: AndExists != Exists∘And", trial)
+		}
+	}
+}
+
+func TestRename(t *testing.T) {
+	m := NewManager(4)
+	// f = x0 ∧ ¬x1, rename 0→2, 1→3.
+	f := m.And(m.Var(0), m.NVar(1))
+	perm := []int{2, 3, 2, 3}
+	g := m.Rename(f, perm)
+	want := m.And(m.Var(2), m.NVar(3))
+	if g != want {
+		t.Error("rename mismatch")
+	}
+}
+
+// TestSatCountProperty checks |f ∨ g| + |f ∧ g| = |f| + |g| on random
+// inputs via testing/quick.
+func TestSatCountProperty(t *testing.T) {
+	const nv = 10
+	m := NewManager(nv)
+	mk := func(seed int64) Node {
+		rng := rand.New(rand.NewSource(seed))
+		f := True
+		for i := 0; i < 4; i++ {
+			cl := False
+			for j := 0; j < 3; j++ {
+				v := rng.Intn(nv)
+				if rng.Intn(2) == 0 {
+					cl = m.Or(cl, m.Var(v))
+				} else {
+					cl = m.Or(cl, m.NVar(v))
+				}
+			}
+			f = m.And(f, cl)
+		}
+		return f
+	}
+	prop := func(s1, s2 int64) bool {
+		f, g := mk(s1), mk(s2)
+		return m.SatCount(m.Or(f, g))+m.SatCount(m.And(f, g)) ==
+			m.SatCount(f)+m.SatCount(g)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSupport(t *testing.T) {
+	m := NewManager(5)
+	f := m.And(m.Var(1), m.Or(m.Var(3), m.NVar(4)))
+	sup := m.Support(f)
+	want := []bool{false, true, false, true, true}
+	for v := range want {
+		if sup[v] != want[v] {
+			t.Errorf("support[%d]=%v want %v", v, sup[v], want[v])
+		}
+	}
+}
+
+func TestPeakGrows(t *testing.T) {
+	m := NewManager(16)
+	f := True
+	for v := 0; v < 16; v += 2 {
+		f = m.And(f, m.Xor(m.Var(v), m.Var(v+1)))
+	}
+	if m.Peak() < 16 {
+		t.Errorf("peak %d suspiciously small", m.Peak())
+	}
+	if m.NodeCount(f) == 0 {
+		t.Error("node count of non-terminal is zero")
+	}
+}

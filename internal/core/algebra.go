@@ -1,0 +1,54 @@
+// Package core implements the paper's contribution: Generalized Petri Nets
+// (Section 3.2) and the generalized partial-order reachability analysis
+// (Section 3.3).
+//
+// A GPN state is a pair ⟨m, r⟩ where m maps each place to a family of
+// transition sets (the "colored tokens") and r is the family of valid
+// transition sets. The engine is generic over the family representation:
+// internal/family supplies the explicit reference algebra, internal/zdd a
+// compressed one for nets whose valid-set families grow exponentially.
+package core
+
+import "repro/internal/tset"
+
+// Algebra abstracts a representation of families of transition sets over a
+// fixed transition universe. Implementations must be deterministic: Key
+// must be identical for equal families regardless of construction order.
+//
+// All families handled by one Algebra instance share its universe;
+// implementations may panic when handed a family from a different instance,
+// as that is a programming error.
+type Algebra[F any] interface {
+	// Universe returns the number of transitions families range over.
+	Universe() int
+	// Empty returns the family with no member sets.
+	Empty() F
+	// FromSets returns the family holding exactly the given sets.
+	FromSets(sets []tset.TSet) F
+	// Union returns a ∪ b.
+	Union(a, b F) F
+	// Intersect returns a ∩ b.
+	Intersect(a, b F) F
+	// Diff returns a \ b.
+	Diff(a, b F) F
+	// OnSet returns {v ∈ a | t ∈ v}.
+	OnSet(a F, t int) F
+	// IsEmpty reports whether a has no member sets.
+	IsEmpty(a F) bool
+	// Equal reports whether a and b hold exactly the same sets.
+	Equal(a, b F) bool
+	// Contains reports whether s is a member set of a.
+	Contains(a F, s tset.TSet) bool
+	// Count returns the number of member sets (exact while it fits a
+	// float64, approximate beyond).
+	Count(a F) float64
+	// Key returns a map key unique per family value.
+	Key(a F) string
+	// Enumerate returns up to limit member sets (all of them if limit <= 0).
+	Enumerate(a F, limit int) []tset.TSet
+	// MaximalConflictFree returns the family of all maximal conflict-free
+	// transition sets — the maximal independent sets of the conflict graph
+	// given by the adjacency predicate. This is the initial valid-set
+	// family r₀ of Section 3.3.
+	MaximalConflictFree(conflict func(i, j int) bool) F
+}

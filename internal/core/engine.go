@@ -1,0 +1,464 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/petri"
+)
+
+// ErrStateLimit is returned when exploration exceeds Options.MaxStates.
+var ErrStateLimit = errors.New("core: state limit exceeded")
+
+// Options configures a generalized partial-order analysis.
+type Options struct {
+	// StopAtDeadlock halts the analysis as soon as one state with a
+	// deadlock possibility is found.
+	StopAtDeadlock bool
+	// ExpandDead keeps exploring past states that exhibit a deadlock
+	// possibility. The paper's algorithm treats them as leaves (its
+	// pseudo-code reports and does not recurse), which is the default.
+	ExpandDead bool
+	// SingleOnly disables the multiple firing semantics (ablation): the
+	// analysis then degenerates to exploration with single firings only.
+	SingleOnly bool
+	// NoAnticipation additionally disables the partial-order selection of
+	// one conflict set (ablation): every single-enabled transition is fired
+	// at every state.
+	NoAnticipation bool
+	// MaxStates aborts the search beyond this many GPN states (0 = no limit).
+	MaxStates int
+	// StoreGraph retains all GPN states and arcs in the result.
+	StoreGraph bool
+	// WitnessLimit bounds the classical deadlock witness markings extracted
+	// per dead state (default 1, <0 = none).
+	WitnessLimit int
+	// TrapFilter restricts deadlock reporting to dead valid sets whose
+	// mapped marking includes TrapPlace. Used by the safety-to-deadlock
+	// reduction: only deadlocks of the monitor trap witness a violation.
+	TrapFilter bool
+	TrapPlace  petri.Place
+}
+
+// Arc is one edge of the GPN reachability graph: the simultaneous (or
+// single) firing of Fired leading to state To.
+type Arc struct {
+	Fired    []petri.Trans
+	To       int
+	Multiple bool
+}
+
+// Graph is the stored GPN reachability graph.
+type Graph[F any] struct {
+	States []*State[F]
+	Edges  [][]Arc
+}
+
+// Result summarizes a generalized partial-order analysis.
+type Result struct {
+	States        int // GPN states explored
+	Arcs          int
+	MultiFirings  int // multiple-firing steps taken
+	SingleFirings int // single-firing steps taken
+	Deadlock      bool
+	DeadStates    []int           // ids of states with a deadlock possibility
+	Witnesses     []petri.Marking // classical deadlock markings (≤ WitnessLimit per dead state)
+	Complete      bool            // false if stopped early
+	PeakValid     float64         // largest |r| encountered
+}
+
+// Engine runs the generalized partial-order analysis of Section 3.3 over a
+// safe Petri net, parameterized by the family representation.
+type Engine[F any] struct {
+	Net *petri.Net
+	Alg Algebra[F]
+}
+
+// NewEngine returns an engine for the net using the given family algebra.
+// The algebra's universe must equal the net's transition count.
+func NewEngine[F any](n *petri.Net, alg Algebra[F]) (*Engine[F], error) {
+	if alg.Universe() != n.NumTrans() {
+		return nil, fmt.Errorf("core: algebra universe %d != %d transitions of %s",
+			alg.Universe(), n.NumTrans(), n.Name())
+	}
+	return &Engine[F]{Net: n, Alg: alg}, nil
+}
+
+// succ is a computed successor before interning.
+type succ[F any] struct {
+	fired    []petri.Trans
+	multiple bool
+	state    *State[F]
+}
+
+// frame is one DFS stack entry.
+type frame[F any] struct {
+	id        int
+	state     *State[F]
+	succs     []succ[F]
+	next      int
+	postponed bool // some single-enabled transitions were not fired
+	fullDone  bool // cycle proviso already applied
+}
+
+// Analyze runs the generalized partial-order reachability analysis from
+// the net's initial marking.
+func (e *Engine[F]) Analyze(opts Options) (*Result, *Graph[F], error) {
+	if opts.WitnessLimit == 0 {
+		opts.WitnessLimit = 1
+	}
+	res := &Result{Complete: true}
+	var g *Graph[F]
+	if opts.StoreGraph {
+		g = &Graph[F]{}
+	}
+
+	index := make(map[string]int)
+	onStack := make(map[int]bool)
+	var states []*State[F]
+
+	intern := func(s *State[F]) (int, bool) {
+		k := e.key(s)
+		if id, ok := index[k]; ok {
+			return id, false
+		}
+		id := len(states)
+		index[k] = id
+		states = append(states, s)
+		if g != nil {
+			g.States = append(g.States, s)
+			g.Edges = append(g.Edges, nil)
+		}
+		if c := e.Alg.Count(s.R); c > res.PeakValid {
+			res.PeakValid = c
+		}
+		return id, true
+	}
+
+	s0 := e.InitialState()
+	intern(s0)
+
+	stack := []*frame[F]{{id: 0, state: s0}}
+	onStack[0] = true
+	stop := false
+
+	processFrame := func(f *frame[F]) bool {
+		// Deadlock check first (Section 3.3): a state whose valid sets are
+		// not all covered by single-enabled transitions exhibits a
+		// deadlock possibility.
+		dead := e.DeadSets(f.state)
+		if opts.TrapFilter {
+			dead = e.Alg.Intersect(dead, f.state.M[opts.TrapPlace])
+		}
+		isDead := !e.Alg.IsEmpty(dead)
+		if isDead {
+			res.Deadlock = true
+			res.DeadStates = append(res.DeadStates, f.id)
+			if opts.WitnessLimit > 0 {
+				for _, v := range e.Alg.Enumerate(dead, opts.WitnessLimit) {
+					res.Witnesses = append(res.Witnesses, e.MarkingOf(f.state, v))
+				}
+			}
+			if opts.StopAtDeadlock {
+				return true
+			}
+			if !opts.ExpandDead {
+				return false // leaf, as in the paper's algorithm
+			}
+		}
+		f.succs, f.postponed = e.successors(f.state, opts)
+		return false
+	}
+	if processFrame(stack[0]) {
+		res.States = len(states)
+		res.Complete = false
+		return res, g, nil
+	}
+
+	for len(stack) > 0 && !stop {
+		f := stack[len(stack)-1]
+		if f.next >= len(f.succs) {
+			onStack[f.id] = false
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		sc := f.succs[f.next]
+		f.next++
+
+		id, fresh := intern(sc.state)
+		res.Arcs++
+		if sc.multiple {
+			res.MultiFirings++
+		} else {
+			res.SingleFirings++
+		}
+		if g != nil {
+			g.Edges[f.id] = append(g.Edges[f.id], Arc{Fired: sc.fired, To: id, Multiple: sc.multiple})
+		}
+		if fresh {
+			if opts.MaxStates > 0 && len(states) > opts.MaxStates {
+				res.States = len(states)
+				res.Complete = false
+				return res, g, ErrStateLimit
+			}
+			nf := &frame[F]{id: id, state: sc.state}
+			if processFrame(nf) {
+				stop = true
+				break
+			}
+			onStack[id] = true
+			stack = append(stack, nf)
+		} else if onStack[id] && f.postponed && !f.fullDone {
+			// Cycle proviso: a cycle closed while this state postponed
+			// enabled transitions; expand it fully so nothing is ignored
+			// forever (paper footnote 2).
+			f.fullDone = true
+			f.succs = append(f.succs, e.allSingleSuccessors(f.state)...)
+		}
+	}
+
+	res.States = len(states)
+	res.Complete = !stop
+	return res, g, nil
+}
+
+// successors computes the successor states of s following the priority of
+// the paper's algorithm: candidate maximal conflicting sets fired
+// simultaneously when they exist, otherwise one partial-order-selected
+// conflict set fired transition by transition, otherwise every
+// single-enabled transition. The second return value reports whether some
+// single-enabled transitions were postponed.
+func (e *Engine[F]) successors(s *State[F], opts Options) ([]succ[F], bool) {
+	n := e.Net
+	nt := n.NumTrans()
+
+	sEn := make([]F, nt)
+	var singles []petri.Trans
+	isSingle := make([]bool, nt)
+	for t := 0; t < nt; t++ {
+		sEn[t] = e.SEnabled(s, petri.Trans(t))
+		if !e.Alg.IsEmpty(sEn[t]) {
+			singles = append(singles, petri.Trans(t))
+			isSingle[t] = true
+		}
+	}
+	if len(singles) == 0 {
+		return nil, false
+	}
+
+	if opts.NoAnticipation {
+		return e.singleSuccs(s, singles, sEn), false
+	}
+
+	comps := e.enabledComponents(singles)
+
+	if !opts.SingleOnly {
+		if sc, fired, ok := e.tryMultiple(s, comps, isSingle, sEn); ok {
+			return []succ[F]{sc}, fired < len(singles)
+		}
+	}
+
+	// Middle branch: fire one safely-selectable conflict set, each member
+	// separately.
+	for _, comp := range comps {
+		if e.poSafe(comp, comp, isSingle, s) {
+			return e.singleSuccs(s, comp, sEn), len(comp) < len(singles)
+		}
+	}
+
+	return e.singleSuccs(s, singles, sEn), false
+}
+
+// tryMultiple attempts the multiple-firing branch: it selects the candidate
+// maximal conflicting sets, fires their union simultaneously, and verifies
+// that no other single-enabled transition was disabled. It reports the
+// number of transitions fired.
+func (e *Engine[F]) tryMultiple(s *State[F], comps [][]petri.Trans, isSingle []bool, sEn []F) (succ[F], int, bool) {
+	// A component is tentatively a candidate if all members are multiple
+	// enabled; the po-safety condition is then iterated to a fixpoint since
+	// it references the union of all remaining candidates.
+	mEn := make(map[petri.Trans]F)
+	tentative := make([][]petri.Trans, 0, len(comps))
+	for _, comp := range comps {
+		ok := true
+		for _, t := range comp {
+			f := e.MEnabled(s, t)
+			if e.Alg.IsEmpty(f) {
+				ok = false
+				break
+			}
+			mEn[t] = f
+		}
+		if ok {
+			tentative = append(tentative, comp)
+		}
+	}
+	for {
+		if len(tentative) == 0 {
+			return succ[F]{}, 0, false
+		}
+		union := make(map[petri.Trans]bool)
+		for _, comp := range tentative {
+			for _, t := range comp {
+				union[t] = true
+			}
+		}
+		kept := tentative[:0]
+		changed := false
+		for _, comp := range tentative {
+			if e.poSafeSet(comp, union, isSingle, s) {
+				kept = append(kept, comp)
+			} else {
+				changed = true
+			}
+		}
+		tentative = kept
+		if !changed {
+			break
+		}
+	}
+
+	var tPrime []petri.Trans
+	for _, comp := range tentative {
+		tPrime = append(tPrime, comp...)
+	}
+	next := e.MultiFire(s, tPrime, mEn)
+
+	// Post-check (Section 3.3): firing the candidates must not disable any
+	// other transition that was single enabled.
+	inT := make(map[petri.Trans]bool, len(tPrime))
+	for _, t := range tPrime {
+		inT[t] = true
+	}
+	for t := 0; t < e.Net.NumTrans(); t++ {
+		if isSingle[t] && !inT[petri.Trans(t)] {
+			if e.Alg.IsEmpty(e.SEnabled(next, petri.Trans(t))) {
+				return succ[F]{}, 0, false
+			}
+		}
+	}
+	return succ[F]{fired: tPrime, multiple: true, state: next}, len(tPrime), true
+}
+
+// enabledComponents partitions the single-enabled transitions into
+// connected components of the structural conflict relation: the enabled
+// parts of the maximal conflicting sets.
+func (e *Engine[F]) enabledComponents(singles []petri.Trans) [][]petri.Trans {
+	parent := make(map[petri.Trans]petri.Trans, len(singles))
+	for _, t := range singles {
+		parent[t] = t
+	}
+	var find func(petri.Trans) petri.Trans
+	find = func(x petri.Trans) petri.Trans {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i, t := range singles {
+		for _, u := range singles[i+1:] {
+			if e.Net.Conflict(t, u) {
+				rt, ru := find(t), find(u)
+				if rt != ru {
+					parent[rt] = ru
+				}
+			}
+		}
+	}
+	byRoot := make(map[petri.Trans][]petri.Trans)
+	var roots []petri.Trans
+	for _, t := range singles {
+		r := find(t)
+		if byRoot[r] == nil {
+			roots = append(roots, r)
+		}
+		byRoot[r] = append(byRoot[r], t)
+	}
+	out := make([][]petri.Trans, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, byRoot[r])
+	}
+	return out
+}
+
+// poSafe reports whether firing the conflict set comp is safe against the
+// transitions outside the given union: every competitor for a token of
+// •comp must either be inside the union, or be disabled with an empty
+// input place that only the union can fill (so its branch is anticipated,
+// not lost).
+func (e *Engine[F]) poSafe(comp []petri.Trans, union []petri.Trans, isSingle []bool, s *State[F]) bool {
+	u := make(map[petri.Trans]bool, len(union))
+	for _, t := range union {
+		u[t] = true
+	}
+	return e.poSafeSet(comp, u, isSingle, s)
+}
+
+func (e *Engine[F]) poSafeSet(comp []petri.Trans, union map[petri.Trans]bool, isSingle []bool, s *State[F]) bool {
+	for _, t := range comp {
+		for _, p := range e.Net.Pre(t) {
+			for _, w := range e.Net.PostT(p) {
+				if union[w] {
+					continue
+				}
+				if isSingle[w] {
+					return false // an enabled competitor would be disabled
+				}
+				if !e.anticipated(w, union, s) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// anticipated reports whether the disabled transition w cannot become
+// enabled before the union fires: it has an empty input place whose
+// producers all belong to the union.
+func (e *Engine[F]) anticipated(w petri.Trans, union map[petri.Trans]bool, s *State[F]) bool {
+	for _, q := range e.Net.Pre(w) {
+		if !e.Alg.IsEmpty(s.M[q]) {
+			continue
+		}
+		all := true
+		for _, prod := range e.Net.PreT(q) {
+			if !union[prod] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine[F]) singleSuccs(s *State[F], ts []petri.Trans, sEn []F) []succ[F] {
+	out := make([]succ[F], 0, len(ts))
+	for _, t := range ts {
+		out = append(out, succ[F]{
+			fired: []petri.Trans{t},
+			state: e.SingleFire(s, t, sEn[t]),
+		})
+	}
+	return out
+}
+
+// allSingleSuccessors fires every single-enabled transition of s
+// separately; used by the cycle proviso.
+func (e *Engine[F]) allSingleSuccessors(s *State[F]) []succ[F] {
+	var out []succ[F]
+	for t := 0; t < e.Net.NumTrans(); t++ {
+		en := e.SEnabled(s, petri.Trans(t))
+		if !e.Alg.IsEmpty(en) {
+			out = append(out, succ[F]{
+				fired: []petri.Trans{petri.Trans(t)},
+				state: e.SingleFire(s, petri.Trans(t), en),
+			})
+		}
+	}
+	return out
+}

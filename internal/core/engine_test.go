@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/family"
+	"repro/internal/models"
+	"repro/internal/petri"
+	"repro/internal/reach"
+)
+
+func analyzeExplicit(t *testing.T, n *petri.Net, opts Options) *Result {
+	t.Helper()
+	e := explicitEngine(t, n)
+	res, _, err := e.Analyze(opts)
+	if err != nil {
+		t.Fatalf("%s: %v", n.Name(), err)
+	}
+	return res
+}
+
+// TestNSDPThreeStates checks the paper's headline Table 1 result: the
+// generalized analysis of NSDP needs exactly 3 states to find every
+// deadlock, independent of the number of philosophers.
+func TestNSDPThreeStates(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 6} {
+		net := models.NSDP(n)
+		res := analyzeExplicit(t, net, Options{})
+		if !res.Deadlock {
+			t.Errorf("NSDP(%d): deadlock not found", n)
+		}
+		if res.States != 3 {
+			t.Errorf("NSDP(%d): explored %d states, paper reports 3", n, res.States)
+		}
+	}
+}
+
+// TestNSDPWitnessIsRealDeadlock checks soundness of the reported deadlock:
+// every witness marking must be a reachable deadlock of the classical net.
+func TestNSDPWitnessIsRealDeadlock(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		net := models.NSDP(n)
+		full, err := reach.Explore(net, reach.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		realDead := make(map[string]bool)
+		for _, m := range full.Deadlocks {
+			realDead[m.Key()] = true
+		}
+		res := analyzeExplicit(t, net, Options{WitnessLimit: 100})
+		if len(res.Witnesses) == 0 {
+			t.Fatalf("NSDP(%d): no witnesses", n)
+		}
+		for _, w := range res.Witnesses {
+			if !realDead[w.Key()] {
+				t.Errorf("NSDP(%d): witness %s is not a reachable classical deadlock",
+					n, w.String(net))
+			}
+		}
+	}
+}
+
+// TestFig2TwoStates checks Section 3.1's claim for the Figure 2 net: the
+// generalized analysis explores exactly 2 states where classical
+// partial-order methods need 2^(N+1) − 1.
+func TestFig2TwoStates(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 12} {
+		net := models.Fig2(n)
+		res := analyzeExplicit(t, net, Options{})
+		if res.States != 2 {
+			t.Errorf("Fig2(%d): explored %d states, paper reports 2", n, res.States)
+		}
+		// The terminal state is a (trivial) deadlock: the net terminates.
+		if !res.Deadlock {
+			t.Errorf("Fig2(%d): terminal state not reported", n)
+		}
+	}
+}
+
+// TestRWTwoStates checks the Table 1 RW rows: the generalized analysis
+// closes the readers/writers cycle after 2 states and finds no deadlock.
+func TestRWTwoStates(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 6, 9} {
+		net := models.ReadersWriters(n)
+		res := analyzeExplicit(t, net, Options{})
+		if res.Deadlock {
+			t.Errorf("RW(%d): spurious deadlock", n)
+		}
+		if res.States != 2 {
+			t.Errorf("RW(%d): explored %d states, paper reports 2", n, res.States)
+		}
+		if !res.Complete {
+			t.Errorf("RW(%d): analysis incomplete", n)
+		}
+	}
+}
+
+// TestDeadlockAgreement cross-validates the generalized analysis against
+// exhaustive reachability on every benchmark family at small sizes: the
+// deadlock verdicts must agree.
+func TestDeadlockAgreement(t *testing.T) {
+	nets := []*petri.Net{
+		models.NSDP(2), models.NSDP(3), models.NSDP(4),
+		models.Fig1(3), models.Fig1(5),
+		models.Fig2(2), models.Fig2(4),
+		models.Fig3(), models.Fig5(), models.Fig7(),
+		models.ReadersWriters(2), models.ReadersWriters(4),
+		models.ArbiterTree(2), models.ArbiterTree(4),
+		models.Overtake(2), models.Overtake(3),
+	}
+	for _, net := range nets {
+		full, err := reach.Explore(net, reach.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", net.Name(), err)
+		}
+		res := analyzeExplicit(t, net, Options{})
+		if res.Deadlock != full.Deadlock {
+			t.Errorf("%s: GPO deadlock=%v, exhaustive deadlock=%v (GPO states=%d, full states=%d)",
+				net.Name(), res.Deadlock, full.Deadlock, res.States, full.States)
+		}
+		if !res.Complete {
+			t.Errorf("%s: analysis incomplete", net.Name())
+		}
+		t.Logf("%s: full=%d GPO=%d deadlock=%v", net.Name(), full.States, res.States, res.Deadlock)
+	}
+}
+
+// TestWitnessesAreReachableDeadlocks checks, on every deadlocking model,
+// that GPO witnesses are real classical deadlock markings.
+func TestWitnessesAreReachableDeadlocks(t *testing.T) {
+	nets := []*petri.Net{
+		models.NSDP(2), models.NSDP(3),
+		models.Fig1(3), models.Fig2(3), models.Fig3(), models.Fig7(),
+	}
+	for _, net := range nets {
+		full, err := reach.Explore(net, reach.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		realDead := make(map[string]bool)
+		for _, m := range full.Deadlocks {
+			realDead[m.Key()] = true
+		}
+		res := analyzeExplicit(t, net, Options{WitnessLimit: 1000})
+		for _, w := range res.Witnesses {
+			if !realDead[w.Key()] {
+				t.Errorf("%s: witness %s is not a classical reachable deadlock",
+					net.Name(), w.String(net))
+			}
+		}
+	}
+}
+
+// TestAblationModes checks that the ablation modes still agree on the
+// deadlock verdict while exploring more states.
+func TestAblationModes(t *testing.T) {
+	net := models.NSDP(3)
+	gpo := analyzeExplicit(t, net, Options{})
+	single := analyzeExplicit(t, net, Options{SingleOnly: true})
+	noPO := analyzeExplicit(t, net, Options{NoAnticipation: true})
+	if !gpo.Deadlock || !single.Deadlock || !noPO.Deadlock {
+		t.Fatalf("deadlock verdicts: gpo=%v single=%v noPO=%v",
+			gpo.Deadlock, single.Deadlock, noPO.Deadlock)
+	}
+	if gpo.States > single.States {
+		t.Errorf("multiple firing should not explore more states: gpo=%d single=%d",
+			gpo.States, single.States)
+	}
+	t.Logf("NSDP(3): gpo=%d states, single-only=%d, no-anticipation=%d",
+		gpo.States, single.States, noPO.States)
+}
+
+// TestStopAtDeadlock checks early termination.
+func TestStopAtDeadlock(t *testing.T) {
+	res := analyzeExplicit(t, models.NSDP(2), Options{StopAtDeadlock: true})
+	if !res.Deadlock {
+		t.Fatal("deadlock not found")
+	}
+	if res.Complete {
+		t.Error("StopAtDeadlock should mark the result incomplete")
+	}
+}
+
+var _ = family.Empty

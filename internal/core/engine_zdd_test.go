@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/petri"
+	"repro/internal/zdd"
+)
+
+func analyzeZDD(t *testing.T, n *petri.Net, opts Options) *Result {
+	t.Helper()
+	e, err := NewEngine[zdd.Node](n, zdd.NewAlgebra(n.NumTrans()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := e.Analyze(opts)
+	if err != nil {
+		t.Fatalf("%s: %v", n.Name(), err)
+	}
+	return res
+}
+
+// TestZDDMatchesExplicitAlgebra checks that both family representations
+// drive the analysis to identical results on every model.
+func TestZDDMatchesExplicitAlgebra(t *testing.T) {
+	nets := []*petri.Net{
+		models.NSDP(2), models.NSDP(4),
+		models.Fig1(4), models.Fig2(4), models.Fig3(), models.Fig7(),
+		models.ReadersWriters(4), models.ArbiterTree(4), models.Overtake(3),
+	}
+	for _, net := range nets {
+		ex := analyzeExplicit(t, net, Options{})
+		zd := analyzeZDD(t, net, Options{})
+		if ex.States != zd.States || ex.Deadlock != zd.Deadlock ||
+			ex.Arcs != zd.Arcs || ex.PeakValid != zd.PeakValid {
+			t.Errorf("%s: explicit (states=%d arcs=%d dl=%v peak=%v) != zdd (states=%d arcs=%d dl=%v peak=%v)",
+				net.Name(), ex.States, ex.Arcs, ex.Deadlock, ex.PeakValid,
+				zd.States, zd.Arcs, zd.Deadlock, zd.PeakValid)
+		}
+	}
+}
+
+// TestZDDNSDPLargeScale checks the paper's headline scaling claim at the
+// sizes the explicit representation cannot touch: NSDP(8), NSDP(10) and
+// beyond still take exactly 3 states, find the deadlock, and finish fast
+// ("CPU times increase linearly with problem size", Section 4).
+func TestZDDNSDPLargeScale(t *testing.T) {
+	for _, n := range []int{8, 10, 16, 24} {
+		start := time.Now()
+		res := analyzeZDD(t, models.NSDP(n), Options{})
+		elapsed := time.Since(start)
+		if !res.Deadlock {
+			t.Errorf("NSDP(%d): deadlock not found", n)
+		}
+		if res.States != 3 {
+			t.Errorf("NSDP(%d): %d states, paper reports 3", n, res.States)
+		}
+		if elapsed > 10*time.Second {
+			t.Errorf("NSDP(%d): took %v; the analysis should stay near-linear", n, elapsed)
+		}
+		t.Logf("NSDP(%d): states=%d |r| peak=%v time=%v", n, res.States, res.PeakValid, elapsed)
+	}
+}
+
+// TestZDDFig2LargeScale scales the Figure 2 net to sizes where the valid
+// sets number 2^40: the analysis must still need exactly 2 states.
+func TestZDDFig2LargeScale(t *testing.T) {
+	for _, n := range []int{10, 20, 40} {
+		res := analyzeZDD(t, models.Fig2(n), Options{})
+		if res.States != 2 {
+			t.Errorf("Fig2(%d): %d states, want 2", n, res.States)
+		}
+		if want := float64(int64(1) << n); res.PeakValid != want {
+			t.Errorf("Fig2(%d): peak |r| = %v, want 2^%d = %v", n, res.PeakValid, n, want)
+		}
+	}
+}
+
+// TestZDDRWLargeScale checks RW stays at 2 states at paper sizes and above.
+func TestZDDRWLargeScale(t *testing.T) {
+	for _, n := range []int{6, 9, 12, 15, 20} {
+		res := analyzeZDD(t, models.ReadersWriters(n), Options{})
+		if res.Deadlock {
+			t.Errorf("RW(%d): spurious deadlock", n)
+		}
+		if res.States != 2 {
+			t.Errorf("RW(%d): %d states, paper reports 2", n, res.States)
+		}
+	}
+}
+
+// TestZDDASATScale checks the arbiter tree at the paper's largest size.
+func TestZDDASATScale(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		res := analyzeZDD(t, models.ArbiterTree(n), Options{})
+		if res.Deadlock {
+			t.Errorf("ASAT(%d): spurious deadlock", n)
+		}
+		t.Logf("ASAT(%d): GPO states=%d", n, res.States)
+	}
+}
+
+// TestZDDOvertakeScale checks OVER at and beyond the paper's sizes.
+func TestZDDOvertakeScale(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		res := analyzeZDD(t, models.Overtake(n), Options{})
+		if res.Deadlock {
+			t.Errorf("OVER(%d): spurious deadlock", n)
+		}
+		t.Logf("OVER(%d): GPO states=%d", n, res.States)
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/petri"
+	"repro/internal/tset"
+)
+
+func TestMaxStatesLimit(t *testing.T) {
+	e := explicitEngine(t, models.NSDP(3))
+	_, _, err := e.Analyze(Options{SingleOnly: true, MaxStates: 5})
+	if !errors.Is(err, ErrStateLimit) {
+		t.Errorf("got %v, want ErrStateLimit", err)
+	}
+}
+
+func TestWitnessLimit(t *testing.T) {
+	net := models.NSDP(2) // two deadlock worlds in the same dead state
+	e := explicitEngine(t, net)
+
+	res, _, err := e.Analyze(Options{WitnessLimit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Witnesses) != 2 {
+		t.Errorf("WitnessLimit=2: got %d witnesses", len(res.Witnesses))
+	}
+
+	res1, _, err := e.Analyze(Options{}) // default 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Witnesses) != 1 {
+		t.Errorf("default: got %d witnesses, want 1", len(res1.Witnesses))
+	}
+
+	resNone, _, err := e.Analyze(Options{WitnessLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resNone.Witnesses) != 0 {
+		t.Errorf("WitnessLimit<0: got %d witnesses, want 0", len(resNone.Witnesses))
+	}
+	if !resNone.Deadlock {
+		t.Error("deadlock flag must be set even without witnesses")
+	}
+}
+
+// TestTrapFilter checks the safety-reduction hook: with the trap filter on
+// a place that is never marked, no deadlock is reported even though the
+// net deadlocks.
+func TestTrapFilter(t *testing.T) {
+	// Fig2(2) terminates with each conflict pair resolved to a_i or b_i;
+	// c_i is always empty at termination.
+	net := models.Fig2(2)
+	c0, _ := net.PlaceByName("c0")
+	e := explicitEngine(t, net)
+	res, _, err := e.Analyze(Options{
+		TrapFilter: true,
+		TrapPlace:  c0,
+		ExpandDead: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlock {
+		t.Error("trap filter on an unmarked place must suppress the report")
+	}
+
+	// With the filter on a place that IS marked in some dead world, the
+	// deadlock is reported and every witness marks it.
+	a0, _ := net.PlaceByName("a0")
+	res2, _, err := e.Analyze(Options{
+		TrapFilter:   true,
+		TrapPlace:    a0,
+		ExpandDead:   true,
+		WitnessLimit: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Deadlock {
+		t.Error("trap filter on a0 must report the terminations choosing A0")
+	}
+	for _, w := range res2.Witnesses {
+		if !w.Has(a0) {
+			t.Errorf("witness %s does not mark the trap", w.String(net))
+		}
+	}
+}
+
+// TestGraphMultipleArcs checks that multiple firings are recorded as such
+// in the stored graph.
+func TestGraphMultipleArcs(t *testing.T) {
+	net := models.Fig2(3)
+	e := explicitEngine(t, net)
+	res, g, err := e.Analyze(Options{StoreGraph: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MultiFirings == 0 {
+		t.Fatal("Fig2 must use multiple firing")
+	}
+	foundMulti := false
+	for _, arcs := range g.Edges {
+		for _, a := range arcs {
+			if a.Multiple {
+				foundMulti = true
+				if len(a.Fired) != 6 {
+					t.Errorf("multiple arc fired %d transitions, want all 6", len(a.Fired))
+				}
+			}
+		}
+	}
+	if !foundMulti {
+		t.Error("no multiple arc recorded")
+	}
+}
+
+// TestSingleOnlyStillSound checks the ablation engine agrees on verdicts
+// across several models.
+func TestSingleOnlyStillSound(t *testing.T) {
+	for _, net := range []*petri.Net{
+		models.Fig2(3), models.Fig3(), models.Fig7(), models.ReadersWriters(2),
+	} {
+		full := analyzeExplicit(t, net, Options{})
+		single := analyzeExplicit(t, net, Options{SingleOnly: true})
+		if full.Deadlock != single.Deadlock {
+			t.Errorf("%s: gpo=%v single-only=%v", net.Name(), full.Deadlock, single.Deadlock)
+		}
+	}
+}
+
+// TestEngineUniverseMismatch checks constructor validation.
+func TestEngineUniverseMismatch(t *testing.T) {
+	net := models.Fig3()
+	_, err := NewEngine[*familyStub](net, badAlgebra{})
+	if err == nil {
+		t.Error("mismatched universe must be rejected")
+	}
+}
+
+// badAlgebra is a minimal Algebra with the wrong universe.
+type familyStub struct{}
+
+type badAlgebra struct{}
+
+func (badAlgebra) Universe() int                                         { return 1 }
+func (badAlgebra) Empty() *familyStub                                    { return nil }
+func (badAlgebra) FromSets(_ []tset.TSet) *familyStub                    { return nil }
+func (badAlgebra) Union(_, _ *familyStub) *familyStub                    { return nil }
+func (badAlgebra) Intersect(_, _ *familyStub) *familyStub                { return nil }
+func (badAlgebra) Diff(_, _ *familyStub) *familyStub                     { return nil }
+func (badAlgebra) OnSet(_ *familyStub, _ int) *familyStub                { return nil }
+func (badAlgebra) IsEmpty(_ *familyStub) bool                            { return true }
+func (badAlgebra) Equal(_, _ *familyStub) bool                           { return true }
+func (badAlgebra) Contains(_ *familyStub, _ tset.TSet) bool              { return false }
+func (badAlgebra) Count(_ *familyStub) float64                           { return 0 }
+func (badAlgebra) Key(_ *familyStub) string                              { return "" }
+func (badAlgebra) Enumerate(_ *familyStub, _ int) []tset.TSet            { return nil }
+func (badAlgebra) MaximalConflictFree(_ func(i, j int) bool) *familyStub { return nil }

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/family"
+	"repro/internal/models"
+	"repro/internal/petri"
+	"repro/internal/tset"
+)
+
+// helpers -------------------------------------------------------------
+
+func explicitEngine(t *testing.T, n *petri.Net) *Engine[*family.Family] {
+	t.Helper()
+	e, err := NewEngine[*family.Family](n, family.NewAlgebra(n.NumTrans()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func trans(t *testing.T, n *petri.Net, name string) petri.Trans {
+	t.Helper()
+	tr, ok := n.TransByName(name)
+	if !ok {
+		t.Fatalf("no transition %q in %s", name, n.Name())
+	}
+	return tr
+}
+
+func place(t *testing.T, n *petri.Net, name string) petri.Place {
+	t.Helper()
+	p, ok := n.PlaceByName(name)
+	if !ok {
+		t.Fatalf("no place %q in %s", name, n.Name())
+	}
+	return p
+}
+
+// setOf builds a TSet over the net's transitions from names.
+func setOf(t *testing.T, n *petri.Net, names ...string) tset.TSet {
+	t.Helper()
+	s := tset.New(n.NumTrans())
+	for _, nm := range names {
+		s.Add(int(trans(t, n, nm)))
+	}
+	return s
+}
+
+// famEq asserts a family equals the one holding exactly the given sets.
+func famEq(t *testing.T, n *petri.Net, got *family.Family, want *family.Family, label string) {
+	t.Helper()
+	if !got.Equal(want) {
+		name := func(i int) string { return n.TransName(petri.Trans(i)) }
+		t.Errorf("%s:\n  got  %s\n  want %s", label, got.StringNamed(name), want.StringNamed(name))
+	}
+}
+
+// Figure 7 ------------------------------------------------------------
+
+// TestFig7PaperTrace replays the multiple-firing walkthrough of the
+// paper's Figure 7 exactly: r₀ = {{A,C},{A,D},{B,C},{B,D}},
+// m_enabled(A,s₀) = {{A,C},{A,D}}, r₁ = r₀ and, after firing {C,D},
+// r₂ = {{A,C},{B,D}} with mapping(m₂,r₂) = {{p5}}.
+func TestFig7PaperTrace(t *testing.T) {
+	net := models.Fig7()
+	e := explicitEngine(t, net)
+	nT := net.NumTrans()
+	alg := family.NewAlgebra(nT)
+
+	s0 := e.InitialState()
+	AC := setOf(t, net, "A", "C")
+	AD := setOf(t, net, "A", "D")
+	BC := setOf(t, net, "B", "C")
+	BD := setOf(t, net, "B", "D")
+	r0 := family.Of(nT, AC, AD, BC, BD)
+	famEq(t, net, s0.R, r0, "r0")
+	famEq(t, net, s0.M[place(t, net, "p0")], r0, "m0(p0)")
+	famEq(t, net, s0.M[place(t, net, "p3")], r0, "m0(p3)")
+	famEq(t, net, s0.M[place(t, net, "p1")], family.Empty(nT), "m0(p1)")
+
+	A, B := trans(t, net, "A"), trans(t, net, "B")
+	C, D := trans(t, net, "C"), trans(t, net, "D")
+
+	mA := e.MEnabled(s0, A)
+	famEq(t, net, mA, family.Of(nT, AC, AD), "m_enabled(A, s0)")
+	mB := e.MEnabled(s0, B)
+	famEq(t, net, mB, family.Of(nT, BC, BD), "m_enabled(B, s0)")
+
+	// C and D are not single enabled in s0.
+	if !alg.IsEmpty(e.SEnabled(s0, C)) || !alg.IsEmpty(e.SEnabled(s0, D)) {
+		t.Error("C/D must not be single enabled in s0")
+	}
+
+	s1 := e.MultiFire(s0, []petri.Trans{A, B}, map[petri.Trans]*family.Family{A: mA, B: mB})
+	famEq(t, net, s1.R, r0, "r1 (paper: r1 = r0)")
+	famEq(t, net, s1.M[place(t, net, "p1")], family.Of(nT, AC, AD), "m1(p1)")
+	famEq(t, net, s1.M[place(t, net, "p2")], family.Of(nT, BC, BD), "m1(p2)")
+	famEq(t, net, s1.M[place(t, net, "p3")], r0, "m1(p3)")
+	famEq(t, net, s1.M[place(t, net, "p0")], family.Empty(nT), "m1(p0)")
+
+	mC := e.MEnabled(s1, C)
+	famEq(t, net, mC, family.Of(nT, AC), "m_enabled(C, s1)")
+	mD := e.MEnabled(s1, D)
+	famEq(t, net, mD, family.Of(nT, BD), "m_enabled(D, s1)")
+
+	s2 := e.MultiFire(s1, []petri.Trans{C, D}, map[petri.Trans]*family.Family{C: mC, D: mD})
+	famEq(t, net, s2.R, family.Of(nT, AC, BD), "r2 (paper: {{A,C},{B,D}})")
+	famEq(t, net, s2.M[place(t, net, "p5")], family.Of(nT, AC, BD), "m2(p5)")
+	famEq(t, net, s2.M[place(t, net, "p3")], family.Empty(nT), "m2(p3)")
+
+	// mapping(m2, r2): only p5 is marked, in every valid history.
+	maps := e.Mapping(s2, 0)
+	if len(maps) != 1 {
+		t.Fatalf("mapping(s2) has %d markings, want 1", len(maps))
+	}
+	want := net.EmptyMarking()
+	want.Set(place(t, net, "p5"))
+	if !maps[0].Equal(want) {
+		t.Errorf("mapping(s2) = %s, want {p5}", maps[0].String(net))
+	}
+}
+
+// Figure 5 ------------------------------------------------------------
+
+// TestFig5SingleFiring replays the single-firing example of Figures 5-6:
+// with m(p0) = {{A},{B}}, m(p1) = {{A}}, m(p2) = {{B}} and r = {{A},{B}}
+// (sets extended to maximal form with the conflict-free context), A is
+// single enabled, B is not, and firing A moves {{A}} from p0,p1 to p3.
+func TestFig5SingleFiring(t *testing.T) {
+	net := models.Fig5()
+	e := explicitEngine(t, net)
+	nT := net.NumTrans()
+
+	// The conflict graph of Fig5 has the single edge A-B, so the maximal
+	// conflict-free sets are exactly {A} and {B}.
+	vA := setOf(t, net, "A")
+	vB := setOf(t, net, "B")
+	r := family.Of(nT, vA, vB)
+
+	alg := family.NewAlgebra(nT)
+	s := &State[*family.Family]{M: make([]*family.Family, net.NumPlaces()), R: r}
+	for p := range s.M {
+		s.M[p] = alg.Empty()
+	}
+	s.M[place(t, net, "p0")] = family.Of(nT, vA, vB)
+	s.M[place(t, net, "p1")] = family.Of(nT, vA)
+	s.M[place(t, net, "p2")] = family.Of(nT, vB)
+
+	A, B := trans(t, net, "A"), trans(t, net, "B")
+	enA := e.SEnabled(s, A)
+	famEq(t, net, enA, family.Of(nT, vA), "s_enabled(A)")
+	famEq(t, net, e.SEnabled(s, B), family.Empty(nT), "s_enabled(B) (paper: {})")
+
+	// mapping(s) = {{p0,p1},{p0,p2}} (Figure 6a).
+	maps := markingKeys(e, s)
+	if len(maps) != 2 || !maps[mk(t, net, "p0", "p1")] || !maps[mk(t, net, "p0", "p2")] {
+		t.Errorf("mapping(s) wrong: %v", markingStrings(e, s, net))
+	}
+
+	next := e.SingleFire(s, A, enA)
+	famEq(t, net, next.M[place(t, net, "p0")], family.Of(nT, vB), "m'(p0)")
+	famEq(t, net, next.M[place(t, net, "p1")], family.Empty(nT), "m'(p1)")
+	famEq(t, net, next.M[place(t, net, "p2")], family.Of(nT, vB), "m'(p2)")
+	famEq(t, net, next.M[place(t, net, "p3")], family.Of(nT, vA), "m'(p3)")
+	famEq(t, net, next.R, r, "r unchanged by single firing")
+
+	// mapping(s') = {{p3},{p0,p2}} (Figure 6b).
+	maps = markingKeys(e, next)
+	if len(maps) != 2 || !maps[mk(t, net, "p3")] || !maps[mk(t, net, "p0", "p2")] {
+		t.Errorf("mapping(s') wrong: %v", markingStrings(e, next, net))
+	}
+}
+
+func mk(t *testing.T, n *petri.Net, names ...string) string {
+	t.Helper()
+	m := n.EmptyMarking()
+	for _, nm := range names {
+		m.Set(place(t, n, nm))
+	}
+	return m.Key()
+}
+
+func markingKeys(e *Engine[*family.Family], s *State[*family.Family]) map[string]bool {
+	out := make(map[string]bool)
+	for _, m := range e.Mapping(s, 0) {
+		out[m.Key()] = true
+	}
+	return out
+}
+
+func markingStrings(e *Engine[*family.Family], s *State[*family.Family], n *petri.Net) []string {
+	var out []string
+	for _, m := range e.Mapping(s, 0) {
+		out = append(out, m.String(n))
+	}
+	return out
+}
+
+// Figure 3 ------------------------------------------------------------
+
+// TestFig3Walkthrough checks the narrative of Figure 3: A and B fire
+// simultaneously from the initial state, after which D's input places hold
+// tokens of mutually conflicting colors so D never becomes single enabled,
+// while C fires on A's branch.
+func TestFig3Walkthrough(t *testing.T) {
+	net := models.Fig3()
+	e := explicitEngine(t, net)
+
+	s0 := e.InitialState()
+	A, B := trans(t, net, "A"), trans(t, net, "B")
+	C, D := trans(t, net, "C"), trans(t, net, "D")
+
+	mA, mB := e.MEnabled(s0, A), e.MEnabled(s0, B)
+	if mA.IsEmpty() || mB.IsEmpty() {
+		t.Fatal("A and B must be multiple enabled initially")
+	}
+	s1 := e.MultiFire(s0, []petri.Trans{A, B}, map[petri.Trans]*family.Family{A: mA, B: mB})
+
+	if !e.SEnabled(s1, D).IsEmpty() {
+		t.Error("D must not be single enabled: its inputs carry conflicting colors")
+	}
+	enC := e.SEnabled(s1, C)
+	if enC.IsEmpty() {
+		t.Fatal("C must be single enabled after firing {A,B}")
+	}
+	s2 := e.SingleFire(s1, C, enC)
+	if !e.SEnabled(s2, D).IsEmpty() {
+		t.Error("D must stay disabled after C fires")
+	}
+	// p5 now carries A's branch.
+	if s2.M[place(t, net, "p5")].IsEmpty() {
+		t.Error("p5 must carry a token on A's branch")
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"strings"
+
+	"repro/internal/petri"
+	"repro/internal/tset"
+)
+
+// State is a Generalized Petri Net state ⟨m, r⟩: per-place families of
+// transition sets plus the family of valid transition sets (Definition 3.1).
+type State[F any] struct {
+	// M[p] is the marking family of place p.
+	M []F
+	// R is the family of valid transition sets.
+	R F
+}
+
+// key returns a map key unique per state value.
+func (e *Engine[F]) key(s *State[F]) string {
+	var b strings.Builder
+	for _, f := range s.M {
+		b.WriteString(e.Alg.Key(f))
+		b.WriteByte(0xFE)
+	}
+	b.WriteString(e.Alg.Key(s.R))
+	return b.String()
+}
+
+// InitialState builds ⟨m₀ᴳ, r₀⟩ for the engine's net (Section 3.3):
+// r₀ is the family of maximal conflict-free transition sets, every
+// initially marked place carries r₀, and every other place is empty.
+func (e *Engine[F]) InitialState() *State[F] {
+	n := e.Net
+	r0 := e.Alg.MaximalConflictFree(func(i, j int) bool {
+		return n.Conflict(petri.Trans(i), petri.Trans(j))
+	})
+	s := &State[F]{M: make([]F, n.NumPlaces()), R: r0}
+	empty := e.Alg.Empty()
+	for p := 0; p < n.NumPlaces(); p++ {
+		s.M[p] = empty
+	}
+	for _, p := range n.InitialPlaces() {
+		s.M[p] = r0
+	}
+	return s
+}
+
+// SEnabled computes s_enabled(t, ⟨m,r⟩) = ∩_{p∈•t} m(p) ∩ r
+// (Definition 3.2).
+func (e *Engine[F]) SEnabled(s *State[F], t petri.Trans) F {
+	pre := e.Net.Pre(t)
+	acc := s.M[pre[0]]
+	for _, p := range pre[1:] {
+		if e.Alg.IsEmpty(acc) {
+			return acc
+		}
+		acc = e.Alg.Intersect(acc, s.M[p])
+	}
+	return e.Alg.Intersect(acc, s.R)
+}
+
+// MEnabled computes m_enabled(t, ⟨m,r⟩) = {v ∈ ∩_{p∈•t} m(p) | t ∈ v}
+// (Definition 3.5).
+func (e *Engine[F]) MEnabled(s *State[F], t petri.Trans) F {
+	pre := e.Net.Pre(t)
+	acc := s.M[pre[0]]
+	for _, p := range pre[1:] {
+		if e.Alg.IsEmpty(acc) {
+			return acc
+		}
+		acc = e.Alg.Intersect(acc, s.M[p])
+	}
+	return e.Alg.OnSet(acc, int(t))
+}
+
+// SingleFire applies the single firing rule (Definition 3.3) for a
+// transition with s_enabled(t,s) = en ≠ ∅: en is removed from the marking
+// of every p ∈ •t \ t•, and added to every p ∈ t• \ •t. r is unchanged.
+func (e *Engine[F]) SingleFire(s *State[F], t petri.Trans, en F) *State[F] {
+	n := e.Net
+	next := &State[F]{M: append([]F(nil), s.M...), R: s.R}
+	inPre := make(map[petri.Place]bool, len(n.Pre(t)))
+	for _, p := range n.Pre(t) {
+		inPre[p] = true
+	}
+	inPost := make(map[petri.Place]bool, len(n.Post(t)))
+	for _, p := range n.Post(t) {
+		inPost[p] = true
+	}
+	for _, p := range n.Pre(t) {
+		if !inPost[p] {
+			next.M[p] = e.Alg.Diff(next.M[p], en)
+		}
+	}
+	for _, p := range n.Post(t) {
+		if !inPre[p] {
+			next.M[p] = e.Alg.Union(next.M[p], en)
+		}
+	}
+	return next
+}
+
+// MultiFire applies the multiple firing rule (Definition 3.6) for a set T′
+// of transitions that are all multiple enabled. mEn[t] must hold
+// m_enabled(t, s) for each t ∈ T′. The new valid sets are
+//
+//	r′ = ∪_{t∉T′} s_enabled(t,s) ∪ ∪_{t∈T′} m_enabled(t,s)
+//
+// and every place family is conditioned by ∩ r′, which is what prunes
+// "extended conflicts" such as {A,D} in the paper's Figure 7.
+func (e *Engine[F]) MultiFire(s *State[F], tPrime []petri.Trans, mEn map[petri.Trans]F) *State[F] {
+	n := e.Net
+	inT := make(map[petri.Trans]bool, len(tPrime))
+	for _, t := range tPrime {
+		inT[t] = true
+	}
+
+	rNew := e.Alg.Empty()
+	for t := petri.Trans(0); int(t) < n.NumTrans(); t++ {
+		if inT[t] {
+			rNew = e.Alg.Union(rNew, mEn[t])
+		} else {
+			rNew = e.Alg.Union(rNew, e.SEnabled(s, t))
+		}
+	}
+
+	// removed[p] = ∪_{t ∈ T′ ∩ p•} m_enabled(t,s)
+	// added[p]   = ∪_{t ∈ T′ ∩ •p} m_enabled(t,s)
+	next := &State[F]{M: make([]F, n.NumPlaces()), R: rNew}
+	for p := petri.Place(0); int(p) < n.NumPlaces(); p++ {
+		f := s.M[p]
+		for _, t := range n.PostT(p) { // t consumes from p
+			if inT[t] {
+				f = e.Alg.Diff(f, mEn[t])
+			}
+		}
+		for _, t := range n.PreT(p) { // t produces into p
+			if inT[t] {
+				f = e.Alg.Union(f, mEn[t])
+			}
+		}
+		next.M[p] = e.Alg.Intersect(f, rNew)
+	}
+	return next
+}
+
+// DeadSets returns r \ ∪_t s_enabled(t, s): the valid sets (histories) in
+// which no transition is enabled. The state exhibits a deadlock
+// possibility iff this family is non-empty (Section 3.3).
+func (e *Engine[F]) DeadSets(s *State[F]) F {
+	alive := e.Alg.Empty()
+	for t := petri.Trans(0); int(t) < e.Net.NumTrans(); t++ {
+		alive = e.Alg.Union(alive, e.SEnabled(s, t))
+	}
+	return e.Alg.Diff(s.R, alive)
+}
+
+// Mapping implements Definition 3.4: the set of classical safe-net
+// markings represented by the GPN state, one per valid set v ∈ r
+// (markings may coincide). At most limit markings are produced
+// (all if limit <= 0). Mapping of a valid set v is {p | v ∈ m(p)}.
+func (e *Engine[F]) Mapping(s *State[F], limit int) []petri.Marking {
+	sets := e.Alg.Enumerate(s.R, limit)
+	seen := make(map[string]bool)
+	var out []petri.Marking
+	for _, v := range sets {
+		m := e.MarkingOf(s, v)
+		k := m.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// MarkingOf returns the classical marking {p | v ∈ m(p)} selected by a
+// single valid set v.
+func (e *Engine[F]) MarkingOf(s *State[F], v tset.TSet) petri.Marking {
+	m := e.Net.EmptyMarking()
+	for p := petri.Place(0); int(p) < e.Net.NumPlaces(); p++ {
+		if e.Alg.Contains(s.M[p], v) {
+			m.Set(p)
+		}
+	}
+	return m
+}

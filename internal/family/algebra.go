@@ -1,0 +1,69 @@
+package family
+
+import "repro/internal/tset"
+
+// Alg adapts the explicit Family representation to the algebra interface
+// consumed by the analysis engine (internal/core.Algebra). The zero value
+// is unusable; construct with NewAlgebra.
+type Alg struct {
+	n int
+}
+
+// NewAlgebra returns the explicit family algebra over an n-transition
+// universe.
+func NewAlgebra(n int) Alg { return Alg{n: n} }
+
+// Universe returns the transition universe size.
+func (a Alg) Universe() int { return a.n }
+
+// Empty returns the family with no member sets.
+func (a Alg) Empty() *Family { return Empty(a.n) }
+
+// FromSets returns the canonical family holding exactly the given sets.
+func (a Alg) FromSets(sets []tset.TSet) *Family { return Of(a.n, sets...) }
+
+// Union returns x ∪ y.
+func (a Alg) Union(x, y *Family) *Family { return x.Union(y) }
+
+// Intersect returns x ∩ y.
+func (a Alg) Intersect(x, y *Family) *Family { return x.Intersect(y) }
+
+// Diff returns x \ y.
+func (a Alg) Diff(x, y *Family) *Family { return x.Diff(y) }
+
+// OnSet returns {v ∈ x | t ∈ v}.
+func (a Alg) OnSet(x *Family, t int) *Family { return x.OnSet(t) }
+
+// IsEmpty reports whether x has no member sets.
+func (a Alg) IsEmpty(x *Family) bool { return x.IsEmpty() }
+
+// Equal reports whether x and y hold the same sets.
+func (a Alg) Equal(x, y *Family) bool { return x.Equal(y) }
+
+// Contains reports whether s is a member set of x.
+func (a Alg) Contains(x *Family, s tset.TSet) bool { return x.Contains(s) }
+
+// Count returns the number of member sets.
+func (a Alg) Count(x *Family) float64 { return float64(x.Size()) }
+
+// Key returns a map key unique per family value.
+func (a Alg) Key(x *Family) string { return x.Key() }
+
+// Enumerate returns up to limit member sets (all if limit <= 0).
+func (a Alg) Enumerate(x *Family, limit int) []tset.TSet {
+	sets := x.Sets()
+	if limit > 0 && len(sets) > limit {
+		sets = sets[:limit]
+	}
+	out := make([]tset.TSet, len(sets))
+	for i, s := range sets {
+		out[i] = s.Clone()
+	}
+	return out
+}
+
+// MaximalConflictFree returns the family of maximal independent sets of
+// the conflict graph: the initial valid sets r₀.
+func (a Alg) MaximalConflictFree(conflict func(i, j int) bool) *Family {
+	return MaximalConflictFree(a.n, conflict)
+}

@@ -1,0 +1,269 @@
+// Package family implements the explicit representation of families of
+// transition sets — values in 2^(2^T) — which are the marking values and
+// valid-set components of Generalized Petri Net states (Definition 3.1 of
+// the paper).
+//
+// A Family is kept in canonical form: member sets sorted and deduplicated,
+// so that Equal is a linear scan and Key is a unique map key. This explicit
+// representation is the reference semantics; internal/zdd provides an
+// equivalent compressed representation for nets whose valid-set families
+// are exponentially large.
+package family
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/tset"
+)
+
+// Family is an immutable, canonical set of transition sets over a fixed
+// transition universe.
+type Family struct {
+	sets []tset.TSet // sorted by TSet.Compare, unique
+	n    int         // universe size
+}
+
+// Empty returns the empty family ∅ (no member sets) over an n-transition
+// universe. Note that ∅ differs from {∅}, the family holding one empty set.
+func Empty(n int) *Family { return &Family{n: n} }
+
+// Of returns the canonical family containing exactly the given sets.
+// All sets must share the same universe.
+func Of(n int, sets ...tset.TSet) *Family {
+	f := &Family{n: n, sets: make([]tset.TSet, 0, len(sets))}
+	for _, s := range sets {
+		if s.Universe() != n {
+			panic("family: set universe mismatch")
+		}
+		f.sets = append(f.sets, s.Clone())
+	}
+	f.normalize()
+	return f
+}
+
+func (f *Family) normalize() {
+	sort.Slice(f.sets, func(i, j int) bool { return f.sets[i].Compare(f.sets[j]) < 0 })
+	out := f.sets[:0]
+	for i, s := range f.sets {
+		if i == 0 || s.Compare(f.sets[i-1]) != 0 {
+			out = append(out, s)
+		}
+	}
+	f.sets = out
+}
+
+// Universe returns the transition universe size.
+func (f *Family) Universe() int { return f.n }
+
+// Size returns the number of member sets.
+func (f *Family) Size() int { return len(f.sets) }
+
+// IsEmpty reports whether the family has no member sets.
+func (f *Family) IsEmpty() bool { return len(f.sets) == 0 }
+
+// Sets returns the member sets in canonical order. Read-only.
+func (f *Family) Sets() []tset.TSet { return f.sets }
+
+// Contains reports whether s is a member set of f.
+func (f *Family) Contains(s tset.TSet) bool {
+	i := sort.Search(len(f.sets), func(i int) bool { return f.sets[i].Compare(s) >= 0 })
+	return i < len(f.sets) && f.sets[i].Compare(s) == 0
+}
+
+// Equal reports whether f and g contain exactly the same sets.
+func (f *Family) Equal(g *Family) bool {
+	if f.n != g.n || len(f.sets) != len(g.sets) {
+		return false
+	}
+	for i := range f.sets {
+		if f.sets[i].Compare(g.sets[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns f ∪ g.
+func (f *Family) Union(g *Family) *Family {
+	f.sameUniverse(g)
+	out := &Family{n: f.n, sets: make([]tset.TSet, 0, len(f.sets)+len(g.sets))}
+	i, j := 0, 0
+	for i < len(f.sets) && j < len(g.sets) {
+		switch c := f.sets[i].Compare(g.sets[j]); {
+		case c < 0:
+			out.sets = append(out.sets, f.sets[i])
+			i++
+		case c > 0:
+			out.sets = append(out.sets, g.sets[j])
+			j++
+		default:
+			out.sets = append(out.sets, f.sets[i])
+			i++
+			j++
+		}
+	}
+	out.sets = append(out.sets, f.sets[i:]...)
+	out.sets = append(out.sets, g.sets[j:]...)
+	return out
+}
+
+// Intersect returns f ∩ g.
+func (f *Family) Intersect(g *Family) *Family {
+	f.sameUniverse(g)
+	out := &Family{n: f.n}
+	i, j := 0, 0
+	for i < len(f.sets) && j < len(g.sets) {
+		switch c := f.sets[i].Compare(g.sets[j]); {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			out.sets = append(out.sets, f.sets[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Diff returns f \ g.
+func (f *Family) Diff(g *Family) *Family {
+	f.sameUniverse(g)
+	out := &Family{n: f.n}
+	i, j := 0, 0
+	for i < len(f.sets) {
+		if j >= len(g.sets) {
+			out.sets = append(out.sets, f.sets[i:]...)
+			break
+		}
+		switch c := f.sets[i].Compare(g.sets[j]); {
+		case c < 0:
+			out.sets = append(out.sets, f.sets[i])
+			i++
+		case c > 0:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// OnSet returns {v ∈ f | t ∈ v}: the member sets containing transition t.
+// This is the core filter of the multiple enabling rule (Definition 3.5).
+func (f *Family) OnSet(t int) *Family {
+	out := &Family{n: f.n}
+	for _, s := range f.sets {
+		if s.Has(t) {
+			out.sets = append(out.sets, s)
+		}
+	}
+	return out
+}
+
+// Pick returns an arbitrary member set (the canonically smallest), or
+// false if the family is empty.
+func (f *Family) Pick() (tset.TSet, bool) {
+	if len(f.sets) == 0 {
+		return tset.TSet{}, false
+	}
+	return f.sets[0], true
+}
+
+func (f *Family) sameUniverse(g *Family) {
+	if f.n != g.n {
+		panic("family: universe mismatch")
+	}
+}
+
+// Key returns a string key unique per family, suitable for hashing GPN
+// states.
+func (f *Family) Key() string {
+	var b strings.Builder
+	for _, s := range f.sets {
+		b.WriteString(s.Key())
+		b.WriteByte(0xFF)
+	}
+	return b.String()
+}
+
+// String renders the family as {{..},{..}} using transition indices.
+func (f *Family) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, s := range f.sets {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// StringNamed renders the family using the supplied transition name func.
+func (f *Family) StringNamed(name func(int) string) string {
+	parts := make([]string, len(f.sets))
+	for i, s := range f.sets {
+		parts[i] = s.StringNamed(name)
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// MaximalConflictFree returns the family of all maximal independent sets of
+// the conflict graph over an n-transition universe: the initial valid sets
+// r₀ of the generalized analysis (Section 3.3; the paper's worked examples
+// use the maximal conflict-free sets, e.g. Figure 7). The graph is given by
+// its adjacency predicate. The enumeration is Bron–Kerbosch with pivoting;
+// it is exponential in the worst case, which is precisely why the ZDD
+// algebra exists — this explicit version is the small-net reference.
+func MaximalConflictFree(n int, conflict func(i, j int) bool) *Family {
+	adj := make([]tset.TSet, n)
+	for i := 0; i < n; i++ {
+		adj[i] = tset.New(n)
+		for j := 0; j < n; j++ {
+			if i != j && conflict(i, j) {
+				adj[i].Add(j)
+			}
+		}
+	}
+	var out []tset.TSet
+	// Maximal independent sets of G are maximal cliques of the complement;
+	// we run Bron–Kerbosch directly on "non-adjacency".
+	nonAdj := make([]tset.TSet, n)
+	for i := 0; i < n; i++ {
+		nonAdj[i] = tset.Full(n).Diff(adj[i])
+		nonAdj[i].Remove(i)
+	}
+	var bk func(r, p, x tset.TSet)
+	bk = func(r, p, x tset.TSet) {
+		if p.IsEmpty() && x.IsEmpty() {
+			out = append(out, r.Clone())
+			return
+		}
+		// Pivot: vertex in p ∪ x maximizing |p ∩ nonAdj(u)|.
+		pivot, best := -1, -1
+		choose := func(u int) {
+			c := p.Intersect(nonAdj[u]).Len()
+			if c > best {
+				best, pivot = c, u
+			}
+		}
+		p.ForEach(choose)
+		x.ForEach(choose)
+		cand := p.Diff(nonAdj[pivot])
+		cand.ForEach(func(v int) {
+			r2 := r.Clone()
+			r2.Add(v)
+			bk(r2, p.Intersect(nonAdj[v]), x.Intersect(nonAdj[v]))
+			p.Remove(v)
+			x.Add(v)
+		})
+	}
+	bk(tset.New(n), tset.Full(n), tset.New(n))
+	return Of(n, out...)
+}

@@ -1,0 +1,216 @@
+package family
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tset"
+)
+
+func sets(n int, members ...[]int) []tset.TSet {
+	out := make([]tset.TSet, len(members))
+	for i, ms := range members {
+		out[i] = tset.Of(n, ms...)
+	}
+	return out
+}
+
+func TestCanonicalForm(t *testing.T) {
+	n := 6
+	f1 := Of(n, sets(n, []int{1, 2}, []int{0}, []int{1, 2})...)
+	f2 := Of(n, sets(n, []int{0}, []int{1, 2})...)
+	if !f1.Equal(f2) {
+		t.Error("duplicates not collapsed")
+	}
+	if f1.Size() != 2 {
+		t.Errorf("size=%d want 2", f1.Size())
+	}
+	if f1.Key() != f2.Key() {
+		t.Error("equal families must share keys")
+	}
+}
+
+func TestEmptyVsUnit(t *testing.T) {
+	n := 4
+	empty := Empty(n)
+	unit := Of(n, tset.New(n)) // {∅}
+	if empty.Equal(unit) {
+		t.Error("∅ and {∅} must differ")
+	}
+	if empty.Size() != 0 || unit.Size() != 1 {
+		t.Error("sizes wrong")
+	}
+	if !unit.Contains(tset.New(n)) {
+		t.Error("{∅} must contain ∅")
+	}
+}
+
+func TestOps(t *testing.T) {
+	n := 6
+	a := Of(n, sets(n, []int{0}, []int{1}, []int{0, 1})...)
+	b := Of(n, sets(n, []int{1}, []int{2})...)
+	if got := a.Union(b); got.Size() != 4 {
+		t.Errorf("union size=%d", got.Size())
+	}
+	if got := a.Intersect(b); got.Size() != 1 || !got.Contains(tset.Of(n, 1)) {
+		t.Errorf("intersect=%v", got)
+	}
+	if got := a.Diff(b); got.Size() != 2 || got.Contains(tset.Of(n, 1)) {
+		t.Errorf("diff=%v", got)
+	}
+	if got := a.OnSet(1); got.Size() != 2 {
+		t.Errorf("onset=%v", got)
+	}
+	if v, ok := a.Pick(); !ok || !a.Contains(v) {
+		t.Error("pick must return a member")
+	}
+	if _, ok := Empty(n).Pick(); ok {
+		t.Error("pick on empty family")
+	}
+}
+
+func randFamily(rng *rand.Rand, n int) *Family {
+	count := rng.Intn(10)
+	ss := make([]tset.TSet, count)
+	for i := range ss {
+		s := tset.New(n)
+		for v := 0; v < n; v++ {
+			if rng.Intn(3) == 0 {
+				s.Add(v)
+			}
+		}
+		ss[i] = s
+	}
+	return Of(n, ss...)
+}
+
+// TestQuickLaws property-checks the family lattice laws.
+func TestQuickLaws(t *testing.T) {
+	const n = 8
+	gen := func(seed int64) *Family {
+		return randFamily(rand.New(rand.NewSource(seed)), n)
+	}
+	laws := map[string]func(x, y, z int64) bool{
+		"absorb": func(x, y, _ int64) bool {
+			a, b := gen(x), gen(y)
+			return a.Union(a.Intersect(b)).Equal(a)
+		},
+		"distribute": func(x, y, z int64) bool {
+			a, b, c := gen(x), gen(y), gen(z)
+			return a.Intersect(b.Union(c)).Equal(a.Intersect(b).Union(a.Intersect(c)))
+		},
+		"diff-union-partition": func(x, y, _ int64) bool {
+			a, b := gen(x), gen(y)
+			return a.Diff(b).Union(a.Intersect(b)).Equal(a)
+		},
+		"onset-subset": func(x, _, _ int64) bool {
+			a := gen(x)
+			on := a.OnSet(3)
+			for _, s := range on.Sets() {
+				if !s.Has(3) {
+					return false
+				}
+			}
+			return on.Union(a).Equal(a)
+		},
+	}
+	for name, law := range laws {
+		if err := quick.Check(law, &quick.Config{MaxCount: 80}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestMaximalConflictFree checks r₀ construction on known graphs.
+func TestMaximalConflictFree(t *testing.T) {
+	// Two disjoint edges (the Figure 7 conflict structure): 4 MIS.
+	conflict := func(i, j int) bool { return i/2 == j/2 && i != j }
+	f := MaximalConflictFree(4, conflict)
+	if f.Size() != 4 {
+		t.Fatalf("2 conflict pairs: %d MIS, want 4", f.Size())
+	}
+	// Triangle: 3 MIS (each single vertex).
+	tri := MaximalConflictFree(3, func(i, j int) bool { return i != j })
+	if tri.Size() != 3 {
+		t.Fatalf("triangle: %d MIS, want 3", tri.Size())
+	}
+	for _, s := range tri.Sets() {
+		if s.Len() != 1 {
+			t.Errorf("triangle MIS %v not a singleton", s)
+		}
+	}
+	// Empty graph: one MIS, the full set.
+	none := MaximalConflictFree(5, func(i, j int) bool { return false })
+	if none.Size() != 1 || !none.Contains(tset.Full(5)) {
+		t.Errorf("empty graph MIS wrong: %v", none)
+	}
+	// Path a-b-c: MIS {a,c}, {b}.
+	path := MaximalConflictFree(3, func(i, j int) bool {
+		d := i - j
+		return d == 1 || d == -1
+	})
+	if path.Size() != 2 || !path.Contains(tset.Of(3, 0, 2)) || !path.Contains(tset.Of(3, 1)) {
+		t.Errorf("path MIS wrong: %v", path)
+	}
+}
+
+// TestMISProperties property-checks that every returned set is independent
+// and maximal on random graphs.
+func TestMISProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(8)
+		adj := make([][]bool, n)
+		for i := range adj {
+			adj[i] = make([]bool, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					adj[i][j], adj[j][i] = true, true
+				}
+			}
+		}
+		conflict := func(i, j int) bool { return adj[i][j] }
+		f := MaximalConflictFree(n, conflict)
+		if f.Size() == 0 {
+			t.Fatalf("trial %d: no MIS at all", trial)
+		}
+		for _, s := range f.Sets() {
+			ms := s.Members()
+			for a := 0; a < len(ms); a++ {
+				for b := a + 1; b < len(ms); b++ {
+					if adj[ms[a]][ms[b]] {
+						t.Fatalf("trial %d: %v not independent", trial, s)
+					}
+				}
+			}
+			// Maximality: every vertex outside has a neighbour inside.
+			for v := 0; v < n; v++ {
+				if s.Has(v) {
+					continue
+				}
+				dominated := false
+				for _, u := range ms {
+					if adj[v][u] {
+						dominated = true
+						break
+					}
+				}
+				if !dominated {
+					t.Fatalf("trial %d: %v not maximal (can add %d)", trial, s, v)
+				}
+			}
+		}
+	}
+}
+
+func TestStringNamed(t *testing.T) {
+	n := 3
+	f := Of(n, sets(n, []int{0, 2}, []int{1})...)
+	got := f.StringNamed(func(i int) string { return string(rune('A' + i)) })
+	if got != "{{A,C},{B}}" {
+		t.Errorf("StringNamed=%q", got)
+	}
+}

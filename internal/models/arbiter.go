@@ -1,0 +1,86 @@
+package models
+
+import "fmt"
+
+import "repro/internal/petri"
+
+// ArbiterTree builds the ASAT(n) asynchronous arbiter tree for n users,
+// n a power of two. A balanced binary tree of two-input arbiter cells
+// serializes the users' requests to a single shared resource:
+//
+//   - a user raises a request (pend) and, once the grant token reaches its
+//     leaf, holds the resource, then releases it;
+//   - an arbiter cell forwards one pending child request upward at a time
+//     (the left/right choice is the cell's conflict), routes the grant
+//     token down to the remembered side, and propagates releases back up;
+//   - at the root, the environment owns the single resource token.
+//
+// All users request concurrently, so the full state space grows
+// exponentially with n while the conflicts stay local to the cells.
+func ArbiterTree(n int) *petri.Net {
+	if n < 2 || n&(n-1) != 0 {
+		panic("models: ArbiterTree needs a power-of-two user count >= 2")
+	}
+	b := petri.NewBuilder(fmt.Sprintf("ASAT(%d)", n))
+
+	// Nodes are indexed heap-style: node 1 is the root cell, node k has
+	// children 2k and 2k+1; nodes n..2n-1 are the user leaves.
+	type port struct {
+		pend petri.Place // node has a request pending toward its parent
+		tok  petri.Place // grant token delivered to the node
+		ret  petri.Place // node's release travelling toward its parent
+	}
+	ports := make([]port, 2*n)
+	for k := 1; k < 2*n; k++ {
+		ports[k] = port{
+			pend: b.Place(fmt.Sprintf("pend%d", k)),
+			tok:  b.Place(fmt.Sprintf("tok%d", k)),
+			ret:  b.Place(fmt.Sprintf("ret%d", k)),
+		}
+	}
+
+	// Leaves: users n..2n-1.
+	for k := n; k < 2*n; k++ {
+		idle := b.Place(fmt.Sprintf("idle%d", k))
+		busy := b.Place(fmt.Sprintf("busy%d", k))
+		b.Mark(idle)
+		b.TransArcs(fmt.Sprintf("request%d", k),
+			[]petri.Place{idle}, []petri.Place{ports[k].pend})
+		b.TransArcs(fmt.Sprintf("acquire%d", k),
+			[]petri.Place{ports[k].tok}, []petri.Place{busy})
+		b.TransArcs(fmt.Sprintf("release%d", k),
+			[]petri.Place{busy}, []petri.Place{idle, ports[k].ret})
+	}
+
+	// Internal cells: nodes 1..n-1.
+	for k := 1; k < n; k++ {
+		quiet := b.Place(fmt.Sprintf("quiet%d", k))
+		dirA := b.Place(fmt.Sprintf("dirA%d", k))
+		dirB := b.Place(fmt.Sprintf("dirB%d", k))
+		b.Mark(quiet)
+		a, c := ports[2*k], ports[2*k+1]
+		self := ports[k]
+		b.TransArcs(fmt.Sprintf("fwdA%d", k),
+			[]petri.Place{a.pend, quiet}, []petri.Place{self.pend, dirA})
+		b.TransArcs(fmt.Sprintf("fwdB%d", k),
+			[]petri.Place{c.pend, quiet}, []petri.Place{self.pend, dirB})
+		b.TransArcs(fmt.Sprintf("downA%d", k),
+			[]petri.Place{self.tok, dirA}, []petri.Place{a.tok})
+		b.TransArcs(fmt.Sprintf("downB%d", k),
+			[]petri.Place{self.tok, dirB}, []petri.Place{c.tok})
+		b.TransArcs(fmt.Sprintf("retA%d", k),
+			[]petri.Place{a.ret}, []petri.Place{self.ret, quiet})
+		b.TransArcs(fmt.Sprintf("retB%d", k),
+			[]petri.Place{c.ret}, []petri.Place{self.ret, quiet})
+	}
+
+	// Environment at the root: the single shared resource.
+	lock := b.Place("lock")
+	b.Mark(lock)
+	b.TransArcs("envGrant",
+		[]petri.Place{ports[1].pend, lock}, []petri.Place{ports[1].tok})
+	b.TransArcs("envReturn",
+		[]petri.Place{ports[1].ret}, []petri.Place{lock})
+
+	return b.MustBuild()
+}

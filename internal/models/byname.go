@@ -1,0 +1,58 @@
+package models
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/petri"
+)
+
+// ByName builds a benchmark model from its family name and size, e.g.
+// ("nsdp", 4). Fixed-size figure nets ignore the size. Family names are
+// case-insensitive.
+func ByName(name string, size int) (*petri.Net, error) {
+	switch strings.ToLower(name) {
+	case "nsdp":
+		if size < 2 {
+			return nil, fmt.Errorf("models: nsdp needs size >= 2")
+		}
+		return NSDP(size), nil
+	case "asat":
+		if size < 2 || size&(size-1) != 0 {
+			return nil, fmt.Errorf("models: asat needs a power-of-two size >= 2")
+		}
+		return ArbiterTree(size), nil
+	case "over":
+		if size < 2 {
+			return nil, fmt.Errorf("models: over needs size >= 2")
+		}
+		return Overtake(size), nil
+	case "rw":
+		if size < 1 {
+			return nil, fmt.Errorf("models: rw needs size >= 1")
+		}
+		return ReadersWriters(size), nil
+	case "fig1":
+		if size < 1 {
+			return nil, fmt.Errorf("models: fig1 needs size >= 1")
+		}
+		return Fig1(size), nil
+	case "fig2":
+		if size < 1 {
+			return nil, fmt.Errorf("models: fig2 needs size >= 1")
+		}
+		return Fig2(size), nil
+	case "fig3":
+		return Fig3(), nil
+	case "fig5":
+		return Fig5(), nil
+	case "fig7":
+		return Fig7(), nil
+	}
+	return nil, fmt.Errorf("models: unknown family %q (want nsdp, asat, over, rw, fig1, fig2, fig3, fig5 or fig7)", name)
+}
+
+// Families lists the model family names ByName accepts.
+func Families() []string {
+	return []string{"nsdp", "asat", "over", "rw", "fig1", "fig2", "fig3", "fig5", "fig7"}
+}

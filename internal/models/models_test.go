@@ -1,0 +1,175 @@
+package models
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/petri"
+	"repro/internal/reach"
+)
+
+// TestNSDPStateCounts verifies the reconstruction against the paper's
+// Table 1 "States" column: the full reachable state space of NSDP(n) must
+// be exactly 18, 322, 5778, 103682 for n = 2, 4, 6, 8 (Lucas numbers L_6n).
+func TestNSDPStateCounts(t *testing.T) {
+	want := map[int]int{2: 18, 4: 322, 6: 5778, 8: 103682}
+	for n, exp := range want {
+		got, err := reach.CountStates(NSDP(n))
+		if err != nil {
+			t.Fatalf("NSDP(%d): %v", n, err)
+		}
+		if got != exp {
+			t.Errorf("NSDP(%d): got %d states, paper reports %d", n, got, exp)
+		}
+	}
+}
+
+func TestNSDPDeadlocks(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		res, err := reach.Explore(NSDP(n), reach.Options{})
+		if err != nil {
+			t.Fatalf("NSDP(%d): %v", n, err)
+		}
+		// Exactly two deadlocks: all philosophers holding their left fork,
+		// or all holding their right fork.
+		if !res.Deadlock {
+			t.Fatalf("NSDP(%d): expected deadlock", n)
+		}
+		if len(res.Deadlocks) != 2 {
+			t.Errorf("NSDP(%d): got %d deadlock markings, want 2", n, len(res.Deadlocks))
+		}
+		net := NSDP(n)
+		for _, m := range res.Deadlocks {
+			for i := 0; i < n; i++ {
+				hl, _ := net.PlaceByName(fmt.Sprintf("hasL%d", i))
+				hr, _ := net.PlaceByName(fmt.Sprintf("hasR%d", i))
+				if !m.Has(hl) && !m.Has(hr) {
+					t.Errorf("NSDP(%d): deadlock %s has philosopher %d not holding a fork",
+						n, m.String(net), i)
+				}
+			}
+		}
+	}
+}
+
+func TestFig1Counts(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		got, err := reach.CountStates(Fig1(n))
+		if err != nil {
+			t.Fatalf("Fig1(%d): %v", n, err)
+		}
+		if want := 1 << n; got != want {
+			t.Errorf("Fig1(%d): got %d states, want 2^n = %d", n, got, want)
+		}
+	}
+}
+
+func TestFig2Counts(t *testing.T) {
+	pow3 := 1
+	for n := 1; n <= 7; n++ {
+		pow3 *= 3
+		got, err := reach.CountStates(Fig2(n))
+		if err != nil {
+			t.Fatalf("Fig2(%d): %v", n, err)
+		}
+		if got != pow3 {
+			t.Errorf("Fig2(%d): got %d states, want 3^n = %d", n, got, pow3)
+		}
+	}
+}
+
+func TestFig3Structure(t *testing.T) {
+	net := Fig3()
+	res, err := reach.Explore(net, reach.Options{StoreGraph: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reachable: {p1}, then A -> {p2,p3} -> C -> {p5}, or B -> {p4}.
+	if res.States != 4 {
+		t.Errorf("Fig3: got %d states, want 4", res.States)
+	}
+	// D never fires in any interleaving.
+	d, _ := net.TransByName("D")
+	if res.Graph.QuasiLive()[d] {
+		t.Error("Fig3: transition D should never be able to fire")
+	}
+	if !res.Deadlock {
+		t.Error("Fig3: terminal markings should be reported as deadlocks")
+	}
+}
+
+func TestFig7Explicit(t *testing.T) {
+	net := Fig7()
+	res, err := reach.Explore(net, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {p0,p3} -A-> {p1,p3} -C-> {p5}; -B-> {p2,p3} -D-> {p5}: 4 markings.
+	if res.States != 4 {
+		t.Errorf("Fig7: got %d states, want 4", res.States)
+	}
+}
+
+func TestRWDeadlockFree(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 6} {
+		res, err := reach.Explore(ReadersWriters(n), reach.Options{})
+		if err != nil {
+			t.Fatalf("RW(%d): %v", n, err)
+		}
+		if res.Deadlock {
+			t.Errorf("RW(%d): unexpected deadlock %s", n, res.Deadlocks[0].String(ReadersWriters(n)))
+		}
+		// 2^n reader combinations with writer idle, plus the writing state.
+		if want := 1<<n + 1; res.States != want {
+			t.Errorf("RW(%d): got %d states, want %d", n, res.States, want)
+		}
+	}
+}
+
+func TestArbiterTreeDeadlockFree(t *testing.T) {
+	for _, n := range []int{2, 4} {
+		net := ArbiterTree(n)
+		res, err := reach.Explore(net, reach.Options{StoreGraph: true})
+		if err != nil {
+			t.Fatalf("ASAT(%d): %v", n, err)
+		}
+		if res.Deadlock {
+			t.Errorf("ASAT(%d): unexpected deadlock", n)
+		}
+		// Every transition should be live: the arbiter never starves a user.
+		live := res.Graph.Live()
+		for tr, ok := range live {
+			if !ok {
+				t.Errorf("ASAT(%d): transition %s is not live", n, net.TransName(petri.Trans(tr)))
+			}
+		}
+		t.Logf("ASAT(%d): %d states", n, res.States)
+	}
+}
+
+func TestOvertakeDeadlockFree(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		res, err := reach.Explore(Overtake(n), reach.Options{})
+		if err != nil {
+			t.Fatalf("OVER(%d): %v", n, err)
+		}
+		if res.Deadlock {
+			t.Errorf("OVER(%d): unexpected deadlock", n)
+		}
+		t.Logf("OVER(%d): %d states", n, res.States)
+	}
+}
+
+// TestModelsAreSafe checks that every generated net is 1-bounded: Explore
+// returns ErrUnsafe if any firing would double-mark a place.
+func TestModelsAreSafe(t *testing.T) {
+	nets := []*petri.Net{
+		NSDP(3), Fig1(4), Fig2(3), Fig3(), Fig5(), Fig7(),
+		ReadersWriters(4), ArbiterTree(4), Overtake(3),
+	}
+	for _, net := range nets {
+		if _, err := reach.Explore(net, reach.Options{}); err != nil {
+			t.Errorf("%s: %v", net.Name(), err)
+		}
+	}
+}

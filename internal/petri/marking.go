@@ -1,0 +1,138 @@
+package petri
+
+import (
+	"sort"
+	"strings"
+)
+
+// Marking is the token configuration of a safe net: a bitset over places.
+// For safe nets a marking m : P → ℕ never exceeds one token per place, so
+// the marking is exactly the set {p | m(p) = 1}.
+type Marking []uint64
+
+// EmptyMarking returns a marking with no tokens, sized for the net.
+func (n *Net) EmptyMarking() Marking { return make(Marking, n.markWords) }
+
+// InitialMarking returns a copy of m₀.
+func (n *Net) InitialMarking() Marking { return n.initMark.Clone() }
+
+// Has reports whether place p is marked.
+func (m Marking) Has(p Place) bool { return m[p/64]&(1<<uint(p%64)) != 0 }
+
+// Set marks place p.
+func (m Marking) Set(p Place) { m[p/64] |= 1 << uint(p%64) }
+
+// Clear unmarks place p.
+func (m Marking) Clear(p Place) { m[p/64] &^= 1 << uint(p%64) }
+
+// Clone returns an independent copy of m.
+func (m Marking) Clone() Marking {
+	out := make(Marking, len(m))
+	copy(out, m)
+	return out
+}
+
+// Equal reports whether two markings of the same net are identical.
+func (m Marking) Equal(o Marking) bool {
+	if len(m) != len(o) {
+		return false
+	}
+	for i := range m {
+		if m[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a map key unique per marking of a given net.
+func (m Marking) Key() string {
+	var b strings.Builder
+	b.Grow(len(m) * 8)
+	for _, w := range m {
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(w >> (8 * uint(i)))
+		}
+		b.Write(buf[:])
+	}
+	return b.String()
+}
+
+// Places returns the marked places in increasing order.
+func (m Marking) Places() []Place {
+	var out []Place
+	for wi, w := range m {
+		for b := 0; b < 64; b++ {
+			if w&(1<<uint(b)) != 0 {
+				out = append(out, Place(wi*64+b))
+			}
+		}
+	}
+	return out
+}
+
+// String renders the marking using the net's place names, sorted.
+func (m Marking) String(n *Net) string {
+	var names []string
+	for _, p := range m.Places() {
+		names = append(names, n.PlaceName(p))
+	}
+	sort.Strings(names)
+	return "{" + strings.Join(names, ",") + "}"
+}
+
+// Enabled implements the classical enabling rule (Definition 2.3):
+// t is enabled iff every input place carries a token.
+func (n *Net) Enabled(m Marking, t Trans) bool {
+	for _, p := range n.pre[t] {
+		if !m.Has(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// EnabledTrans returns all transitions enabled in m, in increasing order.
+func (n *Net) EnabledTrans(m Marking) []Trans {
+	var out []Trans
+	for t := Trans(0); int(t) < n.NumTrans(); t++ {
+		if n.Enabled(m, t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// IsDeadlock reports whether no transition is enabled in m.
+func (n *Net) IsDeadlock(m Marking) bool {
+	for t := Trans(0); int(t) < n.NumTrans(); t++ {
+		if n.Enabled(m, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Fire implements the classical firing rule (Definition 2.4) for safe nets:
+// it removes the token from each p ∈ •t \ t•, and adds a token to each
+// p ∈ t• \ •t. It returns the successor marking and whether the firing kept
+// the net safe (i.e. no output place outside •t was already marked).
+// Fire panics if t is not enabled; callers check Enabled first.
+func (n *Net) Fire(m Marking, t Trans) (next Marking, safe bool) {
+	if !n.Enabled(m, t) {
+		panic("petri: firing disabled transition " + n.transNames[t])
+	}
+	next = m.Clone()
+	for _, p := range n.pre[t] {
+		next.Clear(p)
+	}
+	safe = true
+	for _, p := range n.post[t] {
+		if next.Has(p) {
+			safe = false
+		}
+		next.Set(p)
+	}
+	return next, safe
+}

@@ -1,0 +1,396 @@
+// Package petri implements safe (1-bounded) place/transition Petri nets:
+// the structure ⟨P, T, F, m₀⟩ of Definition 2.1 of the paper, the classical
+// enabling and firing rules (Definitions 2.3 and 2.4), and the structural
+// conflict relation and maximal conflict sets (Definition 2.2) on which the
+// generalized partial-order analysis is built.
+//
+// Nets are constructed with a Builder and are immutable afterwards, so a
+// *Net may be shared freely between concurrent analyses.
+package petri
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Place identifies a place of a net by its dense index.
+type Place int32
+
+// Trans identifies a transition of a net by its dense index.
+type Trans int32
+
+// Net is an immutable safe Petri net ⟨P, T, F, m₀⟩.
+type Net struct {
+	name string
+
+	placeNames []string
+	transNames []string
+
+	pre  [][]Place // pre[t]:  •t, sorted
+	post [][]Place // post[t]: t•, sorted
+
+	preT  [][]Trans // preT[p]:  •p (transitions producing into p), sorted
+	postT [][]Trans // postT[p]: p• (transitions consuming from p), sorted
+
+	initial []Place // initially marked places, sorted
+
+	clusters   [][]Trans // connected components of the conflict graph
+	clusterOf  []int     // transition -> cluster index
+	markWords  int       // words per Marking
+	selfLoop   []bool    // selfLoop[t]: •t ∩ t• ≠ ∅
+	initMark   Marking
+	conflictTo []map[Trans]bool // adjacency of the conflict graph
+}
+
+// Name returns the net's name.
+func (n *Net) Name() string { return n.name }
+
+// NumPlaces returns |P|.
+func (n *Net) NumPlaces() int { return len(n.placeNames) }
+
+// NumTrans returns |T|.
+func (n *Net) NumTrans() int { return len(n.transNames) }
+
+// PlaceName returns the name of p.
+func (n *Net) PlaceName(p Place) string { return n.placeNames[p] }
+
+// TransName returns the name of t.
+func (n *Net) TransName(t Trans) string { return n.transNames[t] }
+
+// Pre returns •t, the input places of t. The caller must not modify it.
+func (n *Net) Pre(t Trans) []Place { return n.pre[t] }
+
+// Post returns t•, the output places of t. The caller must not modify it.
+func (n *Net) Post(t Trans) []Place { return n.post[t] }
+
+// PreT returns •p, the transitions with an arc into p. Read-only.
+func (n *Net) PreT(p Place) []Trans { return n.preT[p] }
+
+// PostT returns p•, the transitions consuming from p. Read-only.
+func (n *Net) PostT(p Place) []Trans { return n.postT[p] }
+
+// InitialPlaces returns the initially marked places. Read-only.
+func (n *Net) InitialPlaces() []Place { return n.initial }
+
+// PlaceByName returns the place with the given name.
+func (n *Net) PlaceByName(name string) (Place, bool) {
+	for i, pn := range n.placeNames {
+		if pn == name {
+			return Place(i), true
+		}
+	}
+	return -1, false
+}
+
+// TransByName returns the transition with the given name.
+func (n *Net) TransByName(name string) (Trans, bool) {
+	for i, tn := range n.transNames {
+		if tn == name {
+			return Trans(i), true
+		}
+	}
+	return -1, false
+}
+
+// Conflict reports whether t and u share an input place (Definition 2.2).
+// A transition is not considered in conflict with itself.
+func (n *Net) Conflict(t, u Trans) bool {
+	if t == u {
+		return false
+	}
+	return n.conflictTo[t][u]
+}
+
+// ConflictSet returns the transitions in structural conflict with t,
+// excluding t itself, in increasing order.
+func (n *Net) ConflictSet(t Trans) []Trans {
+	out := make([]Trans, 0, len(n.conflictTo[t]))
+	for u := range n.conflictTo[t] {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clusters returns the maximal conflict sets of the net: the connected
+// components of the conflict graph, each sorted, components ordered by
+// their smallest member. Conflict-free transitions form singleton clusters.
+func (n *Net) Clusters() [][]Trans { return n.clusters }
+
+// ClusterOf returns the index into Clusters() of the maximal conflict set
+// containing t.
+func (n *Net) ClusterOf(t Trans) int { return n.clusterOf[t] }
+
+// Builder accumulates places, transitions, arcs and the initial marking,
+// then produces an immutable Net. Errors (duplicate names, duplicate arcs,
+// dangling references) are accumulated and reported by Build.
+type Builder struct {
+	name    string
+	places  []string
+	trans   []string
+	pre     [][]Place
+	post    [][]Place
+	initial map[Place]bool
+	pIndex  map[string]Place
+	tIndex  map[string]Trans
+	errs    []error
+}
+
+// NewBuilder returns a Builder for a net with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:    name,
+		initial: make(map[Place]bool),
+		pIndex:  make(map[string]Place),
+		tIndex:  make(map[string]Trans),
+	}
+}
+
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+// Place adds a place with the given name and returns its identifier.
+func (b *Builder) Place(name string) Place {
+	if _, dup := b.pIndex[name]; dup {
+		b.errf("petri: duplicate place name %q", name)
+	}
+	p := Place(len(b.places))
+	b.places = append(b.places, name)
+	b.pIndex[name] = p
+	return p
+}
+
+// Places adds one place per name and returns their identifiers in order.
+func (b *Builder) Places(names ...string) []Place {
+	out := make([]Place, len(names))
+	for i, nm := range names {
+		out[i] = b.Place(nm)
+	}
+	return out
+}
+
+// Trans adds a transition with the given name and returns its identifier.
+func (b *Builder) Trans(name string) Trans {
+	if _, dup := b.tIndex[name]; dup {
+		b.errf("petri: duplicate transition name %q", name)
+	}
+	t := Trans(len(b.trans))
+	b.trans = append(b.trans, name)
+	b.pre = append(b.pre, nil)
+	b.post = append(b.post, nil)
+	b.tIndex[name] = t
+	return t
+}
+
+// In adds arcs from each place to the transition (p ∈ •t).
+func (b *Builder) In(t Trans, ps ...Place) {
+	if int(t) >= len(b.trans) || t < 0 {
+		b.errf("petri: In: unknown transition %d", t)
+		return
+	}
+	for _, p := range ps {
+		if int(p) >= len(b.places) || p < 0 {
+			b.errf("petri: In: unknown place %d", p)
+			continue
+		}
+		if containsPlace(b.pre[t], p) {
+			b.errf("petri: duplicate arc %s -> %s", b.places[p], b.trans[t])
+			continue
+		}
+		b.pre[t] = append(b.pre[t], p)
+	}
+}
+
+// Out adds arcs from the transition to each place (p ∈ t•).
+func (b *Builder) Out(t Trans, ps ...Place) {
+	if int(t) >= len(b.trans) || t < 0 {
+		b.errf("petri: Out: unknown transition %d", t)
+		return
+	}
+	for _, p := range ps {
+		if int(p) >= len(b.places) || p < 0 {
+			b.errf("petri: Out: unknown place %d", p)
+			continue
+		}
+		if containsPlace(b.post[t], p) {
+			b.errf("petri: duplicate arc %s -> %s", b.trans[t], b.places[p])
+			continue
+		}
+		b.post[t] = append(b.post[t], p)
+	}
+}
+
+// TransArcs adds a transition together with its input and output arcs and
+// returns its identifier. It is the common idiom for model generators.
+func (b *Builder) TransArcs(name string, in []Place, out []Place) Trans {
+	t := b.Trans(name)
+	b.In(t, in...)
+	b.Out(t, out...)
+	return t
+}
+
+// Mark puts the initial token on each given place.
+func (b *Builder) Mark(ps ...Place) {
+	for _, p := range ps {
+		if int(p) >= len(b.places) || p < 0 {
+			b.errf("petri: Mark: unknown place %d", p)
+			continue
+		}
+		if b.initial[p] {
+			b.errf("petri: place %s marked twice", b.places[p])
+			continue
+		}
+		b.initial[p] = true
+	}
+}
+
+func containsPlace(ps []Place, p Place) bool {
+	for _, q := range ps {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Build finalizes the net. It returns an error if any construction step was
+// invalid or if a transition has an empty preset (such a transition would
+// be unboundedly enabled, which contradicts the safe-net assumption).
+func (b *Builder) Build() (*Net, error) {
+	for t, pre := range b.pre {
+		if len(pre) == 0 {
+			b.errf("petri: transition %s has no input places", b.trans[t])
+		}
+	}
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("petri: building %q: %w", b.name, joinErrors(b.errs))
+	}
+
+	n := &Net{
+		name:       b.name,
+		placeNames: append([]string(nil), b.places...),
+		transNames: append([]string(nil), b.trans...),
+		pre:        make([][]Place, len(b.trans)),
+		post:       make([][]Place, len(b.trans)),
+		preT:       make([][]Trans, len(b.places)),
+		postT:      make([][]Trans, len(b.places)),
+	}
+	for t := range b.trans {
+		n.pre[t] = sortedPlaces(b.pre[t])
+		n.post[t] = sortedPlaces(b.post[t])
+		for _, p := range n.pre[t] {
+			n.postT[p] = append(n.postT[p], Trans(t))
+		}
+		for _, p := range n.post[t] {
+			n.preT[p] = append(n.preT[p], Trans(t))
+		}
+	}
+	for p := range b.places {
+		if b.initial[Place(p)] {
+			n.initial = append(n.initial, Place(p))
+		}
+	}
+	n.markWords = (len(b.places) + 63) / 64
+	n.initMark = n.EmptyMarking()
+	for _, p := range n.initial {
+		n.initMark.Set(p)
+	}
+	n.selfLoop = make([]bool, len(b.trans))
+	for t := range b.trans {
+		for _, p := range n.pre[t] {
+			if containsPlace(n.post[t], p) {
+				n.selfLoop[t] = true
+				break
+			}
+		}
+	}
+	n.buildConflicts()
+	return n, nil
+}
+
+// MustBuild is Build that panics on error; for tests and model generators
+// whose construction is statically correct.
+func (b *Builder) MustBuild() *Net {
+	n, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func sortedPlaces(ps []Place) []Place {
+	out := append([]Place(nil), ps...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func joinErrors(errs []error) error {
+	if len(errs) == 1 {
+		return errs[0]
+	}
+	msg := errs[0].Error()
+	for _, e := range errs[1:] {
+		msg += "; " + e.Error()
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// buildConflicts computes the conflict adjacency and the maximal conflict
+// sets (connected components of the conflict graph).
+func (n *Net) buildConflicts() {
+	nt := n.NumTrans()
+	n.conflictTo = make([]map[Trans]bool, nt)
+	for t := 0; t < nt; t++ {
+		n.conflictTo[t] = make(map[Trans]bool)
+	}
+	for p := 0; p < n.NumPlaces(); p++ {
+		out := n.postT[Place(p)]
+		for i := 0; i < len(out); i++ {
+			for j := i + 1; j < len(out); j++ {
+				n.conflictTo[out[i]][out[j]] = true
+				n.conflictTo[out[j]][out[i]] = true
+			}
+		}
+	}
+	// Union-find over transitions to extract components.
+	parent := make([]int, nt)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for t := 0; t < nt; t++ {
+		for u := range n.conflictTo[t] {
+			union(t, int(u))
+		}
+	}
+	rootIndex := make(map[int]int)
+	n.clusterOf = make([]int, nt)
+	for t := 0; t < nt; t++ {
+		r := find(t)
+		ci, ok := rootIndex[r]
+		if !ok {
+			ci = len(n.clusters)
+			rootIndex[r] = ci
+			n.clusters = append(n.clusters, nil)
+		}
+		n.clusters[ci] = append(n.clusters[ci], Trans(t))
+		n.clusterOf[t] = ci
+	}
+	for _, c := range n.clusters {
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	}
+}

@@ -1,0 +1,202 @@
+// Package pnio reads and writes Petri nets in a small line-oriented
+// textual format, and exports nets and reachability graphs to Graphviz
+// DOT, so the command-line tools can exchange models.
+//
+// The .pn format:
+//
+//	net <name>
+//	place <name> [*]        # '*' marks the place initially
+//	trans <name> : <in>...  -> <out>...
+//	# comment
+//
+// Place lines must precede the transition lines that use them. Names may
+// contain any non-whitespace characters.
+package pnio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/petri"
+)
+
+// Parse reads a net in .pn format.
+func Parse(r io.Reader) (*petri.Net, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var b *petri.Builder
+	places := make(map[string]petri.Place)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "net":
+			if b != nil {
+				return nil, fmt.Errorf("pnio: line %d: duplicate net header", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("pnio: line %d: want 'net <name>'", lineNo)
+			}
+			b = petri.NewBuilder(fields[1])
+		case "place":
+			if b == nil {
+				return nil, fmt.Errorf("pnio: line %d: 'place' before 'net'", lineNo)
+			}
+			if len(fields) < 2 || len(fields) > 3 {
+				return nil, fmt.Errorf("pnio: line %d: want 'place <name> [*]'", lineNo)
+			}
+			p := b.Place(fields[1])
+			places[fields[1]] = p
+			if len(fields) == 3 {
+				if fields[2] != "*" {
+					return nil, fmt.Errorf("pnio: line %d: unexpected %q", lineNo, fields[2])
+				}
+				b.Mark(p)
+			}
+		case "trans":
+			if b == nil {
+				return nil, fmt.Errorf("pnio: line %d: 'trans' before 'net'", lineNo)
+			}
+			// trans name : in... -> out...
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "trans"))
+			colon := strings.Index(rest, ":")
+			if colon < 0 {
+				return nil, fmt.Errorf("pnio: line %d: missing ':'", lineNo)
+			}
+			name := strings.TrimSpace(rest[:colon])
+			if name == "" {
+				return nil, fmt.Errorf("pnio: line %d: empty transition name", lineNo)
+			}
+			arrow := strings.Index(rest[colon:], "->")
+			if arrow < 0 {
+				return nil, fmt.Errorf("pnio: line %d: missing '->'", lineNo)
+			}
+			inPart := strings.Fields(rest[colon+1 : colon+arrow])
+			outPart := strings.Fields(rest[colon+arrow+2:])
+			var ins, outs []petri.Place
+			for _, nm := range inPart {
+				p, ok := places[nm]
+				if !ok {
+					return nil, fmt.Errorf("pnio: line %d: unknown place %q", lineNo, nm)
+				}
+				ins = append(ins, p)
+			}
+			for _, nm := range outPart {
+				p, ok := places[nm]
+				if !ok {
+					return nil, fmt.Errorf("pnio: line %d: unknown place %q", lineNo, nm)
+				}
+				outs = append(outs, p)
+			}
+			b.TransArcs(name, ins, outs)
+		default:
+			return nil, fmt.Errorf("pnio: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("pnio: %w", err)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("pnio: empty input")
+	}
+	return b.Build()
+}
+
+// Write renders the net in .pn format. Parse(Write(n)) reproduces n.
+func Write(w io.Writer, n *petri.Net) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "net %s\n", n.Name())
+	marked := make(map[petri.Place]bool)
+	for _, p := range n.InitialPlaces() {
+		marked[p] = true
+	}
+	for p := petri.Place(0); int(p) < n.NumPlaces(); p++ {
+		if marked[p] {
+			fmt.Fprintf(bw, "place %s *\n", n.PlaceName(p))
+		} else {
+			fmt.Fprintf(bw, "place %s\n", n.PlaceName(p))
+		}
+	}
+	for t := petri.Trans(0); int(t) < n.NumTrans(); t++ {
+		fmt.Fprintf(bw, "trans %s :", n.TransName(t))
+		for _, p := range n.Pre(t) {
+			fmt.Fprintf(bw, " %s", n.PlaceName(p))
+		}
+		fmt.Fprint(bw, " ->")
+		for _, p := range n.Post(t) {
+			fmt.Fprintf(bw, " %s", n.PlaceName(p))
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// NetDOT renders the net structure as a Graphviz digraph: circles for
+// places (doubled when initially marked), boxes for transitions.
+func NetDOT(w io.Writer, n *petri.Net) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=LR;\n", n.Name())
+	marked := make(map[petri.Place]bool)
+	for _, p := range n.InitialPlaces() {
+		marked[p] = true
+	}
+	for p := petri.Place(0); int(p) < n.NumPlaces(); p++ {
+		shape := "circle"
+		if marked[p] {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(bw, "  p%d [label=%q shape=%s];\n", p, n.PlaceName(p), shape)
+	}
+	for t := petri.Trans(0); int(t) < n.NumTrans(); t++ {
+		fmt.Fprintf(bw, "  t%d [label=%q shape=box];\n", t, n.TransName(t))
+		for _, p := range n.Pre(t) {
+			fmt.Fprintf(bw, "  p%d -> t%d;\n", p, t)
+		}
+		for _, p := range n.Post(t) {
+			fmt.Fprintf(bw, "  t%d -> p%d;\n", t, p)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// GraphDOT renders an explicit reachability graph as a Graphviz digraph.
+// Vertex labels list the marked places; edge labels the fired transition.
+func GraphDOT(w io.Writer, n *petri.Net, states []petri.Marking, edges func(from int) []Edge) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n", n.Name()+" RG")
+	for i, m := range states {
+		label := markingLabel(n, m)
+		fmt.Fprintf(bw, "  s%d [label=%q];\n", i, label)
+	}
+	for i := range states {
+		for _, e := range edges(i) {
+			fmt.Fprintf(bw, "  s%d -> s%d [label=%q];\n", i, e.To, n.TransName(e.T))
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// Edge mirrors reach.Edge without importing it (pnio stays dependency-light).
+type Edge struct {
+	T  petri.Trans
+	To int
+}
+
+func markingLabel(n *petri.Net, m petri.Marking) string {
+	var names []string
+	for _, p := range m.Places() {
+		names = append(names, n.PlaceName(p))
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}

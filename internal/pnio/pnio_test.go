@@ -1,0 +1,119 @@
+package pnio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/petri"
+	"repro/internal/reach"
+)
+
+func TestRoundTrip(t *testing.T) {
+	nets := []*petri.Net{
+		models.NSDP(3), models.Fig2(2), models.Fig7(),
+		models.ReadersWriters(2), models.ArbiterTree(2), models.Overtake(2),
+	}
+	for _, n := range nets {
+		var buf bytes.Buffer
+		if err := Write(&buf, n); err != nil {
+			t.Fatalf("%s: %v", n.Name(), err)
+		}
+		n2, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", n.Name(), err)
+		}
+		if n2.Name() != n.Name() || n2.NumPlaces() != n.NumPlaces() || n2.NumTrans() != n.NumTrans() {
+			t.Fatalf("%s: structure lost in round trip", n.Name())
+		}
+		if !n2.InitialMarking().Equal(n.InitialMarking()) {
+			t.Errorf("%s: initial marking lost", n.Name())
+		}
+		// Behavior must be identical: same reachable state count.
+		c1, err1 := reach.CountStates(n)
+		c2, err2 := reach.CountStates(n2)
+		if err1 != nil || err2 != nil || c1 != c2 {
+			t.Errorf("%s: state counts differ after round trip: %d vs %d", n.Name(), c1, c2)
+		}
+	}
+}
+
+func TestParseExample(t *testing.T) {
+	src := `
+# a tiny choice net
+net choice
+place p *
+place a
+place b
+trans  left  : p -> a
+trans  right : p -> b
+`
+	n, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name() != "choice" || n.NumPlaces() != 3 || n.NumTrans() != 2 {
+		t.Fatal("parsed structure wrong")
+	}
+	l, _ := n.TransByName("left")
+	r, _ := n.TransByName("right")
+	if !n.Conflict(l, r) {
+		t.Error("left and right must conflict")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"no-net":          "place p *",
+		"dup-net":         "net a\nnet b",
+		"bad-place":       "net a\nplace",
+		"bad-star":        "net a\nplace p x",
+		"unknown-place":   "net a\ntrans t : q -> p",
+		"missing-colon":   "net a\nplace p *\ntrans t p -> p",
+		"missing-arrow":   "net a\nplace p *\ntrans t : p p",
+		"unknown-keyword": "net a\nfoo bar",
+		"empty-name":      "net a\nplace p *\ntrans : p -> p",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected a parse error", name)
+		}
+	}
+}
+
+func TestNetDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NetDOT(&buf, models.Fig7()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "doublecircle", "shape=box", "p0 ->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+}
+
+func TestGraphDOT(t *testing.T) {
+	net := models.Fig3()
+	res, err := reach.Explore(net, reach.Options{StoreGraph: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = GraphDOT(&buf, net, res.Graph.States, func(from int) []Edge {
+		var out []Edge
+		for _, e := range res.Graph.Edges[from] {
+			out = append(out, Edge{T: e.T, To: e.To})
+		}
+		return out
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "s0 -> s1") {
+		t.Error("graph DOT missing edges")
+	}
+}

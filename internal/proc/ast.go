@@ -1,0 +1,80 @@
+// Package proc compiles a small process-algebra specification language
+// into safe Petri nets — the front-end pipeline of the paper's reference
+// [16] ("Derivation of Formal Representations from Process-based
+// Specification and Implementation Models", ISSS 1997), which is how the
+// paper's real-life examples (e.g. the QAM modem) were modeled.
+//
+// The language:
+//
+//	proc producer = *( make ; !data )
+//	proc consumer = *( ?data ; use )
+//	system producer consumer
+//
+// Grammar (informal):
+//
+//	spec    := { "proc" NAME "=" expr } "system" NAME { NAME }
+//	expr    := seq
+//	seq     := term { ";" term }
+//	term    := NAME                  -- local action
+//	         | "!" NAME              -- send on channel (rendezvous)
+//	         | "?" NAME              -- receive on channel
+//	         | "(" expr { "+" expr } ")"   -- choice
+//	         | "(" expr { "||" expr } ")"  -- parallel fork/join
+//	         | "*" "(" expr ")"      -- infinite loop
+//	         | "skip"                -- no-op
+//
+// Each process becomes a token-flow subnet with one entry place; "system"
+// composes the named processes in parallel and fuses every send !c with
+// every receive ?c of the same channel across processes into rendezvous
+// transitions (one per send/receive pair — multiple partners create
+// conflicts, which is exactly what the generalized analysis is good at).
+package proc
+
+// Expr is a node of the process-expression tree.
+type Expr interface{ isExpr() }
+
+// Action is a local (non-synchronizing) action.
+type Action struct{ Name string }
+
+// Send is a rendezvous send on a channel.
+type Send struct{ Chan string }
+
+// Recv is a rendezvous receive on a channel.
+type Recv struct{ Chan string }
+
+// Skip is the empty behavior.
+type Skip struct{}
+
+// Seq is sequential composition e1 ; e2 ; …
+type Seq struct{ Steps []Expr }
+
+// Choice is nondeterministic choice (e1 + e2 + …): a conflict place.
+type Choice struct{ Branches []Expr }
+
+// Par is parallel fork/join (e1 || e2 || …) inside one process.
+type Par struct{ Branches []Expr }
+
+// Loop repeats its body forever.
+type Loop struct{ Body Expr }
+
+func (Action) isExpr() {}
+func (Send) isExpr()   {}
+func (Recv) isExpr()   {}
+func (Skip) isExpr()   {}
+func (Seq) isExpr()    {}
+func (Choice) isExpr() {}
+func (Par) isExpr()    {}
+func (Loop) isExpr()   {}
+
+// Process is a named process definition.
+type Process struct {
+	Name string
+	Body Expr
+}
+
+// Spec is a parsed specification: process definitions plus the system
+// composition line.
+type Spec struct {
+	Procs  map[string]*Process
+	System []string // names of the processes composed in parallel
+}

@@ -1,0 +1,198 @@
+package proc
+
+import (
+	"fmt"
+
+	"repro/internal/petri"
+)
+
+// Compile translates a parsed specification into a safe Petri net.
+//
+// Each process instance becomes a token-flow subnet holding exactly one
+// control token per parallel branch (so the net is safe by construction).
+// Choices share their entry place, turning the branches' first transitions
+// into a structural conflict. Every send !c is fused with every receive ?c
+// of the same channel in the other processes into one rendezvous
+// transition per pair; a send (or receive) with several possible partners
+// therefore becomes a conflict, and one with no partner blocks forever.
+func Compile(spec *Spec) (*petri.Net, error) {
+	c := &compiler{
+		b:     petri.NewBuilder("system"),
+		sends: make(map[string][]occurrence),
+		recvs: make(map[string][]occurrence),
+		used:  make(map[string]bool),
+	}
+
+	instSeen := make(map[string]int)
+	for _, name := range spec.System {
+		inst := name
+		instSeen[name]++
+		if instSeen[name] > 1 {
+			inst = fmt.Sprintf("%s#%d", name, instSeen[name])
+		}
+		p := spec.Procs[name]
+		entry := c.place(inst + ".start")
+		exit := c.place(inst + ".end")
+		c.b.Mark(entry)
+		c.inst = inst
+		if err := c.compile(p.Body, entry, exit, false); err != nil {
+			return nil, err
+		}
+	}
+
+	// Fuse channel partners across processes.
+	for ch, ss := range c.sends {
+		rs := c.recvs[ch]
+		for _, s := range ss {
+			for _, r := range rs {
+				if s.inst == r.inst {
+					continue // rendezvous with oneself is impossible
+				}
+				name := c.unique(fmt.Sprintf("%s:%s>%s", ch, s.inst, r.inst))
+				c.b.TransArcs(name,
+					append(append([]petri.Place{}, s.pre...), r.pre...),
+					append(append([]petri.Place{}, s.post...), r.post...))
+			}
+		}
+	}
+
+	return c.b.Build()
+}
+
+// MustCompile parses and compiles, panicking on error; for examples and
+// tests with static specifications.
+func MustCompile(src string) *petri.Net {
+	spec, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	net, err := Compile(spec)
+	if err != nil {
+		panic(err)
+	}
+	return net
+}
+
+// occurrence is one !c or ?c site: the control places it consumes and
+// produces.
+type occurrence struct {
+	inst      string
+	pre, post []petri.Place
+}
+
+type compiler struct {
+	b     *petri.Builder
+	inst  string
+	n     int
+	sends map[string][]occurrence
+	recvs map[string][]occurrence
+	used  map[string]bool
+}
+
+func (c *compiler) place(name string) petri.Place {
+	return c.b.Place(c.unique(name))
+}
+
+func (c *compiler) mid() petri.Place {
+	c.n++
+	return c.place(fmt.Sprintf("%s.s%d", c.inst, c.n))
+}
+
+func (c *compiler) unique(name string) string {
+	if !c.used[name] {
+		c.used[name] = true
+		return name
+	}
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s#%d", name, i)
+		if !c.used[cand] {
+			c.used[cand] = true
+			return cand
+		}
+	}
+}
+
+// compile wires the expression between the entry and exit places.
+// sharedEntry reports that other behavior also consumes from entry (the
+// expression is a choice branch), which loops must not cycle back into.
+func (c *compiler) compile(e Expr, entry, exit petri.Place, sharedEntry bool) error {
+	switch e := e.(type) {
+	case Action:
+		c.b.TransArcs(c.unique(c.inst+"."+e.Name),
+			[]petri.Place{entry}, []petri.Place{exit})
+		return nil
+	case Skip:
+		c.b.TransArcs(c.unique(c.inst+".tau"),
+			[]petri.Place{entry}, []petri.Place{exit})
+		return nil
+	case Send:
+		c.sends[e.Chan] = append(c.sends[e.Chan], occurrence{
+			inst: c.inst,
+			pre:  []petri.Place{entry},
+			post: []petri.Place{exit},
+		})
+		return nil
+	case Recv:
+		c.recvs[e.Chan] = append(c.recvs[e.Chan], occurrence{
+			inst: c.inst,
+			pre:  []petri.Place{entry},
+			post: []petri.Place{exit},
+		})
+		return nil
+	case Seq:
+		cur := entry
+		shared := sharedEntry
+		for i, step := range e.Steps {
+			next := exit
+			if i < len(e.Steps)-1 {
+				next = c.mid()
+			}
+			if err := c.compile(step, cur, next, shared); err != nil {
+				return err
+			}
+			cur = next
+			shared = false // intermediate places have a single consumer path
+		}
+		return nil
+	case Choice:
+		if len(e.Branches) < 2 {
+			return fmt.Errorf("proc: choice needs at least 2 branches")
+		}
+		for _, br := range e.Branches {
+			if err := c.compile(br, entry, exit, true); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Par:
+		if len(e.Branches) < 2 {
+			return fmt.Errorf("proc: parallel needs at least 2 branches")
+		}
+		var starts, ends []petri.Place
+		for range e.Branches {
+			starts = append(starts, c.mid())
+			ends = append(ends, c.mid())
+		}
+		c.b.TransArcs(c.unique(c.inst+".fork"), []petri.Place{entry}, starts)
+		c.b.TransArcs(c.unique(c.inst+".join"), ends, []petri.Place{exit})
+		for i, br := range e.Branches {
+			if err := c.compile(br, starts[i], ends[i], false); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Loop:
+		head := entry
+		if sharedEntry {
+			// Cycling back into a shared entry would re-offer the other
+			// choice branches on every iteration; detour through a fresh
+			// head place instead.
+			head = c.mid()
+			c.b.TransArcs(c.unique(c.inst+".enter"),
+				[]petri.Place{entry}, []petri.Place{head})
+		}
+		return c.compile(e.Body, head, head, false)
+	default:
+		return fmt.Errorf("proc: unknown expression %T", e)
+	}
+}

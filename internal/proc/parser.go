@@ -1,0 +1,241 @@
+package proc
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a specification in the proc language.
+func Parse(src string) (*Spec, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	spec := &Spec{Procs: make(map[string]*Process)}
+	for !p.eof() {
+		switch {
+		case p.accept("proc"):
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := spec.Procs[name]; dup {
+				return nil, fmt.Errorf("proc: duplicate process %q", name)
+			}
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			body, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			spec.Procs[name] = &Process{Name: name, Body: body}
+		case p.accept("system"):
+			for !p.eof() {
+				name, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				spec.System = append(spec.System, name)
+			}
+			if len(spec.System) == 0 {
+				return nil, fmt.Errorf("proc: empty system line")
+			}
+		default:
+			return nil, fmt.Errorf("proc: unexpected token %q (want 'proc' or 'system')", p.peek())
+		}
+	}
+	if len(spec.System) == 0 {
+		return nil, fmt.Errorf("proc: missing 'system' line")
+	}
+	for _, name := range spec.System {
+		if _, ok := spec.Procs[name]; !ok {
+			return nil, fmt.Errorf("proc: system names undefined process %q", name)
+		}
+	}
+	return spec, nil
+}
+
+// lex splits the source into tokens. '#' starts a line comment.
+func lex(src string) ([]string, error) {
+	var toks []string
+	for _, line := range strings.Split(src, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		i := 0
+		for i < len(line) {
+			c := rune(line[i])
+			switch {
+			case unicode.IsSpace(c):
+				i++
+			case strings.ContainsRune("();=!?*+", c):
+				toks = append(toks, string(c))
+				i++
+			case c == '|':
+				if i+1 < len(line) && line[i+1] == '|' {
+					toks = append(toks, "||")
+					i += 2
+				} else {
+					return nil, fmt.Errorf("proc: single '|' (want '||')")
+				}
+			case unicode.IsLetter(c) || c == '_':
+				j := i
+				for j < len(line) && (unicode.IsLetter(rune(line[j])) ||
+					unicode.IsDigit(rune(line[j])) || line[j] == '_') {
+					j++
+				}
+				toks = append(toks, line[i:j])
+				i = j
+			default:
+				return nil, fmt.Errorf("proc: unexpected character %q", c)
+			}
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() string {
+	if p.eof() {
+		return "<eof>"
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) accept(tok string) bool {
+	if !p.eof() && p.toks[p.pos] == tok {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(tok string) error {
+	if !p.accept(tok) {
+		return fmt.Errorf("proc: expected %q, found %q", tok, p.peek())
+	}
+	return nil
+}
+
+var keywords = map[string]bool{
+	"proc": true, "system": true, "skip": true,
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if p.eof() || keywords[t] || strings.ContainsAny(t, "();=!?*+|") {
+		return "", fmt.Errorf("proc: expected identifier, found %q", t)
+	}
+	p.pos++
+	return t, nil
+}
+
+// expr parses a sequence.
+func (p *parser) expr() (Expr, error) {
+	var steps []Expr
+	for {
+		t, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, t)
+		if !p.accept(";") {
+			break
+		}
+	}
+	if len(steps) == 1 {
+		return steps[0], nil
+	}
+	return Seq{Steps: steps}, nil
+}
+
+// term parses one unit of a sequence.
+func (p *parser) term() (Expr, error) {
+	switch {
+	case p.accept("skip"):
+		return Skip{}, nil
+	case p.accept("!"):
+		ch, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return Send{Chan: ch}, nil
+	case p.accept("?"):
+		ch, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return Recv{Chan: ch}, nil
+	case p.accept("*"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		body, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return Loop{Body: body}, nil
+	case p.accept("("):
+		first, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case p.accept("+"):
+			branches := []Expr{first}
+			for {
+				b, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				branches = append(branches, b)
+				if !p.accept("+") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return Choice{Branches: branches}, nil
+		case p.accept("||"):
+			branches := []Expr{first}
+			for {
+				b, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				branches = append(branches, b)
+				if !p.accept("||") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return Par{Branches: branches}, nil
+		default:
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return first, nil
+		}
+	default:
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return Action{Name: name}, nil
+	}
+}

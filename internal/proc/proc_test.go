@@ -1,0 +1,258 @@
+package proc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/reach"
+	"repro/internal/verify"
+)
+
+func TestParseBasics(t *testing.T) {
+	spec, err := Parse(`
+		# a comment
+		proc p = a ; b ; (c + d) ; *( e )
+		proc q = ( f || g ) ; skip
+		system p q
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Procs) != 2 || len(spec.System) != 2 {
+		t.Fatalf("spec structure wrong: %+v", spec)
+	}
+	body, ok := spec.Procs["p"].Body.(Seq)
+	if !ok || len(body.Steps) != 4 {
+		t.Fatalf("p body: %#v", spec.Procs["p"].Body)
+	}
+	if _, ok := body.Steps[2].(Choice); !ok {
+		t.Error("third step of p must be a choice")
+	}
+	if _, ok := body.Steps[3].(Loop); !ok {
+		t.Error("fourth step of p must be a loop")
+	}
+	if _, ok := spec.Procs["q"].Body.(Seq).Steps[0].(Par); !ok {
+		t.Error("first step of q must be parallel")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no-system":      `proc p = a`,
+		"undefined":      "proc p = a\nsystem p q",
+		"dup-proc":       "proc p = a\nproc p = b\nsystem p",
+		"single-bar":     "proc p = (a | b)\nsystem p",
+		"bad-char":       "proc p = a$\nsystem p",
+		"empty-system":   "proc p = a\nsystem",
+		"missing-eq":     "proc p a\nsystem p",
+		"missing-close":  "proc p = (a + b\nsystem p",
+		"keyword-ident":  "proc proc = a\nsystem proc",
+		"loop-no-parens": "proc p = * a\nsystem p",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestProducerConsumer(t *testing.T) {
+	net := MustCompile(`
+		proc producer = *( make ; !data )
+		proc consumer = *( ?data ; use )
+		system producer consumer
+	`)
+	res, err := reach.Explore(net, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlock {
+		t.Errorf("producer/consumer must not deadlock; witness %s",
+			res.Deadlocks[0].String(net))
+	}
+	// The rendezvous exists and fires.
+	if _, ok := net.TransByName("data:producer>consumer"); !ok {
+		t.Error("missing rendezvous transition")
+	}
+}
+
+func TestUnmatchedChannelBlocks(t *testing.T) {
+	// The consumer waits on a channel nobody sends to: deadlock.
+	net := MustCompile(`
+		proc producer = *( make )
+		proc consumer = ?data ; use
+		system producer consumer
+	`)
+	res, err := reach.Explore(net, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not a full deadlock (the producer loops), but "use" is unreachable.
+	if res.Deadlock {
+		t.Error("producer still loops; no total deadlock expected")
+	}
+	res2, err := reach.Explore(net, reach.Options{StoreGraph: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	use, ok := net.TransByName("consumer.use")
+	if !ok {
+		t.Fatal("missing consumer.use")
+	}
+	if res2.Graph.QuasiLive()[use] {
+		t.Error("use must be unreachable: the receive has no partner")
+	}
+}
+
+func TestCrossedHandshakeDeadlocks(t *testing.T) {
+	// The classic crossed rendezvous: each process wants to send first.
+	net := MustCompile(`
+		proc left  = !a ; ?b
+		proc right = !b ; ?a
+		system left right
+	`)
+	res, err := reach.Explore(net, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlock {
+		t.Fatal("crossed handshake must deadlock")
+	}
+	// The generalized engine agrees.
+	rep, err := verify.CheckDeadlock(net, verify.Options{Engine: verify.GPO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Deadlock {
+		t.Error("GPO missed the crossed-handshake deadlock")
+	}
+}
+
+func TestChoiceCreatesConflict(t *testing.T) {
+	net := MustCompile(`
+		proc p = ( a ; x + b ; y )
+		system p
+	`)
+	a, _ := net.TransByName("p.a")
+	b, _ := net.TransByName("p.b")
+	if !net.Conflict(a, b) {
+		t.Error("choice branches must conflict on the shared entry place")
+	}
+	count, err := reach.CountStates(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// start, after-a, after-b, end: exactly 4 markings.
+	if count != 4 {
+		t.Errorf("states=%d want 4", count)
+	}
+}
+
+func TestParallelInterleaves(t *testing.T) {
+	net := MustCompile(`
+		proc p = ( a ; b || c ; d )
+		system p
+	`)
+	count, err := reach.CountStates(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// start, fork, 3x3 interleavings, join-done: 1 + 9 + 1 = 11.
+	if count != 11 {
+		t.Errorf("states=%d want 11", count)
+	}
+}
+
+func TestMultiplePartnersConflict(t *testing.T) {
+	// One sender, two possible receivers: two rendezvous transitions in
+	// conflict — the pattern the generalized analysis collapses.
+	net := MustCompile(`
+		proc server  = *( !job )
+		proc workerA = *( ?job ; workA )
+		proc workerB = *( ?job ; workB )
+		system server workerA workerB
+	`)
+	t1, ok1 := net.TransByName("job:server>workerA")
+	t2, ok2 := net.TransByName("job:server>workerB")
+	if !ok1 || !ok2 {
+		t.Fatal("missing rendezvous pair transitions")
+	}
+	if !net.Conflict(t1, t2) {
+		t.Error("the two rendezvous alternatives must conflict")
+	}
+	res, err := reach.Explore(net, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlock {
+		t.Error("server/worker farm must not deadlock")
+	}
+}
+
+func TestDuplicateInstance(t *testing.T) {
+	net := MustCompile(`
+		proc worker = *( ?job ; work )
+		proc boss   = *( !job )
+		system boss worker worker
+	`)
+	if _, ok := net.TransByName("job:boss>worker#2"); !ok {
+		t.Error("second worker instance must get its own rendezvous")
+	}
+	res, err := reach.Explore(net, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlock {
+		t.Error("boss/worker/worker must not deadlock")
+	}
+}
+
+// TestPhilosophersInProcLanguage models dining philosophers in the
+// process language and checks the deadlock is found by every engine.
+func TestPhilosophersInProcLanguage(t *testing.T) {
+	src := `
+		proc fork0 = *( ( ?take0_l ; ?put0_l + ?take0_r ; ?put0_r ) )
+		proc fork1 = *( ( ?take1_l ; ?put1_l + ?take1_r ; ?put1_r ) )
+		proc phil0 = *( !take0_l ; !take1_r ; eat0 ; !put0_l ; !put1_r )
+		proc phil1 = *( !take1_l ; !take0_r ; eat1 ; !put1_l ; !put0_r )
+		system fork0 fork1 phil0 phil1
+	`
+	net := MustCompile(src)
+	full, err := reach.Explore(net, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Deadlock {
+		t.Fatal("2-philosopher left-first protocol must deadlock")
+	}
+	for _, eng := range []verify.Engine{verify.PartialOrder, verify.Symbolic, verify.GPO} {
+		rep, err := verify.CheckDeadlock(net, verify.Options{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Deadlock {
+			t.Errorf("engine %v missed the deadlock", eng)
+		}
+	}
+}
+
+// TestCompiledNetsAreSafe explores a battery of specs exhaustively;
+// reach.Explore errors if 1-boundedness is ever violated.
+func TestCompiledNetsAreSafe(t *testing.T) {
+	specs := []string{
+		`proc p = a system p`,
+		`proc p = *( ( a + b ; ( c || d ) ) ) system p`,
+		`proc p = ( *( a ) + b ) system p`,
+		`proc p = ( ( a ; !x || b ; ?x ) ) system p`, // self-sync impossible: x blocks
+		`proc p = !x proc q = ?x system p q`,
+		`proc p = *( !x ) proc q = *( ?x ) proc r = *( ?x ) system p q r`,
+		`proc p = skip ; a system p`,
+	}
+	for i, src := range specs {
+		src = strings.ReplaceAll(src, " system", "\nsystem")
+		net := MustCompile(src)
+		if _, err := reach.Explore(net, reach.Options{MaxStates: 100000}); err != nil {
+			t.Errorf("spec %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package randnet
+
+import (
+	"testing"
+
+	"repro/internal/reach"
+)
+
+// TestGeneratedNetsAreSafe exhausts the state space of many random nets:
+// Explore errors out if any firing violates 1-boundedness, so a clean run
+// is the safety proof for the construction.
+func TestGeneratedNetsAreSafe(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		cfg := Default(seed)
+		cfg.Machines = 2 + int(seed%4)
+		cfg.PlacesPer = 2 + int(seed%5)
+		cfg.SyncTrans = int(seed % 7)
+		net := Generate(cfg)
+		if _, err := reach.Explore(net, reach.Options{MaxStates: 100000}); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestDeterminism checks the same seed yields the same net.
+func TestDeterminism(t *testing.T) {
+	a := Generate(Default(7))
+	b := Generate(Default(7))
+	if a.Name() != b.Name() || a.NumPlaces() != b.NumPlaces() || a.NumTrans() != b.NumTrans() {
+		t.Fatal("generator not deterministic")
+	}
+	ca, _ := reach.CountStates(a)
+	cb, _ := reach.CountStates(b)
+	if ca != cb {
+		t.Fatal("behaviour differs for equal seeds")
+	}
+}
+
+// TestVariety confirms the generator produces both deadlocking and
+// deadlock-free nets, and nets with conflicts.
+func TestVariety(t *testing.T) {
+	deadlocks, free, conflicts := 0, 0, 0
+	for seed := int64(0); seed < 60; seed++ {
+		net := Generate(Default(seed))
+		res, err := reach.Explore(net, reach.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Deadlock {
+			deadlocks++
+		} else {
+			free++
+		}
+		if len(net.Clusters()) < net.NumTrans() {
+			conflicts++
+		}
+	}
+	if deadlocks == 0 || free == 0 {
+		t.Errorf("no variety: %d deadlocking, %d free", deadlocks, free)
+	}
+	if conflicts < 30 {
+		t.Errorf("too few nets with conflicts: %d", conflicts)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for invalid config")
+		}
+	}()
+	Generate(Config{Machines: 0, PlacesPer: 5})
+}

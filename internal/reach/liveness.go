@@ -1,0 +1,158 @@
+package reach
+
+// QuasiLive returns, for each transition, whether it fires on at least one
+// arc of the stored reachability graph (L1-liveness).
+func (g *Graph) QuasiLive() []bool {
+	out := make([]bool, g.Net.NumTrans())
+	for _, es := range g.Edges {
+		for _, e := range es {
+			out[e.T] = true
+		}
+	}
+	return out
+}
+
+// Live reports, for each transition t, whether t is live in the classical
+// sense: from every reachable marking, some marking enabling t remains
+// reachable. It is computed as a backward closure, per transition, over the
+// reversed reachability graph from the states that fire t.
+func (g *Graph) Live() []bool {
+	nT := g.Net.NumTrans()
+	nS := len(g.States)
+	rev := make([][]int, nS)
+	firesAt := make([][]int, nT) // states with an outgoing t-arc
+	for s, es := range g.Edges {
+		for _, e := range es {
+			rev[e.To] = append(rev[e.To], s)
+			firesAt[e.T] = append(firesAt[e.T], s)
+		}
+	}
+	out := make([]bool, nT)
+	mark := make([]bool, nS)
+	for t := 0; t < nT; t++ {
+		if len(firesAt[t]) == 0 {
+			continue // dead transition
+		}
+		for i := range mark {
+			mark[i] = false
+		}
+		stack := append([]int(nil), firesAt[t]...)
+		covered := 0
+		for _, s := range stack {
+			if !mark[s] {
+				mark[s] = true
+				covered++
+			}
+		}
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range rev[s] {
+				if !mark[p] {
+					mark[p] = true
+					covered++
+					stack = append(stack, p)
+				}
+			}
+		}
+		out[t] = covered == nS
+	}
+	return out
+}
+
+// SCCs returns the strongly connected components of the stored graph in
+// reverse topological order (Tarjan's algorithm, iterative).
+func (g *Graph) SCCs() [][]int {
+	n := len(g.States)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var sccStack []int
+	var sccs [][]int
+	next := 0
+
+	type frame struct {
+		v, ei int
+	}
+	var frames []frame
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		frames = append(frames[:0], frame{root, 0})
+		index[root], low[root] = next, next
+		next++
+		sccStack = append(sccStack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.ei < len(g.Edges[v]) {
+				w := g.Edges[v][f.ei].To
+				f.ei++
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					sccStack = append(sccStack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := sccStack[len(sccStack)-1]
+					sccStack = sccStack[:len(sccStack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+	return sccs
+}
+
+// TerminalSCCs returns the SCCs with no edge leaving the component.
+func (g *Graph) TerminalSCCs() [][]int {
+	sccs := g.SCCs()
+	comp := make([]int, len(g.States))
+	for i, c := range sccs {
+		for _, s := range c {
+			comp[s] = i
+		}
+	}
+	var out [][]int
+	for i, c := range sccs {
+		terminal := true
+	scan:
+		for _, s := range c {
+			for _, e := range g.Edges[s] {
+				if comp[e.To] != i {
+					terminal = false
+					break scan
+				}
+			}
+		}
+		if terminal {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+// Package reach implements conventional reachability analysis of safe Petri
+// nets (Section 2.2 of the paper): exhaustive enumeration of the reachable
+// markings, deadlock detection, safety-predicate checking and liveness
+// queries over the full reachability graph RG(N).
+//
+// This engine is the ground truth the reduced analyses (internal/stubborn,
+// internal/symbolic, internal/core) are validated against, and it produces
+// the "States" column of Table 1.
+package reach
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/petri"
+)
+
+// ErrStateLimit is returned when exploration exceeds Options.MaxStates.
+var ErrStateLimit = errors.New("reach: state limit exceeded")
+
+// ErrUnsafe is returned when a firing would place a second token on a
+// place; the net then violates the paper's safety (1-boundedness)
+// assumption and none of the analyses apply.
+var ErrUnsafe = errors.New("reach: net is not safe")
+
+// Options configures an exploration.
+type Options struct {
+	// MaxStates aborts the search when more states than this are found.
+	// Zero means no limit.
+	MaxStates int
+	// StopAtDeadlock halts the search at the first deadlock found.
+	StopAtDeadlock bool
+	// StoreGraph retains the full reachability graph in the result; needed
+	// for liveness queries and DOT export.
+	StoreGraph bool
+	// Bad, if non-nil, is a safety predicate: exploration records (and with
+	// StopAtBad halts at) markings for which Bad returns true.
+	Bad func(petri.Marking) bool
+	// StopAtBad halts the search at the first Bad marking.
+	StopAtBad bool
+}
+
+// Edge is one arc of the reachability graph: firing T from the source
+// state leads to state To.
+type Edge struct {
+	T  petri.Trans
+	To int
+}
+
+// Graph is an explicitly stored reachability graph. States[0] is the
+// initial marking.
+type Graph struct {
+	Net    *petri.Net
+	States []petri.Marking
+	Edges  [][]Edge
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	States    int  // number of distinct reachable markings found
+	Arcs      int  // number of firings explored
+	Deadlock  bool // a reachable marking enables no transition
+	Deadlocks []petri.Marking
+	BadFound  bool // Options.Bad held in some reachable marking
+	BadStates []petri.Marking
+	Graph     *Graph // non-nil iff Options.StoreGraph
+	Complete  bool   // false if the search stopped early
+}
+
+// Explore enumerates the reachable markings of n breadth-first.
+func Explore(n *petri.Net, opts Options) (*Result, error) {
+	res := &Result{Complete: true}
+	var g *Graph
+	if opts.StoreGraph {
+		g = &Graph{Net: n}
+		res.Graph = g
+	}
+
+	index := make(map[string]int)
+	var states []petri.Marking
+
+	add := func(m petri.Marking) (int, bool) {
+		k := m.Key()
+		if id, ok := index[k]; ok {
+			return id, false
+		}
+		id := len(states)
+		index[k] = id
+		states = append(states, m)
+		if opts.StoreGraph {
+			g.Edges = append(g.Edges, nil)
+		}
+		return id, true
+	}
+
+	m0 := n.InitialMarking()
+	add(m0)
+	queue := []int{0}
+
+	checkState := func(id int) (stop bool) {
+		m := states[id]
+		if opts.Bad != nil && opts.Bad(m) {
+			res.BadFound = true
+			res.BadStates = append(res.BadStates, m)
+			if opts.StopAtBad {
+				return true
+			}
+		}
+		if n.IsDeadlock(m) {
+			res.Deadlock = true
+			res.Deadlocks = append(res.Deadlocks, m)
+			if opts.StopAtDeadlock {
+				return true
+			}
+		}
+		return false
+	}
+	if checkState(0) {
+		res.States = len(states)
+		res.Complete = false
+		if opts.StoreGraph {
+			g.States = states
+		}
+		return res, nil
+	}
+
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		m := states[id]
+		for t := petri.Trans(0); int(t) < n.NumTrans(); t++ {
+			if !n.Enabled(m, t) {
+				continue
+			}
+			next, safe := n.Fire(m, t)
+			if !safe {
+				return nil, fmt.Errorf("%w: firing %s from %s double-marks a place",
+					ErrUnsafe, n.TransName(t), m.String(n))
+			}
+			res.Arcs++
+			nid, fresh := add(next)
+			if opts.StoreGraph {
+				g.Edges[id] = append(g.Edges[id], Edge{T: t, To: nid})
+			}
+			if fresh {
+				if opts.MaxStates > 0 && len(states) > opts.MaxStates {
+					res.States = len(states)
+					res.Complete = false
+					if opts.StoreGraph {
+						g.States = states
+					}
+					return res, ErrStateLimit
+				}
+				if checkState(nid) {
+					res.States = len(states)
+					res.Complete = false
+					if opts.StoreGraph {
+						g.States = states
+					}
+					return res, nil
+				}
+				queue = append(queue, nid)
+			}
+		}
+	}
+
+	res.States = len(states)
+	if opts.StoreGraph {
+		g.States = states
+	}
+	return res, nil
+}
+
+// CountStates is a convenience that returns just the size of the full
+// reachable state space.
+func CountStates(n *petri.Net) (int, error) {
+	r, err := Explore(n, Options{})
+	if err != nil {
+		return 0, err
+	}
+	return r.States, nil
+}

@@ -1,0 +1,185 @@
+package structural
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/petri"
+	"repro/internal/randnet"
+	"repro/internal/reach"
+)
+
+// TestInvariantsHold checks every Farkas-generated vector really is a
+// P-invariant, on all benchmark models.
+func TestInvariantsHold(t *testing.T) {
+	nets := []*petri.Net{
+		models.NSDP(2), models.NSDP(4),
+		models.Fig1(4), models.Fig2(3), models.Fig3(), models.Fig7(),
+		models.ReadersWriters(3), models.ArbiterTree(4), models.Overtake(2),
+	}
+	for _, net := range nets {
+		invs, err := PInvariants(net, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", net.Name(), err)
+		}
+		if len(invs) == 0 {
+			t.Errorf("%s: no invariants found", net.Name())
+		}
+		for _, y := range invs {
+			if !InvariantHolds(net, y) {
+				t.Errorf("%s: vector %v is not an invariant", net.Name(), y)
+			}
+			neg := false
+			for _, v := range y {
+				if v < 0 {
+					neg = true
+				}
+			}
+			if neg {
+				t.Errorf("%s: invariant %v has negative entries", net.Name(), y)
+			}
+		}
+	}
+}
+
+// TestInvariantWeightConserved checks yᵀm is constant over the whole
+// reachable state space.
+func TestInvariantWeightConserved(t *testing.T) {
+	net := models.NSDP(3)
+	invs, err := PInvariants(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := reach.Explore(net, reach.Options{StoreGraph: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := net.InitialMarking()
+	for _, y := range invs {
+		w0 := Weight(y, m0)
+		for _, m := range res.Graph.States {
+			if Weight(y, m) != w0 {
+				t.Fatalf("invariant %v weight changed: %d -> %d at %s",
+					y, w0, Weight(y, m), m.String(net))
+			}
+		}
+	}
+}
+
+// TestProveSafe proves safeness structurally for the benchmark nets (they
+// are all covered by one-token P-invariants).
+func TestProveSafe(t *testing.T) {
+	nets := []*petri.Net{
+		models.NSDP(2), models.NSDP(4), models.Fig1(3), models.Fig2(3),
+		models.Fig3(), models.ReadersWriters(3), models.Overtake(2),
+	}
+	for _, net := range nets {
+		invs, err := PInvariants(net, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", net.Name(), err)
+		}
+		if uncovered := ProveSafe(net, invs); len(uncovered) != 0 {
+			names := make([]string, len(uncovered))
+			for i, p := range uncovered {
+				names[i] = net.PlaceName(p)
+			}
+			t.Errorf("%s: safeness not proven for %v", net.Name(), names)
+		}
+	}
+}
+
+// TestDeadlockSiphon checks the structural explanation of NSDP deadlocks:
+// the unmarked places of a dead marking contain a nonempty siphon, and
+// that siphon contains the fork places.
+func TestDeadlockSiphon(t *testing.T) {
+	net := models.NSDP(3)
+	res, err := reach.Explore(net, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Deadlocks) == 0 {
+		t.Fatal("NSDP(3) must deadlock")
+	}
+	for _, dead := range res.Deadlocks {
+		s := DeadlockSiphon(net, dead)
+		if len(s) == 0 {
+			t.Fatalf("deadlock %s has no empty siphon", dead.String(net))
+		}
+		if !IsSiphon(net, s) {
+			t.Fatalf("returned set is not a siphon")
+		}
+		has := make(map[petri.Place]bool)
+		for _, p := range s {
+			has[p] = true
+		}
+		for i := 0; i < 3; i++ {
+			f, _ := net.PlaceByName("fork" + string(rune('0'+i)))
+			if !has[f] {
+				t.Errorf("deadlock siphon misses fork%d", i)
+			}
+		}
+	}
+}
+
+// TestSiphonTrapDuality checks IsSiphon/IsTrap on hand-picked sets of the
+// Fig2 net: each conflict place alone is a siphon (tokens only leave);
+// each pair {a_i, b_i} of output places is a trap (tokens never leave).
+func TestSiphonTrapDuality(t *testing.T) {
+	net := models.Fig2(2)
+	c0, _ := net.PlaceByName("c0")
+	a0, _ := net.PlaceByName("a0")
+	b0, _ := net.PlaceByName("b0")
+	if !IsSiphon(net, []petri.Place{c0}) {
+		t.Error("{c0} must be a siphon")
+	}
+	if IsTrap(net, []petri.Place{c0}) {
+		t.Error("{c0} must not be a trap")
+	}
+	if !IsTrap(net, []petri.Place{a0, b0}) {
+		t.Error("{a0,b0} must be a trap")
+	}
+	if IsSiphon(net, []petri.Place{a0}) {
+		t.Error("{a0} must not be a siphon (A0 produces into it from outside)")
+	}
+}
+
+// TestEmptySiphonStaysEmpty property-checks the defining property of
+// siphons on random nets: once empty in some reachable marking, a siphon
+// is empty in every marking reachable from there.
+func TestEmptySiphonStaysEmpty(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		net := randnet.Generate(randnet.Default(seed))
+		res, err := reach.Explore(net, reach.Options{StoreGraph: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := make([]petri.Place, net.NumPlaces())
+		for p := range all {
+			all[p] = petri.Place(p)
+		}
+		s := MaxSiphonWithin(net, all)
+		if len(s) == 0 {
+			continue
+		}
+		marked := func(m petri.Marking) bool {
+			for _, p := range s {
+				if m.Has(p) {
+					return true
+				}
+			}
+			return false
+		}
+		// BFS over the stored graph: once unmarked, stays unmarked.
+		g := res.Graph
+		for i, m := range g.States {
+			if marked(m) {
+				continue
+			}
+			for _, e := range g.Edges[i] {
+				if marked(g.States[e.To]) {
+					t.Fatalf("seed %d: siphon re-marked by %s", seed, net.TransName(e.T))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Package stubborn implements classical partial-order (stubborn-set)
+// reduced reachability for safe Petri nets, the technique of Section 2.3
+// of the paper (Valmari's stubborn sets; the role SPIN+PO plays in the
+// paper's Table 1).
+//
+// At every state a stubborn set of transitions is computed by a closure:
+//
+//   - an enabled member pulls in every transition it is in conflict with
+//     (they compete for the same tokens, so their interleavings matter);
+//   - a disabled member pulls in the producers of one of its unmarked
+//     input places (only they can enable it).
+//
+// Firing only the enabled members of a stubborn set at every state
+// preserves all deadlocks of the net while pruning the interleavings of
+// independent transitions. Concurrently marked conflict places are NOT
+// collapsed — every branch combination is still enumerated, which is the
+// limitation the paper's generalized analysis removes (Figure 2).
+package stubborn
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/petri"
+)
+
+// ErrStateLimit is returned when exploration exceeds Options.MaxStates.
+var ErrStateLimit = errors.New("stubborn: state limit exceeded")
+
+// SeedStrategy selects how the closure's starting transition is chosen.
+type SeedStrategy int
+
+const (
+	// SeedFirst starts the closure from the first enabled transition.
+	SeedFirst SeedStrategy = iota
+	// SeedBest tries every enabled transition as seed and keeps the
+	// stubborn set with the fewest enabled members (slower per state,
+	// often smaller graphs). Used by the ablation benchmarks.
+	SeedBest
+)
+
+// Options configures a reduced exploration.
+type Options struct {
+	MaxStates      int
+	StopAtDeadlock bool
+	Seed           SeedStrategy
+	// Proviso enables the cycle proviso used by LTL-preserving reducers
+	// such as SPIN+PO: whenever a reduced expansion closes a cycle of the
+	// depth-first search, the state is expanded fully. The proviso is not
+	// required for deadlock detection, but emulates the behavior the paper
+	// observed for SPIN+PO (e.g. no reduction at all on RW).
+	Proviso bool
+}
+
+// Result summarizes a reduced exploration.
+type Result struct {
+	States    int
+	Arcs      int
+	Deadlock  bool
+	Deadlocks []petri.Marking
+	Complete  bool
+}
+
+// StubbornEnabled returns the enabled members of a stubborn set for
+// marking m, in increasing order. The result is empty iff m is a deadlock.
+func StubbornEnabled(n *petri.Net, m petri.Marking, seed SeedStrategy) []petri.Trans {
+	enabled := n.EnabledTrans(m)
+	if len(enabled) == 0 {
+		return nil
+	}
+	if seed == SeedFirst {
+		return closure(n, m, enabled[0])
+	}
+	best := closure(n, m, enabled[0])
+	for _, s := range enabled[1:] {
+		c := closure(n, m, s)
+		if len(c) < len(best) {
+			best = c
+		}
+		if len(best) == 1 {
+			break
+		}
+	}
+	return best
+}
+
+// closure computes the enabled members of the stubborn set grown from seed.
+func closure(n *petri.Net, m petri.Marking, seed petri.Trans) []petri.Trans {
+	in := make(map[petri.Trans]bool)
+	work := []petri.Trans{seed}
+	in[seed] = true
+	for len(work) > 0 {
+		t := work[len(work)-1]
+		work = work[:len(work)-1]
+		if n.Enabled(m, t) {
+			// D2: all competitors for t's input tokens must be in the set.
+			for _, p := range n.Pre(t) {
+				for _, u := range n.PostT(p) {
+					if !in[u] {
+						in[u] = true
+						work = append(work, u)
+					}
+				}
+			}
+		} else {
+			// D1: pick one unmarked input place; only its producers can
+			// make t enabled, so they must be in the set.
+			var chosen petri.Place = -1
+			for _, p := range n.Pre(t) {
+				if !m.Has(p) {
+					chosen = p
+					break
+				}
+			}
+			if chosen < 0 {
+				// t disabled yet all inputs marked cannot happen for safe
+				// nets with the classical rule; defensive fallback.
+				continue
+			}
+			for _, u := range n.PreT(chosen) {
+				if !in[u] {
+					in[u] = true
+					work = append(work, u)
+				}
+			}
+		}
+	}
+	var out []petri.Trans
+	for t := petri.Trans(0); int(t) < n.NumTrans(); t++ {
+		if in[t] && n.Enabled(m, t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// frame is a DFS stack entry.
+type frame struct {
+	id      int
+	fire    []petri.Trans
+	next    int
+	reduced bool // fire is a strict subset of the enabled transitions
+	full    bool // proviso already applied
+}
+
+// Explore enumerates the stubborn-set-reduced state space of n
+// depth-first.
+func Explore(n *petri.Net, opts Options) (*Result, error) {
+	res := &Result{Complete: true}
+	index := make(map[string]int)
+	var states []petri.Marking
+	onStack := make(map[int]bool)
+
+	add := func(m petri.Marking) (int, bool) {
+		k := m.Key()
+		if id, ok := index[k]; ok {
+			return id, false
+		}
+		id := len(states)
+		index[k] = id
+		states = append(states, m)
+		return id, true
+	}
+
+	check := func(m petri.Marking) bool {
+		if n.IsDeadlock(m) {
+			res.Deadlock = true
+			res.Deadlocks = append(res.Deadlocks, m)
+			return opts.StopAtDeadlock
+		}
+		return false
+	}
+
+	newFrame := func(id int) *frame {
+		m := states[id]
+		fire := StubbornEnabled(n, m, opts.Seed)
+		enabledCount := len(n.EnabledTrans(m))
+		return &frame{id: id, fire: fire, reduced: len(fire) < enabledCount}
+	}
+
+	add(n.InitialMarking())
+	if check(states[0]) {
+		res.States = 1
+		res.Complete = false
+		return res, nil
+	}
+	stack := []*frame{newFrame(0)}
+	onStack[0] = true
+
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		if f.next >= len(f.fire) {
+			onStack[f.id] = false
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		t := f.fire[f.next]
+		f.next++
+		m := states[f.id]
+		next, safe := n.Fire(m, t)
+		if !safe {
+			return nil, fmt.Errorf("stubborn: net %s is not safe (firing %s)",
+				n.Name(), n.TransName(t))
+		}
+		res.Arcs++
+		nid, fresh := add(next)
+		if fresh {
+			if opts.MaxStates > 0 && len(states) > opts.MaxStates {
+				res.States = len(states)
+				res.Complete = false
+				return res, ErrStateLimit
+			}
+			if check(next) {
+				res.States = len(states)
+				res.Complete = false
+				return res, nil
+			}
+			onStack[nid] = true
+			stack = append(stack, newFrame(nid))
+		} else if opts.Proviso && onStack[nid] && f.reduced && !f.full {
+			// Cycle proviso: the reduced expansion closed a DFS cycle;
+			// expand the state fully so no transition is ignored forever.
+			f.full = true
+			already := make(map[petri.Trans]bool, len(f.fire))
+			for _, u := range f.fire {
+				already[u] = true
+			}
+			for _, u := range n.EnabledTrans(m) {
+				if !already[u] {
+					f.fire = append(f.fire, u)
+				}
+			}
+		}
+	}
+	res.States = len(states)
+	return res, nil
+}

@@ -1,0 +1,140 @@
+package stubborn
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/petri"
+	"repro/internal/reach"
+)
+
+// TestFig2Shape checks the paper's Figure 2(b): classical partial-order
+// analysis of the N-conflict-pair net explores exactly 2^(N+1) − 1 states.
+func TestFig2Shape(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		res, err := Explore(models.Fig2(n), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := 1<<(n+1) - 1; res.States != want {
+			t.Errorf("Fig2(%d): got %d states, paper's Figure 2(b) gives %d",
+				n, res.States, want)
+		}
+	}
+}
+
+// TestFig1Linear checks that the interleaving blow-up of Figure 1 is
+// reduced to a single chain: n+1 states for n independent transitions.
+func TestFig1Linear(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		res, err := Explore(models.Fig1(n), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := n + 1; res.States != want {
+			t.Errorf("Fig1(%d): got %d states, want linear chain of %d", n, res.States, want)
+		}
+	}
+}
+
+// TestRWNoReduction checks the paper's observation on RW: with the cycle
+// proviso that LTL-preserving reducers like SPIN+PO apply, the tight
+// read/write cycles force full expansion everywhere, so the reduced state
+// space equals the complete one. (Without the proviso a deadlock-only
+// stubborn search does shave some states; that variant is recorded too.)
+func TestRWNoReduction(t *testing.T) {
+	for _, n := range []int{2, 4, 6} {
+		net := models.ReadersWriters(n)
+		full, err := reach.CountStates(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Explore(net, Options{Proviso: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.States != full {
+			t.Errorf("RW(%d): proviso-reduced=%d full=%d; paper reports no reduction",
+				n, res.States, full)
+		}
+		noProv, err := Explore(net, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if noProv.States > full {
+			t.Errorf("RW(%d): reduced %d > full %d", n, noProv.States, full)
+		}
+	}
+}
+
+// TestDeadlockPreservation cross-validates the reduced exploration against
+// exhaustive reachability on all models: deadlock verdicts must agree, and
+// every reduced-search deadlock marking must be a real deadlock.
+func TestDeadlockPreservation(t *testing.T) {
+	nets := []*petri.Net{
+		models.NSDP(2), models.NSDP(3), models.NSDP(4),
+		models.Fig1(4), models.Fig2(3), models.Fig3(), models.Fig7(),
+		models.ReadersWriters(3), models.ArbiterTree(2), models.ArbiterTree(4),
+		models.Overtake(2), models.Overtake(3),
+	}
+	for _, net := range nets {
+		full, err := reach.Explore(net, reach.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seed := range []SeedStrategy{SeedFirst, SeedBest} {
+			res, err := Explore(net, Options{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Deadlock != full.Deadlock {
+				t.Errorf("%s (seed=%d): reduced deadlock=%v, full=%v",
+					net.Name(), seed, res.Deadlock, full.Deadlock)
+			}
+			if res.States > full.States {
+				t.Errorf("%s (seed=%d): reduced %d > full %d states",
+					net.Name(), seed, res.States, full.States)
+			}
+			realDead := make(map[string]bool)
+			for _, m := range full.Deadlocks {
+				realDead[m.Key()] = true
+			}
+			for _, m := range res.Deadlocks {
+				if !realDead[m.Key()] {
+					t.Errorf("%s: spurious deadlock %s", net.Name(), m.String(net))
+				}
+			}
+			// Completeness: the reduction must find every deadlock marking.
+			found := make(map[string]bool)
+			for _, m := range res.Deadlocks {
+				found[m.Key()] = true
+			}
+			for _, m := range full.Deadlocks {
+				if !found[m.Key()] {
+					t.Errorf("%s (seed=%d): deadlock %s missed by reduction",
+						net.Name(), seed, m.String(net))
+				}
+			}
+		}
+	}
+}
+
+// TestNSDPReduction records the reduction factors on NSDP (shape check:
+// strictly fewer states than full, more than GPO's constant 3).
+func TestNSDPReduction(t *testing.T) {
+	for _, n := range []int{2, 4, 6} {
+		net := models.NSDP(n)
+		full, err := reach.CountStates(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Explore(net, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.States >= full {
+			t.Errorf("NSDP(%d): no reduction (%d >= %d)", n, res.States, full)
+		}
+		t.Logf("NSDP(%d): full=%d reduced=%d", n, full, res.States)
+	}
+}

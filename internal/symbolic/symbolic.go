@@ -1,0 +1,214 @@
+// Package symbolic implements OBDD-based symbolic reachability analysis of
+// safe Petri nets (Section 2.4 of the paper; the role SMV plays in its
+// Table 1): one boolean variable per place, a partitioned transition
+// relation, breadth-first image computation to a fixpoint, and a symbolic
+// deadlock check. The manager's peak node count is reported as the
+// "Peak BDD-size" statistic.
+package symbolic
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/bdd"
+	"repro/internal/petri"
+)
+
+// ErrNodeLimit is returned when the BDD grows beyond Options.MaxNodes.
+var ErrNodeLimit = errors.New("symbolic: BDD node limit exceeded")
+
+// Order selects the variable ordering of current/next state variables.
+type Order int
+
+const (
+	// OrderInterleaved puts each place's next-state variable directly
+	// after its current-state variable — the standard choice for
+	// transition relations.
+	OrderInterleaved Order = iota
+	// OrderSequential puts all current-state variables before all
+	// next-state variables; usually much worse (ablation).
+	OrderSequential
+)
+
+// Options configures a symbolic analysis.
+type Options struct {
+	Order Order
+	// MaxNodes aborts the analysis when the manager exceeds this many
+	// nodes (0 = no limit).
+	MaxNodes int
+	// Bad, if non-empty, adds a safety check: is a marking with all these
+	// places simultaneously marked reachable?
+	Bad []petri.Place
+}
+
+// Result summarizes a symbolic reachability analysis.
+type Result struct {
+	States     float64 // |reachable set| (exact while it fits a float64)
+	PeakNodes  int     // peak BDD manager size
+	FinalNodes int     // nodes of the reached-set BDD
+	Iterations int     // image steps to the fixpoint
+	Deadlock   bool
+	Witness    petri.Marking // one deadlock marking, if any
+	BadFound   bool          // Options.Bad combination is reachable
+	BadWitness petri.Marking // one bad marking, if any
+}
+
+// analyzer carries the encoding.
+type analyzer struct {
+	net  *petri.Net
+	m    *bdd.Manager
+	cur  []int  // variable of place p (current state)
+	nxt  []int  // variable of place p (next state)
+	shed []bool // quantification cube: current-state variables
+	perm []int  // renaming next → current
+}
+
+func newAnalyzer(n *petri.Net, order Order) *analyzer {
+	np := n.NumPlaces()
+	a := &analyzer{
+		net: n,
+		m:   bdd.NewManager(2 * np),
+		cur: make([]int, np),
+		nxt: make([]int, np),
+	}
+	for p := 0; p < np; p++ {
+		switch order {
+		case OrderInterleaved:
+			a.cur[p], a.nxt[p] = 2*p, 2*p+1
+		case OrderSequential:
+			a.cur[p], a.nxt[p] = p, np+p
+		}
+	}
+	a.shed = make([]bool, 2*np)
+	a.perm = make([]int, 2*np)
+	for p := 0; p < np; p++ {
+		a.shed[a.cur[p]] = true
+		a.perm[a.cur[p]] = a.cur[p]
+		a.perm[a.nxt[p]] = a.cur[p]
+	}
+	return a
+}
+
+// transitionRelation builds T_t(x, x′): t enabled in x, tokens moved, and
+// every untouched place unchanged.
+func (a *analyzer) transitionRelation(t petri.Trans) bdd.Node {
+	n, m := a.net, a.m
+	touched := make(map[petri.Place]bool)
+	rel := bdd.True
+	for _, p := range n.Pre(t) {
+		touched[p] = true
+		rel = m.And(rel, m.Var(a.cur[p])) // enabledness
+	}
+	for _, p := range n.Post(t) {
+		touched[p] = true
+	}
+	inPost := make(map[petri.Place]bool)
+	for _, p := range n.Post(t) {
+		inPost[p] = true
+	}
+	for _, p := range n.Pre(t) {
+		if !inPost[p] {
+			rel = m.And(rel, m.NVar(a.nxt[p])) // token removed
+		} else {
+			rel = m.And(rel, m.Var(a.nxt[p])) // self-loop keeps token
+		}
+	}
+	for _, p := range n.Post(t) {
+		rel = m.And(rel, m.Var(a.nxt[p])) // token added
+	}
+	for p := petri.Place(0); int(p) < n.NumPlaces(); p++ {
+		if !touched[p] {
+			rel = m.And(rel, m.Equiv(m.Var(a.cur[p]), m.Var(a.nxt[p])))
+		}
+	}
+	return rel
+}
+
+// Analyze runs the symbolic reachability analysis and deadlock check.
+func Analyze(n *petri.Net, opts Options) (*Result, error) {
+	a := newAnalyzer(n, opts.Order)
+	m := a.m
+
+	rels := make([]bdd.Node, n.NumTrans())
+	for t := petri.Trans(0); int(t) < n.NumTrans(); t++ {
+		rels[t] = a.transitionRelation(t)
+		if opts.MaxNodes > 0 && m.Size() > opts.MaxNodes {
+			return nil, ErrNodeLimit
+		}
+	}
+
+	// Initial state.
+	init := bdd.True
+	marked := make(map[petri.Place]bool)
+	for _, p := range n.InitialPlaces() {
+		marked[p] = true
+	}
+	for p := petri.Place(0); int(p) < n.NumPlaces(); p++ {
+		if marked[p] {
+			init = m.And(init, m.Var(a.cur[p]))
+		} else {
+			init = m.And(init, m.NVar(a.cur[p]))
+		}
+	}
+
+	reached := init
+	frontier := init
+	iterations := 0
+	for frontier != bdd.False {
+		iterations++
+		img := bdd.False
+		for _, rel := range rels {
+			step := m.AndExists(frontier, rel, a.shed)
+			img = m.Or(img, m.Rename(step, a.perm))
+			if opts.MaxNodes > 0 && m.Size() > opts.MaxNodes {
+				return nil, ErrNodeLimit
+			}
+		}
+		frontier = m.And(img, m.Not(reached))
+		reached = m.Or(reached, img)
+	}
+
+	// Deadlock: reached ∧ no transition enabled.
+	someEnabled := bdd.False
+	for t := petri.Trans(0); int(t) < n.NumTrans(); t++ {
+		en := bdd.True
+		for _, p := range n.Pre(t) {
+			en = m.And(en, m.Var(a.cur[p]))
+		}
+		someEnabled = m.Or(someEnabled, en)
+	}
+	dead := m.And(reached, m.Not(someEnabled))
+
+	res := &Result{
+		States:     m.SatCount(reached) / math.Exp2(float64(n.NumPlaces())),
+		PeakNodes:  m.Peak(),
+		FinalNodes: m.NodeCount(reached),
+		Iterations: iterations,
+	}
+	if assign, ok := m.AnySat(dead); ok {
+		res.Deadlock = true
+		res.Witness = a.markingOf(assign)
+	}
+
+	if len(opts.Bad) > 0 {
+		badF := bdd.True
+		for _, p := range opts.Bad {
+			badF = m.And(badF, m.Var(a.cur[p]))
+		}
+		if assign, ok := m.AnySat(m.And(reached, badF)); ok {
+			res.BadFound = true
+			res.BadWitness = a.markingOf(assign)
+		}
+	}
+	return res, nil
+}
+
+func (a *analyzer) markingOf(assign []bool) petri.Marking {
+	w := a.net.EmptyMarking()
+	for p := petri.Place(0); int(p) < a.net.NumPlaces(); p++ {
+		if assign[a.cur[p]] {
+			w.Set(p)
+		}
+	}
+	return w
+}

@@ -1,0 +1,174 @@
+// Package timed adds interval timing analysis on top of net unfoldings —
+// the direction the paper's conclusion points to ("efficient timing
+// verification of concurrent systems, modeled as Timed Petri nets", its
+// references [7] and [13]).
+//
+// Transitions carry earliest/latest firing delays [Lo, Hi] measured from
+// the moment they become enabled. On the acyclic prefix built by
+// internal/unfold, occurrence-time bounds propagate along causality only:
+// an event can fire no earlier than Lo after the latest of its producers'
+// earliest times, and no later than Hi after their latest times. The
+// result is, per event, a conservative [Earliest, Latest] occurrence
+// window, plus critical-path extraction. For cyclic nets the bounds cover
+// the prefix (the behavior up to cutoffs), i.e. the first "round" of the
+// system — the classical use for asynchronous-circuit response-time
+// estimation.
+package timed
+
+import (
+	"fmt"
+
+	"repro/internal/petri"
+	"repro/internal/unfold"
+)
+
+// Delay is an interval firing delay.
+type Delay struct {
+	Lo, Hi int64
+}
+
+// Delays assigns an interval to every transition of a net.
+type Delays []Delay
+
+// Uniform returns delays assigning the same interval to every transition.
+func Uniform(n *petri.Net, lo, hi int64) Delays {
+	d := make(Delays, n.NumTrans())
+	for i := range d {
+		d[i] = Delay{Lo: lo, Hi: hi}
+	}
+	return d
+}
+
+// Validate checks 0 ≤ Lo ≤ Hi for every transition.
+func (d Delays) Validate(n *petri.Net) error {
+	if len(d) != n.NumTrans() {
+		return fmt.Errorf("timed: %d delays for %d transitions", len(d), n.NumTrans())
+	}
+	for t, iv := range d {
+		if iv.Lo < 0 || iv.Hi < iv.Lo {
+			return fmt.Errorf("timed: transition %s has invalid delay [%d,%d]",
+				n.TransName(petri.Trans(t)), iv.Lo, iv.Hi)
+		}
+	}
+	return nil
+}
+
+// Bounds is the occurrence window of one event.
+type Bounds struct {
+	Earliest, Latest int64
+}
+
+// Result holds the timing analysis of a prefix.
+type Result struct {
+	Prefix *unfold.Prefix
+	Events []Bounds // indexed like Prefix.Events
+}
+
+// Analyze propagates the delay intervals through the prefix.
+func Analyze(px *unfold.Prefix, d Delays) (*Result, error) {
+	if err := d.Validate(px.Net); err != nil {
+		return nil, err
+	}
+	res := &Result{Prefix: px, Events: make([]Bounds, len(px.Events))}
+	// Events are already topologically ordered: every producer of a
+	// condition was inserted before its consumers.
+	for i, e := range px.Events {
+		var lo, hi int64
+		for _, c := range e.Pre {
+			if c.Producer == nil {
+				continue // available at time 0
+			}
+			p := res.Events[c.Producer.ID]
+			if p.Earliest > lo {
+				lo = p.Earliest
+			}
+			if p.Latest > hi {
+				hi = p.Latest
+			}
+		}
+		iv := d[e.T]
+		res.Events[i] = Bounds{Earliest: lo + iv.Lo, Latest: hi + iv.Hi}
+	}
+	return res, nil
+}
+
+// Of returns the occurrence window of an event.
+func (r *Result) Of(e *unfold.Event) Bounds { return r.Events[e.ID] }
+
+// Span returns the window within which the whole (non-cutoff part of the)
+// prefix completes: the maximum earliest and latest bounds over all
+// non-cutoff events. ok is false when the prefix has no events.
+func (r *Result) Span() (Bounds, bool) {
+	var out Bounds
+	found := false
+	for i, e := range r.Prefix.Events {
+		if e.Cutoff {
+			continue
+		}
+		b := r.Events[i]
+		if !found || b.Earliest > out.Earliest {
+			out.Earliest = b.Earliest
+		}
+		if !found || b.Latest > out.Latest {
+			out.Latest = b.Latest
+		}
+		found = true
+	}
+	return out, found
+}
+
+// FirstOccurrence returns the occurrence window of the earliest event of
+// the given transition in the prefix (ok=false if the transition never
+// occurs).
+func (r *Result) FirstOccurrence(t petri.Trans) (Bounds, bool) {
+	found := false
+	var out Bounds
+	for i, e := range r.Prefix.Events {
+		if e.T != t {
+			continue
+		}
+		b := r.Events[i]
+		if !found || b.Earliest < out.Earliest {
+			out = b
+			found = true
+		}
+	}
+	return out, found
+}
+
+// CriticalPath returns the chain of events realizing the latest bound of
+// the given event: at every step the causal predecessor with the largest
+// Latest value. The path is returned root-first, ending at e.
+func (r *Result) CriticalPath(e *unfold.Event) []*unfold.Event {
+	var path []*unfold.Event
+	for e != nil {
+		path = append(path, e)
+		var next *unfold.Event
+		var best int64 = -1
+		for _, c := range e.Pre {
+			if c.Producer == nil {
+				continue
+			}
+			if b := r.Events[c.Producer.ID]; b.Latest > best {
+				best = b.Latest
+				next = c.Producer
+			}
+		}
+		e = next
+	}
+	// Reverse to root-first order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// Separation returns a conservative bound on the time separation
+// occurrence(b) − occurrence(a) for two events: the interval
+// [bE − aL, bL − aE]. (Exact minimal/maximal separations require the
+// partial-enumeration machinery of the paper's reference [7]; this
+// interval always contains them.)
+func (r *Result) Separation(a, b *unfold.Event) (lo, hi int64) {
+	ba, bb := r.Events[a.ID], r.Events[b.ID]
+	return bb.Earliest - ba.Latest, bb.Latest - ba.Earliest
+}

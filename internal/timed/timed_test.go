@@ -1,0 +1,222 @@
+package timed
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/petri"
+	"repro/internal/proc"
+	"repro/internal/unfold"
+)
+
+func build(t *testing.T, src string) (*petri.Net, *unfold.Prefix) {
+	t.Helper()
+	net := proc.MustCompile(src)
+	px, err := unfold.Build(net, unfold.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, px
+}
+
+func delaysByName(t *testing.T, n *petri.Net, def Delay, byName map[string]Delay) Delays {
+	t.Helper()
+	d := make(Delays, n.NumTrans())
+	for i := range d {
+		d[i] = def
+	}
+	for name, iv := range byName {
+		tr, ok := n.TransByName(name)
+		if !ok {
+			t.Fatalf("no transition %q", name)
+		}
+		d[tr] = iv
+	}
+	return d
+}
+
+func TestSequentialChain(t *testing.T) {
+	net, px := build(t, `
+		proc p = a ; b ; c
+		system p
+	`)
+	d := delaysByName(t, net, Delay{1, 2}, map[string]Delay{
+		"p.b": {10, 20},
+	})
+	res, err := Analyze(px, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := net.TransByName("p.c")
+	b, ok := res.FirstOccurrence(c)
+	if !ok {
+		t.Fatal("c never occurs")
+	}
+	// a: [1,2], b: [11,22], c: [12,24].
+	if b.Earliest != 12 || b.Latest != 24 {
+		t.Errorf("c window [%d,%d], want [12,24]", b.Earliest, b.Latest)
+	}
+	span, ok := res.Span()
+	if !ok || span.Earliest != 12 || span.Latest != 24 {
+		t.Errorf("span %+v, want [12,24]", span)
+	}
+}
+
+func TestParallelMax(t *testing.T) {
+	net, px := build(t, `
+		proc p = ( slow || fast ) ; done
+		system p
+	`)
+	d := delaysByName(t, net, Delay{0, 0}, map[string]Delay{
+		"p.slow": {100, 150},
+		"p.fast": {1, 2},
+		"p.done": {5, 5},
+	})
+	res, err := Analyze(px, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, _ := net.TransByName("p.done")
+	b, ok := res.FirstOccurrence(done)
+	if !ok {
+		t.Fatal("done never occurs")
+	}
+	// The join waits for the slow branch: [105, 155].
+	if b.Earliest != 105 || b.Latest != 155 {
+		t.Errorf("done window [%d,%d], want [105,155]", b.Earliest, b.Latest)
+	}
+
+	// Critical path runs through the slow branch.
+	var doneEvent *unfold.Event
+	for _, e := range px.Events {
+		if e.T == done {
+			doneEvent = e
+		}
+	}
+	path := res.CriticalPath(doneEvent)
+	names := make([]string, len(path))
+	for i, e := range path {
+		names[i] = net.TransName(e.T)
+	}
+	foundSlow := false
+	for _, nm := range names {
+		if nm == "p.slow" {
+			foundSlow = true
+		}
+		if nm == "p.fast" {
+			t.Errorf("critical path %v goes through the fast branch", names)
+		}
+	}
+	if !foundSlow {
+		t.Errorf("critical path %v misses the slow branch", names)
+	}
+}
+
+func TestChoiceBranchesIndependent(t *testing.T) {
+	net, px := build(t, `
+		proc p = ( quick + slow )
+		system p
+	`)
+	d := delaysByName(t, net, Delay{0, 0}, map[string]Delay{
+		"p.quick": {1, 1},
+		"p.slow":  {50, 60},
+	})
+	res, err := Analyze(px, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := net.TransByName("p.quick")
+	s, _ := net.TransByName("p.slow")
+	bq, _ := res.FirstOccurrence(q)
+	bs, _ := res.FirstOccurrence(s)
+	if bq.Earliest != 1 || bq.Latest != 1 {
+		t.Errorf("quick [%d,%d], want [1,1]", bq.Earliest, bq.Latest)
+	}
+	if bs.Earliest != 50 || bs.Latest != 60 {
+		t.Errorf("slow [%d,%d], want [50,60]", bs.Earliest, bs.Latest)
+	}
+}
+
+func TestRendezvousWaitsForBoth(t *testing.T) {
+	net, px := build(t, `
+		proc fastSide = prep ; !go
+		proc slowSide = think ; ?go
+		system fastSide slowSide
+	`)
+	d := delaysByName(t, net, Delay{1, 1}, map[string]Delay{
+		"fastSide.prep":  {1, 2},
+		"slowSide.think": {30, 40},
+	})
+	res, err := Analyze(px, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, ok := net.TransByName("go:fastSide>slowSide")
+	if !ok {
+		t.Fatal("missing rendezvous")
+	}
+	b, ok := res.FirstOccurrence(rv)
+	if !ok {
+		t.Fatal("rendezvous never occurs")
+	}
+	// Waits for the slow thinker: [31, 41].
+	if b.Earliest != 31 || b.Latest != 41 {
+		t.Errorf("rendezvous [%d,%d], want [31,41]", b.Earliest, b.Latest)
+	}
+
+	lo, hi := func() (int64, int64) {
+		var prepE, rvE *unfold.Event
+		prep, _ := net.TransByName("fastSide.prep")
+		for _, e := range px.Events {
+			if e.T == prep {
+				prepE = e
+			}
+			if e.T == rv {
+				rvE = e
+			}
+		}
+		return res.Separation(prepE, rvE)
+	}()
+	// prep at [1,2], rendezvous at [31,41]: separation within [29,40].
+	if lo != 29 || hi != 40 {
+		t.Errorf("separation [%d,%d], want [29,40]", lo, hi)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	net := models.Fig3()
+	bad := Uniform(net, 5, 2) // Hi < Lo
+	px, err := unfold.Build(net, unfold.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(px, bad); err == nil {
+		t.Error("invalid delays accepted")
+	}
+	short := make(Delays, 1)
+	if _, err := Analyze(px, short); err == nil {
+		t.Error("wrong-length delays accepted")
+	}
+}
+
+func TestUniformOnFig1(t *testing.T) {
+	net := models.Fig1(5)
+	px, err := unfold.Build(net, unfold.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(px, Uniform(net, 3, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All five events are concurrent: identical windows [3,7].
+	for i := range px.Events {
+		if res.Events[i].Earliest != 3 || res.Events[i].Latest != 7 {
+			t.Errorf("event %d window %+v, want [3,7]", i, res.Events[i])
+		}
+	}
+	span, _ := res.Span()
+	if span.Earliest != 3 || span.Latest != 7 {
+		t.Errorf("span %+v", span)
+	}
+}

@@ -1,0 +1,188 @@
+package tset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	s := New(70) // spans two words
+	if !s.IsEmpty() || s.Len() != 0 {
+		t.Fatal("new set must be empty")
+	}
+	s.Add(0)
+	s.Add(63)
+	s.Add(64)
+	s.Add(69)
+	if s.Len() != 4 {
+		t.Fatalf("len=%d want 4", s.Len())
+	}
+	for _, i := range []int{0, 63, 64, 69} {
+		if !s.Has(i) {
+			t.Errorf("missing %d", i)
+		}
+	}
+	if s.Has(1) || s.Has(65) {
+		t.Error("spurious members")
+	}
+	s.Remove(63)
+	if s.Has(63) || s.Len() != 3 {
+		t.Error("remove failed")
+	}
+	if got := s.Members(); len(got) != 3 || got[0] != 0 || got[1] != 64 || got[2] != 69 {
+		t.Errorf("members=%v", got)
+	}
+}
+
+func TestOfAndFull(t *testing.T) {
+	s := Of(10, 1, 3, 5)
+	if s.Len() != 3 || !s.Has(3) {
+		t.Fatal("Of failed")
+	}
+	f := Full(10)
+	if f.Len() != 10 {
+		t.Fatalf("Full(10).Len()=%d", f.Len())
+	}
+	f = Full(64)
+	if f.Len() != 64 {
+		t.Fatalf("Full(64).Len()=%d", f.Len())
+	}
+	f = Full(65)
+	if f.Len() != 65 || !f.Has(64) {
+		t.Fatalf("Full(65) wrong")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := Of(8, 1, 2, 3)
+	b := Of(8, 3, 4)
+	if got := a.Union(b); got.Len() != 4 || !got.Has(4) {
+		t.Errorf("union=%v", got)
+	}
+	if got := a.Intersect(b); got.Len() != 1 || !got.Has(3) {
+		t.Errorf("intersect=%v", got)
+	}
+	if got := a.Diff(b); got.Len() != 2 || got.Has(3) {
+		t.Errorf("diff=%v", got)
+	}
+	if !a.Intersects(b) || a.Intersects(Of(8, 7)) {
+		t.Error("intersects wrong")
+	}
+	if !Of(8, 1, 2).SubsetOf(a) || a.SubsetOf(b) {
+		t.Error("subset wrong")
+	}
+}
+
+func TestCompareAndKey(t *testing.T) {
+	a := Of(8, 1)
+	b := Of(8, 2)
+	if a.Compare(b) >= 0 || b.Compare(a) <= 0 || a.Compare(a.Clone()) != 0 {
+		t.Error("compare ordering wrong")
+	}
+	if a.Key() == b.Key() {
+		t.Error("distinct sets share a key")
+	}
+	if a.Key() != a.Clone().Key() {
+		t.Error("clone changes key")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := Of(8, 1)
+	b := a.Clone()
+	b.Add(2)
+	if a.Has(2) {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestPanicsOutsideUniverse(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s := New(4)
+	s.Add(4)
+}
+
+func TestMixedUniversePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Of(4, 1).Union(Of(5, 1))
+}
+
+// TestQuickAlgebraLaws property-checks set laws with testing/quick.
+func TestQuickAlgebraLaws(t *testing.T) {
+	const n = 100
+	gen := func(seed int64) TSet {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				s.Add(i)
+			}
+		}
+		return s
+	}
+	laws := map[string]func(x, y int64) bool{
+		"union-len": func(x, y int64) bool {
+			a, b := gen(x), gen(y)
+			return a.Union(b).Len() == a.Len()+b.Len()-a.Intersect(b).Len()
+		},
+		"diff-disjoint": func(x, y int64) bool {
+			a, b := gen(x), gen(y)
+			return !a.Diff(b).Intersects(b)
+		},
+		"demorgan": func(x, y int64) bool {
+			a, b := gen(x), gen(y)
+			full := Full(n)
+			left := full.Diff(a.Union(b))
+			right := full.Diff(a).Intersect(full.Diff(b))
+			return left.Equal(right)
+		},
+		"min-is-first": func(x, y int64) bool {
+			a := gen(x)
+			ms := a.Members()
+			if len(ms) == 0 {
+				return a.Min() == -1
+			}
+			return a.Min() == ms[0]
+		},
+	}
+	for name, law := range laws {
+		if err := quick.Check(law, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := Of(130, 129, 0, 64, 65)
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	want := []int{0, 64, 65, 129}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Of(8, 2, 5)
+	if s.String() != "{2,5}" {
+		t.Errorf("String=%q", s.String())
+	}
+	named := s.StringNamed(func(i int) string { return string(rune('a' + i)) })
+	if named != "{c,f}" {
+		t.Errorf("StringNamed=%q", named)
+	}
+}

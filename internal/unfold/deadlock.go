@@ -1,0 +1,117 @@
+package unfold
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/petri"
+)
+
+// FindDeadlock searches for a reachable dead marking using only the
+// prefix: a depth-first walk over cuts (co-sets of conditions reached by
+// configurations without cutoff events). A cut is dead when no event of
+// the prefix — cutoffs included — is enabled on it; by completeness of the
+// prefix this coincides with the marking enabling no net transition.
+func (px *Prefix) FindDeadlock() (petri.Marking, bool) {
+	return px.FindDeadlockWhere(nil)
+}
+
+// FindDeadlockWhere is FindDeadlock restricted to dead markings satisfying
+// the predicate (nil accepts all). Used by the safety-to-deadlock
+// reduction, where only deadlocks marking the monitor trap count.
+func (px *Prefix) FindDeadlockWhere(pred func(petri.Marking) bool) (petri.Marking, bool) {
+	type cut struct {
+		conds map[int]*Cond
+	}
+	start := cut{conds: make(map[int]*Cond)}
+	for _, c := range px.InitialCut {
+		start.conds[c.ID] = c
+	}
+
+	key := func(c cut) string {
+		ids := make([]int, 0, len(c.conds))
+		for id := range c.conds {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		var b strings.Builder
+		for _, id := range ids {
+			b.WriteString(strconv.Itoa(id))
+			b.WriteByte(',')
+		}
+		return b.String()
+	}
+	markOf := func(c cut) petri.Marking {
+		m := px.Net.EmptyMarking()
+		for _, cond := range c.conds {
+			m.Set(cond.Place)
+		}
+		return m
+	}
+	enabled := func(c cut, e *Event) bool {
+		for _, p := range e.Pre {
+			if _, ok := c.conds[p.ID]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+
+	seen := map[string]bool{key(start): true}
+	stack := []cut{start}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		any := false
+		for _, e := range px.Events {
+			if !enabled(cur, e) {
+				continue
+			}
+			any = true
+			if e.Cutoff {
+				// The marking beyond a cutoff is represented elsewhere;
+				// the event still counts as "enabled" for deadness.
+				continue
+			}
+			next := cut{conds: make(map[int]*Cond, len(cur.conds))}
+			for id, c := range cur.conds {
+				next.conds[id] = c
+			}
+			for _, c := range e.Pre {
+				delete(next.conds, c.ID)
+			}
+			for _, c := range e.Post {
+				next.conds[c.ID] = c
+			}
+			k := key(next)
+			if !seen[k] {
+				seen[k] = true
+				stack = append(stack, next)
+			}
+		}
+		if !any {
+			if m := markOf(cur); pred == nil || pred(m) {
+				return m, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Stats summarizes a prefix.
+type Stats struct {
+	Events     int
+	Conditions int
+	Cutoffs    int
+}
+
+// Stats returns the prefix size statistics.
+func (px *Prefix) Stats() Stats {
+	return Stats{
+		Events:     len(px.Events),
+		Conditions: len(px.Conds),
+		Cutoffs:    px.CutoffCnt,
+	}
+}

@@ -1,0 +1,400 @@
+// Package unfold implements McMillan-style net unfoldings: the complete
+// finite prefix of a safe Petri net's branching process, and a
+// prefix-native deadlock check.
+//
+// Unfoldings are the other classical partial-order attack on state
+// explosion from the paper's era (its reference [13] applies them to timed
+// nets): instead of exploring interleavings, the net is unrolled into an
+// acyclic occurrence net whose events are partially ordered; concurrency
+// never multiplies states, only conflicts branch. Cutoff events — whose
+// local configuration reaches an already-represented marking — truncate
+// the unrolling into a finite prefix that still represents every reachable
+// marking.
+//
+// The package complements the generalized partial-order engine: both avoid
+// interleaving blow-up, but GPO additionally collapses *conflicts*, which
+// unfoldings still branch on (compare their statistics on models.Fig2).
+package unfold
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/petri"
+)
+
+// ErrEventLimit is returned when the prefix exceeds Options.MaxEvents.
+var ErrEventLimit = errors.New("unfold: event limit exceeded")
+
+// Cond is a condition: an occurrence of a place.
+type Cond struct {
+	ID       int
+	Place    petri.Place
+	Producer *Event // nil for initial conditions
+}
+
+// Event is an occurrence of a transition.
+type Event struct {
+	ID     int
+	T      petri.Trans
+	Pre    []*Cond
+	Post   []*Cond
+	Cutoff bool
+
+	local localConfig   // [e]: e plus its causal predecessors
+	mark  petri.Marking // Mark([e])
+}
+
+// Size returns |[e]|, the number of events in the local configuration.
+func (e *Event) Size() int { return e.local.count }
+
+// Mark returns the marking reached by the local configuration.
+func (e *Event) Mark() petri.Marking { return e.mark }
+
+// localConfig is a bitset of event ids plus its cardinality.
+type localConfig struct {
+	bits  []uint64
+	count int
+}
+
+func newConfig(nwords int) localConfig {
+	return localConfig{bits: make([]uint64, nwords)}
+}
+
+func (c *localConfig) has(id int) bool {
+	w := id / 64
+	return w < len(c.bits) && c.bits[w]&(1<<uint(id%64)) != 0
+}
+
+func (c *localConfig) add(id int) {
+	w := id / 64
+	for w >= len(c.bits) {
+		c.bits = append(c.bits, 0)
+	}
+	if c.bits[w]&(1<<uint(id%64)) == 0 {
+		c.bits[w] |= 1 << uint(id%64)
+		c.count++
+	}
+}
+
+func (c *localConfig) union(o localConfig) {
+	for len(c.bits) < len(o.bits) {
+		c.bits = append(c.bits, 0)
+	}
+	c.count = 0
+	for i := range c.bits {
+		if i < len(o.bits) {
+			c.bits[i] |= o.bits[i]
+		}
+		c.count += popcount(c.bits[i])
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Prefix is a complete finite prefix of the net's branching process.
+type Prefix struct {
+	Net        *petri.Net
+	Events     []*Event
+	Conds      []*Cond
+	InitialCut []*Cond
+	CutoffCnt  int
+}
+
+// Options bounds the construction.
+type Options struct {
+	// MaxEvents aborts the construction beyond this many events
+	// (0 = no limit).
+	MaxEvents int
+}
+
+// Build constructs the complete finite prefix: events are inserted in
+// order of local-configuration size (McMillan's adequate order), and an
+// event is a cutoff when some earlier event — or the empty configuration —
+// already reaches the same marking with a smaller local configuration.
+func Build(n *petri.Net, opts Options) (*Prefix, error) {
+	u := &unfolder{
+		net:    n,
+		prefix: &Prefix{Net: n},
+		marks:  map[string]int{n.InitialMarking().Key(): 0},
+	}
+	for _, p := range n.InitialPlaces() {
+		c := u.newCond(p, nil)
+		u.prefix.InitialCut = append(u.prefix.InitialCut, c)
+	}
+	// Seed the possible extensions from the initial cut.
+	for _, c := range u.prefix.InitialCut {
+		u.extensionsWith(c)
+	}
+
+	for u.pq.Len() > 0 {
+		cand := heap.Pop(&u.pq).(*Event)
+		if u.dupe(cand) {
+			continue
+		}
+		if opts.MaxEvents > 0 && len(u.prefix.Events) >= opts.MaxEvents {
+			return u.prefix, ErrEventLimit
+		}
+		u.insert(cand)
+	}
+	return u.prefix, nil
+}
+
+// unfolder carries construction state.
+type unfolder struct {
+	net    *petri.Net
+	prefix *Prefix
+	pq     eventPQ
+	// marks maps a marking key to the smallest local-config size reaching
+	// it (the initial marking has size 0).
+	marks map[string]int
+	// seen dedupes events by (transition, preset condition ids).
+	seen map[string]bool
+}
+
+func (u *unfolder) newCond(p petri.Place, producer *Event) *Cond {
+	c := &Cond{ID: len(u.prefix.Conds), Place: p, Producer: producer}
+	u.prefix.Conds = append(u.prefix.Conds, c)
+	return c
+}
+
+// key identifies an event by transition and preset.
+func eventKey(t petri.Trans, pre []*Cond) string {
+	ids := make([]int, len(pre))
+	for i, c := range pre {
+		ids[i] = c.ID
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d:", t)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%d,", id)
+	}
+	return b.String()
+}
+
+func (u *unfolder) dupe(e *Event) bool {
+	if u.seen == nil {
+		u.seen = make(map[string]bool)
+	}
+	k := eventKey(e.T, e.Pre)
+	if u.seen[k] {
+		return true
+	}
+	u.seen[k] = true
+	return false
+}
+
+// insert finalizes a candidate event: decides cutoff, and if not cutoff,
+// adds its postset conditions and the extensions they enable.
+func (u *unfolder) insert(e *Event) {
+	e.ID = len(u.prefix.Events)
+	u.prefix.Events = append(u.prefix.Events, e)
+
+	key := e.mark.Key()
+	if best, ok := u.marks[key]; ok && best < e.Size() {
+		e.Cutoff = true
+		u.prefix.CutoffCnt++
+		return
+	}
+	if best, ok := u.marks[key]; !ok || e.Size() < best {
+		u.marks[key] = e.Size()
+	}
+
+	for _, p := range u.net.Post(e.T) {
+		c := u.newCond(p, e)
+		e.Post = append(e.Post, c)
+	}
+	for _, c := range e.Post {
+		u.extensionsWith(c)
+	}
+}
+
+// extensionsWith enumerates candidate events whose preset contains the new
+// condition c: for every consumer transition of c's place, it searches
+// pairwise-concurrent conditions for the remaining input places.
+func (u *unfolder) extensionsWith(c *Cond) {
+	for _, t := range u.net.PostT(c.Place) {
+		pre := u.net.Pre(t)
+		// Candidate conditions per input place; c is fixed for its place.
+		choices := make([][]*Cond, len(pre))
+		for i, p := range pre {
+			if p == c.Place {
+				choices[i] = []*Cond{c}
+				continue
+			}
+			for _, cand := range u.prefix.Conds {
+				if cand.Place == p && u.concurrent(cand, c) {
+					choices[i] = append(choices[i], cand)
+				}
+			}
+			if len(choices[i]) == 0 {
+				choices = nil
+				break
+			}
+		}
+		if choices == nil {
+			continue
+		}
+		u.combine(t, choices, 0, make([]*Cond, 0, len(pre)))
+	}
+}
+
+// combine backtracks over the per-place choices, requiring pairwise
+// concurrency, and pushes complete presets as candidate events.
+func (u *unfolder) combine(t petri.Trans, choices [][]*Cond, i int, acc []*Cond) {
+	if i == len(choices) {
+		u.push(t, append([]*Cond(nil), acc...))
+		return
+	}
+	for _, cand := range choices[i] {
+		ok := true
+		for _, prev := range acc {
+			if !u.concurrent(cand, prev) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			u.combine(t, choices, i+1, append(acc, cand))
+		}
+	}
+}
+
+// push computes the candidate's local configuration and marking and
+// enqueues it.
+func (u *unfolder) push(t petri.Trans, pre []*Cond) {
+	cfg := newConfig(1)
+	for _, c := range pre {
+		if c.Producer != nil {
+			cfg.union(c.Producer.local)
+			cfg.add(c.Producer.ID)
+		}
+	}
+	e := &Event{T: t, Pre: pre}
+	e.local = cfg
+	// A real event id is assigned at insertion; size counts e itself.
+	e.local.count = cfg.count
+	e.mark = u.markOf(e)
+	heap.Push(&u.pq, e)
+}
+
+// markOf computes Mark([e]): fire, at the condition level, every event of
+// the local configuration plus e itself: initial conditions plus all
+// postsets, minus everything consumed.
+func (u *unfolder) markOf(e *Event) petri.Marking {
+	m := u.net.EmptyMarking()
+	consumed := make(map[int]bool)
+	mark := func(ev *Event) {
+		for _, c := range ev.Pre {
+			consumed[c.ID] = true
+		}
+	}
+	mark(e)
+	for _, f := range u.prefix.Events {
+		if e.local.has(f.ID) {
+			mark(f)
+		}
+	}
+	place := func(c *Cond) {
+		if !consumed[c.ID] {
+			m.Set(c.Place)
+		}
+	}
+	for _, c := range u.prefix.InitialCut {
+		place(c)
+	}
+	for _, f := range u.prefix.Events {
+		if e.local.has(f.ID) {
+			for _, c := range f.Post {
+				place(c)
+			}
+		}
+	}
+	// e's own postset.
+	for _, p := range u.net.Post(e.T) {
+		m.Set(p)
+	}
+	return m
+}
+
+// concurrent reports co(a, b): neither causally ordered nor in conflict,
+// so a and b can appear in one cut together.
+func (u *unfolder) concurrent(a, b *Cond) bool {
+	if a == b {
+		return false
+	}
+	la := u.configOf(a)
+	lb := u.configOf(b)
+	// a consumed by an event of [b]'s configuration ⇒ a < b (or conflict).
+	if u.consumedBy(a, lb) || u.consumedBy(b, la) {
+		return false
+	}
+	// Conflict: the joint configuration consumes some condition twice.
+	return u.compatible(la, lb)
+}
+
+func (u *unfolder) configOf(c *Cond) localConfig {
+	if c.Producer == nil {
+		return newConfig(1)
+	}
+	cfg := newConfig(len(c.Producer.local.bits))
+	cfg.union(c.Producer.local)
+	cfg.add(c.Producer.ID)
+	return cfg
+}
+
+func (u *unfolder) consumedBy(c *Cond, cfg localConfig) bool {
+	for _, e := range u.prefix.Events {
+		if !cfg.has(e.ID) {
+			continue
+		}
+		for _, p := range e.Pre {
+			if p == c {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (u *unfolder) compatible(l1, l2 localConfig) bool {
+	consumer := make(map[int]int) // condition id -> event id
+	for _, e := range u.prefix.Events {
+		if !l1.has(e.ID) && !l2.has(e.ID) {
+			continue
+		}
+		for _, c := range e.Pre {
+			if prev, ok := consumer[c.ID]; ok && prev != e.ID {
+				return false
+			}
+			consumer[c.ID] = e.ID
+		}
+	}
+	return true
+}
+
+// eventPQ orders candidate events by local-configuration size.
+type eventPQ []*Event
+
+func (q eventPQ) Len() int           { return len(q) }
+func (q eventPQ) Less(i, j int) bool { return q[i].Size() < q[j].Size() }
+func (q eventPQ) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *eventPQ) Push(x any)        { *q = append(*q, x.(*Event)) }
+func (q *eventPQ) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}

@@ -1,0 +1,321 @@
+// Package verify is the unified façade over the four analysis engines the
+// paper compares: exhaustive explicit reachability, stubborn-set
+// partial-order reduction, OBDD-based symbolic reachability, and the
+// paper's generalized partial-order analysis (with either the explicit or
+// the ZDD family representation). It runs deadlock and safety checks and
+// returns engine-comparable statistics — the columns of the paper's
+// Table 1.
+package verify
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/family"
+	"repro/internal/petri"
+	"repro/internal/reach"
+	"repro/internal/stubborn"
+	"repro/internal/symbolic"
+	"repro/internal/unfold"
+	"repro/internal/zdd"
+)
+
+// Engine selects the analysis technique.
+type Engine int
+
+const (
+	// Exhaustive enumerates the complete reachability graph (Section 2.2;
+	// the "States" column).
+	Exhaustive Engine = iota
+	// PartialOrder uses stubborn-set reduction (Section 2.3; SPIN+PO).
+	PartialOrder
+	// Symbolic uses OBDD-based reachability (Section 2.4; SMV).
+	Symbolic
+	// GPO is the paper's generalized partial-order analysis with the ZDD
+	// family representation (Section 3).
+	GPO
+	// GPOExplicit is GPO with the explicit family representation; it
+	// computes identical results and is practical only for small nets.
+	GPOExplicit
+	// Unfolding builds a McMillan complete finite prefix and checks
+	// deadlock on it (our extension: the other classical partial-order
+	// technique of the paper's era, cf. its reference [13]).
+	Unfolding
+)
+
+// String returns the engine's short display name.
+func (e Engine) String() string {
+	switch e {
+	case Exhaustive:
+		return "exhaustive"
+	case PartialOrder:
+		return "partial-order"
+	case Symbolic:
+		return "symbolic"
+	case GPO:
+		return "gpo"
+	case GPOExplicit:
+		return "gpo-explicit"
+	case Unfolding:
+		return "unfolding"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// ParseEngine maps a name (as printed by String) back to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	for _, e := range []Engine{Exhaustive, PartialOrder, Symbolic, GPO, GPOExplicit, Unfolding} {
+		if e.String() == s {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("verify: unknown engine %q", s)
+}
+
+// Options configures a check.
+type Options struct {
+	Engine Engine
+	// StopAtFirst halts at the first deadlock (or bad state) found.
+	StopAtFirst bool
+	// MaxStates bounds explicit searches; MaxNodes bounds symbolic ones.
+	MaxStates int
+	MaxNodes  int
+	// Proviso applies the cycle proviso in the partial-order engine.
+	Proviso bool
+}
+
+// Report is the engine-comparable outcome of a check.
+type Report struct {
+	Net      string
+	Engine   Engine
+	Deadlock bool          // or "bad state reachable" for safety checks
+	Witness  petri.Marking // one witness marking, nil if none or not tracked
+	States   int           // states explored (GPN states for GPO engines)
+	PeakBDD  int           // symbolic engine only: peak BDD nodes
+	PeakSets float64       // GPO engines only: largest |r|
+	Elapsed  time.Duration
+	Complete bool
+}
+
+// CheckDeadlock analyses the net for reachable deadlocks.
+func CheckDeadlock(n *petri.Net, opts Options) (*Report, error) {
+	start := time.Now()
+	rep := &Report{Net: n.Name(), Engine: opts.Engine}
+	switch opts.Engine {
+	case Exhaustive:
+		res, err := reach.Explore(n, reach.Options{
+			MaxStates:      opts.MaxStates,
+			StopAtDeadlock: opts.StopAtFirst,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Deadlock = res.Deadlock
+		rep.States = res.States
+		rep.Complete = res.Complete
+		if len(res.Deadlocks) > 0 {
+			rep.Witness = res.Deadlocks[0]
+		}
+	case PartialOrder:
+		res, err := stubborn.Explore(n, stubborn.Options{
+			MaxStates:      opts.MaxStates,
+			StopAtDeadlock: opts.StopAtFirst,
+			Proviso:        opts.Proviso,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Deadlock = res.Deadlock
+		rep.States = res.States
+		rep.Complete = res.Complete
+		if len(res.Deadlocks) > 0 {
+			rep.Witness = res.Deadlocks[0]
+		}
+	case Symbolic:
+		res, err := symbolic.Analyze(n, symbolic.Options{MaxNodes: opts.MaxNodes})
+		if err != nil {
+			return nil, err
+		}
+		rep.Deadlock = res.Deadlock
+		rep.States = int(res.States)
+		rep.PeakBDD = res.PeakNodes
+		rep.Witness = res.Witness
+		rep.Complete = true
+	case GPO:
+		e, err := core.NewEngine[zdd.Node](n, zdd.NewAlgebra(n.NumTrans()))
+		if err != nil {
+			return nil, err
+		}
+		res, _, err := e.Analyze(core.Options{
+			MaxStates:      opts.MaxStates,
+			StopAtDeadlock: opts.StopAtFirst,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fillGPO(rep, res)
+	case GPOExplicit:
+		e, err := core.NewEngine[*family.Family](n, family.NewAlgebra(n.NumTrans()))
+		if err != nil {
+			return nil, err
+		}
+		res, _, err := e.Analyze(core.Options{
+			MaxStates:      opts.MaxStates,
+			StopAtDeadlock: opts.StopAtFirst,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fillGPO(rep, res)
+	case Unfolding:
+		px, err := unfold.Build(n, unfold.Options{MaxEvents: opts.MaxStates})
+		if err != nil {
+			return nil, err
+		}
+		rep.States = len(px.Events)
+		rep.Complete = true
+		if w, dead := px.FindDeadlock(); dead {
+			rep.Deadlock = true
+			rep.Witness = w
+		}
+	default:
+		return nil, fmt.Errorf("verify: unknown engine %v", opts.Engine)
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+func fillGPO(rep *Report, res *core.Result) {
+	rep.Deadlock = res.Deadlock
+	rep.States = res.States
+	rep.PeakSets = res.PeakValid
+	rep.Complete = res.Complete
+	if len(res.Witnesses) > 0 {
+		rep.Witness = res.Witnesses[0]
+	}
+}
+
+// CheckSafety checks whether a marking with all places of bad
+// simultaneously marked is reachable. For the explicit and symbolic
+// engines the predicate is checked directly; for the partial-order and
+// generalized engines the check is reduced to deadlock detection on a
+// monitored net (Section 4 of the paper: "the verification of a safety
+// property can always be reduced to a check for deadlock").
+func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error) {
+	start := time.Now()
+	rep := &Report{Net: n.Name(), Engine: opts.Engine}
+	predicate := func(m petri.Marking) bool {
+		for _, p := range bad {
+			if !m.Has(p) {
+				return false
+			}
+		}
+		return true
+	}
+	switch opts.Engine {
+	case Exhaustive:
+		res, err := reach.Explore(n, reach.Options{
+			MaxStates: opts.MaxStates,
+			Bad:       predicate,
+			StopAtBad: opts.StopAtFirst,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Deadlock = res.BadFound
+		rep.States = res.States
+		rep.Complete = res.Complete
+		if len(res.BadStates) > 0 {
+			rep.Witness = res.BadStates[0]
+		}
+	case Symbolic:
+		res, err := symbolic.Analyze(n, symbolic.Options{MaxNodes: opts.MaxNodes, Bad: bad})
+		if err != nil {
+			return nil, err
+		}
+		rep.Deadlock = res.BadFound
+		rep.Witness = res.BadWitness
+		rep.States = int(res.States)
+		rep.PeakBDD = res.PeakNodes
+		rep.Complete = true
+	case PartialOrder:
+		// Reduction to deadlock on the monitored net: the bad combination
+		// is reachable iff the monitor can fire, after which the run token
+		// is gone and the whole net deadlocks with the trap marked.
+		mon, trap, err := petri.WithSafetyMonitor(n, bad)
+		if err != nil {
+			return nil, err
+		}
+		res, err := stubborn.Explore(mon, stubborn.Options{
+			MaxStates: opts.MaxStates,
+			Proviso:   opts.Proviso,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.States = res.States
+		rep.Complete = res.Complete
+		for _, m := range res.Deadlocks {
+			if m.Has(trap) {
+				rep.Deadlock = true
+				rep.Witness = m
+				break
+			}
+		}
+	case Unfolding:
+		mon, trap, err := petri.WithSafetyMonitor(n, bad)
+		if err != nil {
+			return nil, err
+		}
+		px, err := unfold.Build(mon, unfold.Options{MaxEvents: opts.MaxStates})
+		if err != nil {
+			return nil, err
+		}
+		rep.States = len(px.Events)
+		rep.Complete = true
+		if w, dead := px.FindDeadlockWhere(func(m petri.Marking) bool {
+			return m.Has(trap)
+		}); dead {
+			rep.Deadlock = true
+			rep.Witness = w
+		}
+	case GPO, GPOExplicit:
+		mon, trap, err := petri.WithSafetyMonitor(n, bad)
+		if err != nil {
+			return nil, err
+		}
+		copts := core.Options{
+			MaxStates:      opts.MaxStates,
+			StopAtDeadlock: opts.StopAtFirst,
+			ExpandDead:     true, // original deadlocks must not cut exploration
+			TrapFilter:     true,
+			TrapPlace:      trap,
+		}
+		var res *core.Result
+		if opts.Engine == GPO {
+			e, err := core.NewEngine[zdd.Node](mon, zdd.NewAlgebra(mon.NumTrans()))
+			if err != nil {
+				return nil, err
+			}
+			res, _, err = e.Analyze(copts)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			e, err := core.NewEngine[*family.Family](mon, family.NewAlgebra(mon.NumTrans()))
+			if err != nil {
+				return nil, err
+			}
+			res, _, err = e.Analyze(copts)
+			if err != nil {
+				return nil, err
+			}
+		}
+		fillGPO(rep, res)
+	default:
+		return nil, fmt.Errorf("verify: unknown engine %v", opts.Engine)
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}

@@ -1,0 +1,60 @@
+package zdd
+
+import "repro/internal/tset"
+
+// Alg adapts a ZDD Manager to the algebra interface consumed by the
+// analysis engine (internal/core.Algebra). All families produced by one
+// Alg live in its manager; mixing managers is a programming error.
+type Alg struct {
+	m *Manager
+}
+
+// NewAlgebra returns a ZDD family algebra over an n-transition universe.
+func NewAlgebra(n int) *Alg { return &Alg{m: NewManager(n)} }
+
+// Manager exposes the underlying ZDD manager (for statistics).
+func (a *Alg) Manager() *Manager { return a.m }
+
+// Universe returns the transition universe size.
+func (a *Alg) Universe() int { return a.m.Universe() }
+
+// Empty returns the family with no member sets.
+func (a *Alg) Empty() Node { return Bot }
+
+// FromSets returns the family holding exactly the given sets.
+func (a *Alg) FromSets(sets []tset.TSet) Node { return a.m.FromSets(sets) }
+
+// Union returns x ∪ y.
+func (a *Alg) Union(x, y Node) Node { return a.m.Union(x, y) }
+
+// Intersect returns x ∩ y.
+func (a *Alg) Intersect(x, y Node) Node { return a.m.Intersect(x, y) }
+
+// Diff returns x \ y.
+func (a *Alg) Diff(x, y Node) Node { return a.m.Diff(x, y) }
+
+// OnSet returns {v ∈ x | t ∈ v}.
+func (a *Alg) OnSet(x Node, t int) Node { return a.m.OnSet(x, t) }
+
+// IsEmpty reports whether x has no member sets.
+func (a *Alg) IsEmpty(x Node) bool { return x == Bot }
+
+// Equal reports whether x and y are the same family.
+func (a *Alg) Equal(x, y Node) bool { return x == y }
+
+// Contains reports whether s is a member set of x.
+func (a *Alg) Contains(x Node, s tset.TSet) bool { return a.m.Contains(x, s) }
+
+// Count returns the number of member sets.
+func (a *Alg) Count(x Node) float64 { return a.m.Count(x) }
+
+// Key returns a map key unique per family value.
+func (a *Alg) Key(x Node) string { return a.m.Key(x) }
+
+// Enumerate returns up to limit member sets (all if limit <= 0).
+func (a *Alg) Enumerate(x Node, limit int) []tset.TSet { return a.m.Enumerate(x, limit) }
+
+// MaximalConflictFree returns the initial valid sets r₀.
+func (a *Alg) MaximalConflictFree(conflict func(i, j int) bool) Node {
+	return a.m.MaximalConflictFree(conflict)
+}

@@ -1,0 +1,393 @@
+// Package zdd implements zero-suppressed binary decision diagrams (Minato)
+// over the transition universe, as a compressed representation of the
+// families of transition sets that make up Generalized Petri Net states.
+//
+// The explicit representation (internal/family) is linear in the number of
+// member sets, which is exponential for nets like the paper's Figure 2 —
+// 2^N maximal conflict-free sets. ZDDs keep such product-structured
+// families polynomial, which is what lets the generalized analysis run in
+// time linear in the problem size (paper Section 4: "CPU times increase
+// linearly with problem size") while still exploring only a handful of
+// states.
+//
+// Families handled by one Manager are canonical: equal families are the
+// same node, so Equal and Key are O(1).
+package zdd
+
+import (
+	"sort"
+	"strconv"
+
+	"repro/internal/bdd"
+	"repro/internal/tset"
+)
+
+// Node references a ZDD node of a Manager.
+type Node int32
+
+// Terminals: Bot is the empty family ∅; Top is {∅}, the family holding
+// exactly the empty set.
+const (
+	Bot Node = 0
+	Top Node = 1
+)
+
+type node struct {
+	level  int32 // element tested; terminals use level = universe
+	lo, hi Node  // lo: sets without the element; hi: sets with it
+}
+
+// Manager owns a ZDD forest over a fixed element universe {0,…,n-1}.
+type Manager struct {
+	n      int
+	nodes  []node
+	unique map[[3]int32]Node
+	memo2  map[[3]int32]Node // binary op cache, op-tagged
+	peak   int
+}
+
+// op tags for the binary memo table.
+const (
+	opUnion int32 = iota
+	opIntersect
+	opDiff
+	opOnSet
+)
+
+// NewManager returns a manager over an n-element universe.
+func NewManager(n int) *Manager {
+	m := &Manager{
+		n:      n,
+		unique: make(map[[3]int32]Node),
+		memo2:  make(map[[3]int32]Node),
+	}
+	m.nodes = []node{{level: int32(n)}, {level: int32(n)}}
+	m.peak = 2
+	return m
+}
+
+// Universe returns the element universe size.
+func (m *Manager) Universe() int { return m.n }
+
+// Size returns the number of allocated nodes.
+func (m *Manager) Size() int { return len(m.nodes) }
+
+// Peak returns the largest node count observed.
+func (m *Manager) Peak() int { return m.peak }
+
+// mk returns the canonical node, applying the zero-suppression rule
+// (hi = Bot ⇒ the node is redundant).
+func (m *Manager) mk(level int32, lo, hi Node) Node {
+	if hi == Bot {
+		return lo
+	}
+	key := [3]int32{level, int32(lo), int32(hi)}
+	if n, ok := m.unique[key]; ok {
+		return n
+	}
+	n := Node(len(m.nodes))
+	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
+	m.unique[key] = n
+	if len(m.nodes) > m.peak {
+		m.peak = len(m.nodes)
+	}
+	return n
+}
+
+// Single returns the family {s} holding exactly the given set.
+func (m *Manager) Single(s tset.TSet) Node {
+	if s.Universe() != m.n {
+		panic("zdd: set universe mismatch")
+	}
+	els := s.Members()
+	f := Top
+	for i := len(els) - 1; i >= 0; i-- {
+		f = m.mk(int32(els[i]), Bot, f)
+	}
+	return f
+}
+
+// FromSets returns the family holding exactly the given sets.
+func (m *Manager) FromSets(sets []tset.TSet) Node {
+	f := Bot
+	for _, s := range sets {
+		f = m.Union(f, m.Single(s))
+	}
+	return f
+}
+
+// Union returns a ∪ b.
+func (m *Manager) Union(a, b Node) Node {
+	if a == b || b == Bot {
+		return a
+	}
+	if a == Bot {
+		return b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := [3]int32{opUnion, int32(a), int32(b)}
+	if r, ok := m.memo2[key]; ok {
+		return r
+	}
+	na, nb := m.nodes[a], m.nodes[b]
+	var r Node
+	switch {
+	case na.level < nb.level:
+		r = m.mk(na.level, m.Union(na.lo, b), na.hi)
+	case na.level > nb.level:
+		r = m.mk(nb.level, m.Union(a, nb.lo), nb.hi)
+	default:
+		r = m.mk(na.level, m.Union(na.lo, nb.lo), m.Union(na.hi, nb.hi))
+	}
+	m.memo2[key] = r
+	return r
+}
+
+// Intersect returns a ∩ b.
+func (m *Manager) Intersect(a, b Node) Node {
+	if a == b {
+		return a
+	}
+	if a == Bot || b == Bot {
+		return Bot
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := [3]int32{opIntersect, int32(a), int32(b)}
+	if r, ok := m.memo2[key]; ok {
+		return r
+	}
+	na, nb := m.nodes[a], m.nodes[b]
+	var r Node
+	switch {
+	case na.level < nb.level:
+		r = m.Intersect(na.lo, b)
+	case na.level > nb.level:
+		r = m.Intersect(a, nb.lo)
+	default:
+		r = m.mk(na.level, m.Intersect(na.lo, nb.lo), m.Intersect(na.hi, nb.hi))
+	}
+	m.memo2[key] = r
+	return r
+}
+
+// Diff returns a \ b.
+func (m *Manager) Diff(a, b Node) Node {
+	if a == Bot || a == b {
+		return Bot
+	}
+	if b == Bot {
+		return a
+	}
+	key := [3]int32{opDiff, int32(a), int32(b)}
+	if r, ok := m.memo2[key]; ok {
+		return r
+	}
+	na, nb := m.nodes[a], m.nodes[b]
+	var r Node
+	switch {
+	case na.level < nb.level:
+		r = m.mk(na.level, m.Diff(na.lo, b), na.hi)
+	case na.level > nb.level:
+		r = m.Diff(a, nb.lo)
+	default:
+		r = m.mk(na.level, m.Diff(na.lo, nb.lo), m.Diff(na.hi, nb.hi))
+	}
+	m.memo2[key] = r
+	return r
+}
+
+// OnSet returns {s ∈ a | v ∈ s}: the member sets containing element v,
+// with v still present in them.
+func (m *Manager) OnSet(a Node, v int) Node {
+	na := m.nodes[a]
+	switch {
+	case int(na.level) > v: // v below every tested element: absent from all
+		return Bot
+	case int(na.level) == v:
+		return m.mk(na.level, Bot, na.hi)
+	}
+	// The op cache reuses the binary-memo table with the element as the
+	// second operand; without it the recursion revisits shared nodes once
+	// per path, which is exponential.
+	key := [3]int32{opOnSet + int32(v)<<2, int32(a), 0}
+	if r, ok := m.memo2[key]; ok {
+		return r
+	}
+	r := m.mk(na.level, m.OnSet(na.lo, v), m.OnSet(na.hi, v))
+	m.memo2[key] = r
+	return r
+}
+
+// Contains reports whether set s is a member of family a.
+func (m *Manager) Contains(a Node, s tset.TSet) bool {
+	els := s.Members()
+	i := 0
+	for a != Bot {
+		na := m.nodes[a]
+		if int(na.level) >= m.n {
+			return i == len(els) // reached Top
+		}
+		if i < len(els) && els[i] == int(na.level) {
+			a = na.hi
+			i++
+		} else if i < len(els) && els[i] < int(na.level) {
+			return false // required element cannot appear anymore
+		} else {
+			a = na.lo
+		}
+	}
+	return false
+}
+
+// Count returns the number of member sets.
+func (m *Manager) Count(a Node) float64 {
+	memo := make(map[Node]float64)
+	var rec func(Node) float64
+	rec = func(a Node) float64 {
+		if a == Bot {
+			return 0
+		}
+		if a == Top {
+			return 1
+		}
+		if c, ok := memo[a]; ok {
+			return c
+		}
+		c := rec(m.nodes[a].lo) + rec(m.nodes[a].hi)
+		memo[a] = c
+		return c
+	}
+	return rec(a)
+}
+
+// IsEmpty reports whether the family has no member sets.
+func (m *Manager) IsEmpty(a Node) bool { return a == Bot }
+
+// Equal reports whether a and b are the same family (O(1): canonical).
+func (m *Manager) Equal(a, b Node) bool { return a == b }
+
+// Key returns a map key unique per family of this manager.
+func (m *Manager) Key(a Node) string { return strconv.Itoa(int(a)) }
+
+// Enumerate returns up to limit member sets (all if limit <= 0), in
+// canonical DFS order.
+func (m *Manager) Enumerate(a Node, limit int) []tset.TSet {
+	var out []tset.TSet
+	var cur []int
+	var rec func(Node) bool
+	rec = func(a Node) bool {
+		if limit > 0 && len(out) >= limit {
+			return false
+		}
+		if a == Bot {
+			return true
+		}
+		if a == Top {
+			s := tset.New(m.n)
+			for _, e := range cur {
+				s.Add(e)
+			}
+			out = append(out, s)
+			return !(limit > 0 && len(out) >= limit)
+		}
+		na := m.nodes[a]
+		cur = append(cur, int(na.level))
+		if !rec(na.hi) {
+			cur = cur[:len(cur)-1]
+			return false
+		}
+		cur = cur[:len(cur)-1]
+		return rec(na.lo)
+	}
+	rec(a)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// NodeCount returns the number of distinct internal nodes reachable from a.
+func (m *Manager) NodeCount(a Node) int {
+	seen := make(map[Node]bool)
+	var rec func(Node)
+	rec = func(a Node) {
+		if a <= Top || seen[a] {
+			return
+		}
+		seen[a] = true
+		rec(m.nodes[a].lo)
+		rec(m.nodes[a].hi)
+	}
+	rec(a)
+	return len(seen)
+}
+
+// FromBDDModels converts the model set of a BDD predicate over the same
+// n-variable universe into the ZDD family of its satisfying assignments
+// (each model read as the set of variables assigned true). Don't-care
+// variables are expanded into both membership outcomes.
+func (m *Manager) FromBDDModels(bm *bdd.Manager, f bdd.Node) Node {
+	if bm.NumVars() != m.n {
+		panic("zdd: BDD universe mismatch")
+	}
+	type key struct {
+		f     bdd.Node
+		level int
+	}
+	memo := make(map[key]Node)
+	var rec func(f bdd.Node, level int) Node
+	rec = func(f bdd.Node, level int) Node {
+		if f == bdd.False {
+			return Bot
+		}
+		if level == m.n {
+			return Top // f must be True here
+		}
+		k := key{f, level}
+		if r, ok := memo[k]; ok {
+			return r
+		}
+		var lo, hi Node
+		if bm.Level(f) == level {
+			lo = rec(bm.Low(f), level+1)
+			hi = rec(bm.High(f), level+1)
+		} else {
+			sub := rec(f, level+1)
+			lo, hi = sub, sub
+		}
+		r := m.mk(int32(level), lo, hi)
+		memo[k] = r
+		return r
+	}
+	return rec(f, 0)
+}
+
+// MaximalConflictFree returns the family of maximal independent sets of
+// the conflict graph given by the adjacency predicate: a set S is maximal
+// independent iff it contains no edge and every vertex outside S has a
+// neighbour inside S. The predicate is built as a BDD (a conjunction of
+// local constraints, compact for the locally-structured conflict graphs of
+// real nets) and its models are extracted as a ZDD.
+func (m *Manager) MaximalConflictFree(conflict func(i, j int) bool) Node {
+	bm := bdd.NewManager(m.n)
+	f := bdd.True
+	for i := 0; i < m.n; i++ {
+		// Independence: ¬(x_i ∧ x_j) for each edge (i,j), i < j.
+		for j := i + 1; j < m.n; j++ {
+			if conflict(i, j) {
+				f = bm.And(f, bm.Not(bm.And(bm.Var(i), bm.Var(j))))
+			}
+		}
+		// Maximality (domination): x_i ∨ ∨_{j ~ i} x_j.
+		cl := bm.Var(i)
+		for j := 0; j < m.n; j++ {
+			if j != i && conflict(i, j) {
+				cl = bm.Or(cl, bm.Var(j))
+			}
+		}
+		f = bm.And(f, cl)
+	}
+	return m.FromBDDModels(bm, f)
+}
