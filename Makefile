@@ -1,0 +1,13 @@
+# Convenience targets; `make check` is the tier-1+ gate (see ROADMAP.md).
+
+.PHONY: check test bench-artifact
+
+check:
+	./scripts/check.sh
+
+test:
+	go test ./...
+
+# Regenerate the machine-readable benchmark artifact (BENCH_<date>.json).
+bench-artifact:
+	go run ./cmd/gpobench -json

@@ -10,92 +10,177 @@
 //	gpobench -figure 1 -max 12       # interleaving blow-up sweep
 //	gpobench -figure 2 -max 12       # conflict-pair blow-up sweep
 //	gpobench -all                    # everything
+//	gpobench -json -family rw        # machine-readable BENCH_<date>.json
+//
+// Observability flags (see OBSERVABILITY.md): -json [-out file] writes
+// the structured benchmark artifact, -metrics dumps the program's metric
+// registry, -cpuprofile/-memprofile write pprof profiles, -pprof serves
+// net/http/pprof, and -progress reports long runs on stderr.
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/models"
-	"repro/internal/petri"
+	"repro/internal/obs"
 	"repro/internal/reach"
 	"repro/internal/stubborn"
-	"repro/internal/symbolic"
 	"repro/internal/verify"
 )
 
-// row is one Table 1 line: a model instance plus the paper's published
-// numbers (0 = not reported / not applicable).
-type row struct {
-	family    string
-	size      int
-	paperFull float64 // paper "States"
-	paperPO   int     // paper SPIN+PO states
-	paperBDD  int     // paper SMV peak BDD size (0 = >24h in the paper)
-	paperGPO  int     // paper GPO states
-	skipFull  bool    // too big to enumerate here
-	skipBDD   bool    // symbolic blow-up guard
-}
-
-var table1 = []row{
-	{family: "nsdp", size: 2, paperFull: 18, paperPO: 12, paperBDD: 1068, paperGPO: 3},
-	{family: "nsdp", size: 4, paperFull: 322, paperPO: 110, paperBDD: 10018, paperGPO: 3},
-	{family: "nsdp", size: 6, paperFull: 5778, paperPO: 1422, paperBDD: 52320, paperGPO: 3},
-	{family: "nsdp", size: 8, paperFull: 103682, paperPO: 19270, paperBDD: 687263, paperGPO: 3},
-	{family: "nsdp", size: 10, paperFull: 1.86e6, paperPO: 239308, paperBDD: 0, paperGPO: 3},
-	{family: "asat", size: 2, paperFull: 88, paperPO: 33, paperBDD: 1587, paperGPO: 8},
-	{family: "asat", size: 4, paperFull: 7822, paperPO: 192, paperBDD: 117667, paperGPO: 14},
-	{family: "asat", size: 8, paperFull: 1.58e6, paperPO: 3598, paperBDD: 0, paperGPO: 23, skipBDD: true},
-	{family: "over", size: 2, paperFull: 65, paperPO: 28, paperBDD: 3511, paperGPO: 6},
-	{family: "over", size: 3, paperFull: 519, paperPO: 107, paperBDD: 10203, paperGPO: 7},
-	{family: "over", size: 4, paperFull: 4175, paperPO: 467, paperBDD: 11759, paperGPO: 8},
-	{family: "over", size: 5, paperFull: 33460, paperPO: 2059, paperBDD: 24860, paperGPO: 9},
-	{family: "rw", size: 6, paperFull: 72, paperPO: 72, paperBDD: 3689, paperGPO: 2},
-	{family: "rw", size: 9, paperFull: 523, paperPO: 523, paperBDD: 9886, paperGPO: 2},
-	{family: "rw", size: 12, paperFull: 4110, paperPO: 4110, paperBDD: 10037, paperGPO: 2},
-	{family: "rw", size: 15, paperFull: 29642, paperPO: 29642, paperBDD: 10267, paperGPO: 2},
-}
-
 func main() {
 	var (
-		doTable1 = flag.Bool("table1", false, "regenerate Table 1")
-		family   = flag.String("family", "all", "restrict Table 1 to one family (nsdp, asat, over, rw)")
-		figure   = flag.Int("figure", 0, "regenerate the Figure 1 or Figure 2 sweep")
-		maxN     = flag.Int("max", 10, "largest size in figure sweeps")
-		doAll    = flag.Bool("all", false, "regenerate everything")
-		maxNodes = flag.Int("max-nodes", 3_000_000, "BDD node cap for the symbolic engine")
+		doTable1   = flag.Bool("table1", false, "regenerate Table 1")
+		family     = flag.String("family", "all", "restrict Table 1 to one family (nsdp, asat, over, rw)")
+		figure     = flag.Int("figure", 0, "regenerate the Figure 1 or Figure 2 sweep")
+		maxN       = flag.Int("max", 0, "largest size: figure sweeps default to 10; caps Table 1 rows when set")
+		doAll      = flag.Bool("all", false, "regenerate everything")
+		maxNodes   = flag.Int("max-nodes", 3_000_000, "BDD node cap for the symbolic engine")
+		jsonOut    = flag.Bool("json", false, "run Table 1 and write the machine-readable artifact")
+		outFile    = flag.String("out", "", "artifact path for -json ('-' = stdout; default BENCH_<date>.json)")
+		metricsOut = flag.String("metrics", "", "write the program's metric registry as JSON to this file ('-' = stderr)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		progress   = flag.Bool("progress", false, "report long engine runs periodically on stderr")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "gpobench: pprof server:", err)
+			}
+		}()
+	}
+
+	reg := obs.New()
+	cfg := bench.Config{
+		Family:   *family,
+		MaxSize:  *maxN,
+		MaxNodes: *maxNodes,
+		Progress: *progress,
+	}
+	figMax := *maxN
+	if figMax <= 0 {
+		figMax = 10
+	}
 
 	if *doAll {
 		*doTable1 = true
 	}
 	ran := false
+	if *jsonOut {
+		if err := runJSON(cfg, *outFile); err != nil {
+			fatal(err)
+		}
+		ran = true
+	}
 	if *doTable1 {
-		runTable1(*family, *maxNodes)
+		sp := reg.StartSpan("gpobench.table1")
+		runTable1(cfg)
+		sp.End()
 		ran = true
 	}
 	if *figure == 1 || *doAll {
-		if *figure == 1 || *doAll {
-			runFigure1(*maxN)
-			ran = true
-		}
+		sp := reg.StartSpan("gpobench.figure1")
+		runFigure1(figMax)
+		sp.End()
+		ran = true
 	}
 	if *figure == 2 || *doAll {
-		runFigure2(*maxN)
+		sp := reg.StartSpan("gpobench.figure2")
+		runFigure2(figMax)
+		sp.End()
 		ran = true
 	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if *metricsOut != "" {
+		if err := writeMetrics(reg, *metricsOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
 }
 
-func runTable1(family string, maxNodes int) {
+// runJSON runs the selected Table 1 rows and writes the structured
+// artifact (see obs.BenchReport for the schema).
+func runJSON(cfg bench.Config, out string) error {
+	rep, err := bench.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if out == "-" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	if out == "" {
+		out = obs.BenchFileName(time.Now())
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "gpobench: wrote", out)
+	return nil
+}
+
+func writeMetrics(reg *obs.Registry, out string) error {
+	if out == "-" {
+		return reg.Flush(obs.JSONSink{W: os.Stderr, Indent: true})
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := reg.Flush(obs.JSONSink{W: f, Indent: true}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func runTable1(cfg bench.Config) {
 	fmt.Println("Table 1 — Results of Generalized Partial Order Analysis")
 	fmt.Println("(paper-published values in parentheses on the second line of each row;")
 	fmt.Println(" PO = stubborn sets, best seed; PO+prov adds the cycle proviso, which is")
@@ -106,84 +191,68 @@ func runTable1(family string, maxNodes int) {
 		"Problem", "States", "PO", "PO+prov", "time", "Symbolic peak", "time", "GPO", "time")
 	fmt.Println(strings.Repeat("-", 118))
 
-	for _, r := range table1 {
-		if family != "all" && family != r.family {
-			continue
-		}
-		net, err := models.ByName(r.family, r.size)
+	for _, r := range cfg.Rows() {
+		net, err := models.ByName(r.Family, r.Size)
 		if err != nil {
 			fmt.Println("error:", err)
 			continue
 		}
-		name := fmt.Sprintf("%s(%d)", strings.ToUpper(r.family), r.size)
+		name := fmt.Sprintf("%s(%d)", strings.ToUpper(r.Family), r.Size)
 
-		fullS := measureFull(net, r)
-		poS, _ := measurePO(net, false)
-		provS, poT := measurePO(net, true)
-		bddS, bddT := measureBDD(net, r, maxNodes)
-		gpoS, gpoT := measureGPO(net)
+		es := bench.RunRow(net, r, cfg)
+		byEngine := make(map[string]obs.BenchEntry, len(es))
+		for _, e := range es {
+			byEngine[e.Engine] = e
+		}
+		full := byEngine[bench.EngineExhaustive]
+		po := byEngine[bench.EnginePO]
+		prov := byEngine[bench.EnginePOProviso]
+		sym := byEngine[bench.EngineSymbolic]
+		gpo := byEngine[bench.EngineGPO]
 
 		fmt.Printf("%-10s | %10s %7s | %10s %10s %9s | %16s %9s | %10s %9s\n",
 			name,
-			fullS, paren(r.paperFull),
-			poS, provS, poT,
-			bddS, bddT,
-			gpoS, gpoT)
+			states(full), paren(r.PaperFull),
+			states(po), states(prov), wall(prov),
+			peak(sym), wall(sym),
+			states(gpo), wall(gpo))
 		fmt.Printf("%-10s | %18s | %10s %10s %9s | %16s %9s | %10s %9s\n",
-			"", "", paren(float64(r.paperPO)), "", "", parenBDD(r.paperBDD), "", paren(float64(r.paperGPO)), "")
+			"", "", paren(float64(r.PaperPO)), "", "", parenBDD(r.PaperBDD), "", paren(float64(r.PaperGPO)), "")
 	}
 	fmt.Println()
 }
 
-func measureFull(net *petri.Net, r row) string {
-	if r.skipFull {
+// states renders an entry's state count for the text table.
+func states(e obs.BenchEntry) string {
+	switch {
+	case e.Skipped:
+		return "-"
+	case e.Error != "":
+		return "err"
+	case e.Capped:
+		return fmt.Sprintf(">%d", e.States)
+	}
+	return fmt.Sprint(e.States)
+}
+
+// peak renders the symbolic engine's peak node count.
+func peak(e obs.BenchEntry) string {
+	switch {
+	case e.Skipped:
+		return "-"
+	case e.Error != "":
+		return "err"
+	case e.Capped:
+		return fmt.Sprintf(">%d", e.PeakNodes)
+	}
+	return fmt.Sprint(e.PeakNodes)
+}
+
+func wall(e obs.BenchEntry) string {
+	if e.Skipped || e.Error != "" {
 		return "-"
 	}
-	res, err := reach.Explore(net, reach.Options{MaxStates: 20_000_000})
-	if err != nil {
-		if errors.Is(err, reach.ErrStateLimit) {
-			return ">2e7"
-		}
-		return "err"
-	}
-	return fmt.Sprint(res.States)
-}
-
-func measurePO(net *petri.Net, proviso bool) (string, string) {
-	start := time.Now()
-	res, err := stubborn.Explore(net, stubborn.Options{
-		MaxStates: 20_000_000,
-		Seed:      stubborn.SeedBest,
-		Proviso:   proviso,
-	})
-	if err != nil {
-		return "err", "-"
-	}
-	return fmt.Sprint(res.States), fmtDur(time.Since(start))
-}
-
-func measureBDD(net *petri.Net, r row, maxNodes int) (string, string) {
-	if r.skipBDD {
-		return "-", "-"
-	}
-	start := time.Now()
-	res, err := symbolic.Analyze(net, symbolic.Options{MaxNodes: maxNodes})
-	if err != nil {
-		if errors.Is(err, symbolic.ErrNodeLimit) {
-			return fmt.Sprintf(">%d", maxNodes), fmtDur(time.Since(start))
-		}
-		return "err", "-"
-	}
-	return fmt.Sprint(res.PeakNodes), fmtDur(time.Since(start))
-}
-
-func measureGPO(net *petri.Net) (string, string) {
-	start := time.Now()
-	rep, err := verify.CheckDeadlock(net, verify.Options{Engine: verify.GPO})
-	if err != nil {
-		return "err", "-"
-	}
-	return fmt.Sprint(rep.States), fmtDur(time.Since(start))
+	return fmtDur(time.Duration(e.WallNS))
 }
 
 func runFigure1(maxN int) {
@@ -238,4 +307,9 @@ func fmtDur(d time.Duration) string {
 	default:
 		return fmt.Sprintf("%.2fs", d.Seconds())
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpobench:", err)
+	os.Exit(1)
 }

@@ -11,15 +11,26 @@
 // Engines: exhaustive, partial-order, symbolic, gpo (default), gpo-explicit,
 // unfolding. With -compare, all engines run and their statistics are
 // tabulated.
+//
+// Observability flags (see OBSERVABILITY.md): -metrics dumps the engine's
+// metric registry as JSON, -progress reports long runs on stderr,
+// -cpuprofile/-memprofile write pprof profiles, -pprof serves
+// net/http/pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/petri"
 	"repro/internal/pnio"
 	"repro/internal/proc"
@@ -41,8 +52,33 @@ func main() {
 		proviso   = flag.Bool("proviso", false, "apply the cycle proviso in the partial-order engine")
 		compare   = flag.Bool("compare", false, "run all engines and tabulate")
 		explain   = flag.Bool("explain", true, "explain deadlock witnesses structurally (empty siphon)")
+
+		metricsOut = flag.String("metrics", "", "write the engine's metric registry as JSON to this file ('-' = stderr)")
+		progress   = flag.Bool("progress", false, "report long engine runs periodically on stderr")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "gpoverify: pprof server:", err)
+			}
+		}()
+	}
 
 	net, err := loadNet(*netFile, *specFile, *model, *size)
 	if err != nil {
@@ -74,6 +110,11 @@ func main() {
 		engines = append(engines, e)
 	}
 
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.New()
+	}
+
 	fmt.Printf("%-14s %-10s %10s %12s %12s %10s\n",
 		"engine", "verdict", "states", "peak-bdd", "peak-sets", "time")
 	for _, eng := range engines {
@@ -83,6 +124,14 @@ func main() {
 			MaxStates:   *maxStates,
 			MaxNodes:    *maxNodes,
 			Proviso:     *proviso,
+			Metrics:     reg,
+		}
+		if *progress {
+			opts.Progress = &obs.Progress{
+				Label:    eng.String(),
+				Every:    250_000,
+				Interval: 2 * time.Second,
+			}
 		}
 		var rep *verify.Report
 		if len(bad) > 0 {
@@ -115,7 +164,42 @@ func main() {
 				fmt.Printf("  empty siphon: {%s}\n", strings.Join(names, ","))
 			}
 		}
+		if opts.Progress != nil {
+			opts.Progress.Done()
+		}
 	}
+
+	if *metricsOut != "" {
+		if err := writeMetrics(reg, *metricsOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func writeMetrics(reg *obs.Registry, out string) error {
+	if out == "-" {
+		return reg.Flush(obs.JSONSink{W: os.Stderr, Indent: true})
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := reg.Flush(obs.JSONSink{W: f, Indent: true}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadNet(file, spec, model string, size int) (*petri.Net, error) {

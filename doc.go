@@ -40,4 +40,18 @@
 // The cmd/gpoverify tool exposes the same checks on .pn files, and
 // cmd/gpobench regenerates every table and figure of the paper; see
 // EXPERIMENTS.md for the measured-vs-published numbers.
+//
+// # Observability
+//
+// Every engine accepts an optional metric registry and progress
+// reporter through its Options (internal/obs; surfaced on
+// repro.Options as Metrics and Progress). A nil registry is free:
+// engines thread it unconditionally and the instruments no-op. A
+// non-nil registry collects package-prefixed counters, gauges,
+// histograms and phase spans — states expanded, stubborn-set sizes,
+// BDD/ZDD cache hit rates, peak |r| — without changing what the engine
+// explores. OBSERVABILITY.md documents every metric name, the CLI
+// flags (-metrics, -progress, -cpuprofile, -memprofile, -pprof) and
+// the machine-readable BENCH_<date>.json artifact that `gpobench
+// -json` emits.
 package repro

@@ -39,6 +39,39 @@ type Manager struct {
 	ite    map[[3]Node]Node
 	and2   map[[2]Node]Node
 	peak   int
+
+	// Plain (non-atomic) operation statistics: the manager is
+	// single-goroutine by design, and these must cost one increment on
+	// the hot path.
+	uniqueHits   int64
+	uniqueMisses int64
+	cacheHits    int64 // ite + and2 memo hits
+	cacheMisses  int64
+}
+
+// Stats is a snapshot of the manager's internal counters: unique-table
+// hits (node reuse) vs. misses (node creation), and computed-table (ITE
+// and And memo) hits vs. misses. Nodes are never garbage-collected, so
+// Size is also the lifetime allocation count.
+type Stats struct {
+	Nodes        int
+	Peak         int
+	UniqueHits   int64
+	UniqueMisses int64
+	CacheHits    int64
+	CacheMisses  int64
+}
+
+// Stats returns the current operation statistics.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Nodes:        len(m.nodes),
+		Peak:         m.peak,
+		UniqueHits:   m.uniqueHits,
+		UniqueMisses: m.uniqueMisses,
+		CacheHits:    m.cacheHits,
+		CacheMisses:  m.cacheMisses,
+	}
 }
 
 // NewManager returns a manager over nvars ordered variables.
@@ -80,8 +113,10 @@ func (m *Manager) mk(level int32, low, high Node) Node {
 	}
 	key := [3]int32{level, int32(low), int32(high)}
 	if n, ok := m.unique[key]; ok {
+		m.uniqueHits++
 		return n
 	}
+	m.uniqueMisses++
 	n := Node(len(m.nodes))
 	m.nodes = append(m.nodes, node{level: level, low: low, high: high})
 	m.unique[key] = n
@@ -117,8 +152,10 @@ func (m *Manager) ITE(f, g, h Node) Node {
 	}
 	key := [3]Node{f, g, h}
 	if r, ok := m.ite[key]; ok {
+		m.cacheHits++
 		return r
 	}
+	m.cacheMisses++
 	top := m.nodes[f].level
 	if l := m.nodes[g].level; l < top {
 		top = l
@@ -156,8 +193,10 @@ func (m *Manager) And(f, g Node) Node {
 	}
 	key := [2]Node{f, g}
 	if r, ok := m.and2[key]; ok {
+		m.cacheHits++
 		return r
 	}
+	m.cacheMisses++
 	top := m.nodes[f].level
 	if l := m.nodes[g].level; l < top {
 		top = l

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/obs"
+	"repro/internal/verify"
+)
+
+// TestJSONArtifactGolden pins the shape of the `gpobench -json -family rw
+// -max 9` artifact: it must round-trip through ParseBenchReport and carry,
+// for both RW instances, entries for all four paper engines with nonzero
+// wall times and per-run counters.
+func TestJSONArtifactGolden(t *testing.T) {
+	rep, err := Run(Config{Family: "rw", MaxSize: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := obs.ParseBenchReport(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Schema != obs.BenchSchema {
+		t.Fatalf("schema = %q, want %q", parsed.Schema, obs.BenchSchema)
+	}
+	if parsed.GoVersion == "" || parsed.Date == "" {
+		t.Fatalf("missing go_version/date: %+v", parsed)
+	}
+
+	byKey := make(map[string]obs.BenchEntry)
+	for _, e := range parsed.Entries {
+		if e.Family != "rw" || (e.Size != 6 && e.Size != 9) {
+			t.Errorf("unexpected entry %s(%d)", e.Family, e.Size)
+		}
+		byKey[e.Engine+"/"+strconv.Itoa(e.Size)] = e
+	}
+
+	counterFor := map[string]string{
+		EngineExhaustive: "reach.states",
+		EnginePO:         "stubborn.states",
+		EngineSymbolic:   "symbolic.iterations",
+		EngineGPO:        "core.states",
+	}
+	for _, size := range []int{6, 9} {
+		for _, engine := range []string{EngineExhaustive, EnginePO, EngineSymbolic, EngineGPO} {
+			e, ok := byKey[engine+"/"+strconv.Itoa(size)]
+			if !ok {
+				t.Errorf("no entry for rw(%d)/%s", size, engine)
+				continue
+			}
+			if e.Skipped || e.Capped || e.Error != "" {
+				t.Errorf("rw(%d)/%s: skipped=%v capped=%v err=%q", size, engine, e.Skipped, e.Capped, e.Error)
+			}
+			if e.WallNS <= 0 {
+				t.Errorf("rw(%d)/%s: wall_ns = %d, want > 0", size, engine, e.WallNS)
+			}
+			if e.States <= 0 {
+				t.Errorf("rw(%d)/%s: states = %d, want > 0", size, engine, e.States)
+			}
+			if engine == EngineSymbolic && e.PeakNodes <= 0 {
+				t.Errorf("rw(%d)/symbolic: peak_nodes = %d, want > 0", size, e.PeakNodes)
+			}
+			if e.Counters[counterFor[engine]] == 0 {
+				t.Errorf("rw(%d)/%s: counter %q missing or zero in %v",
+					size, engine, counterFor[engine], e.Counters)
+			}
+		}
+	}
+}
+
+// TestRunUnknownSelection checks the empty-selection error.
+func TestRunUnknownSelection(t *testing.T) {
+	if _, err := Run(Config{Family: "nosuch"}); err == nil {
+		t.Fatal("Run with unknown family succeeded")
+	}
+}
+
+// TestMetricsDoNotPerturb verifies the instrumentation-only-observes
+// invariant: attaching a Registry must not change how many states any
+// engine explores.
+func TestMetricsDoNotPerturb(t *testing.T) {
+	net, err := models.ByName("rw", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []verify.Engine{
+		verify.Exhaustive, verify.PartialOrder, verify.Symbolic,
+		verify.GPO, verify.GPOExplicit, verify.Unfolding,
+	} {
+		bare, err := verify.CheckDeadlock(net, verify.Options{Engine: eng})
+		if err != nil {
+			t.Fatalf("%v bare: %v", eng, err)
+		}
+		reg := obs.New()
+		inst, err := verify.CheckDeadlock(net, verify.Options{Engine: eng, Metrics: reg})
+		if err != nil {
+			t.Fatalf("%v instrumented: %v", eng, err)
+		}
+		if bare.States != inst.States {
+			t.Errorf("%v: metrics changed states explored: %d (bare) vs %d (instrumented)",
+				eng, bare.States, inst.States)
+		}
+		if bare.Deadlock != inst.Deadlock {
+			t.Errorf("%v: metrics changed the verdict: %v vs %v", eng, bare.Deadlock, inst.Deadlock)
+		}
+	}
+}
+
+// TestCountersMatchReport cross-checks the registry's counters against
+// the report the engine returns through its own result struct.
+func TestCountersMatchReport(t *testing.T) {
+	net, err := models.ByName("over", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		eng     verify.Engine
+		counter string
+	}{
+		{verify.Exhaustive, "reach.states"},
+		{verify.PartialOrder, "stubborn.states"},
+		{verify.GPO, "core.states"},
+		{verify.GPOExplicit, "core.states"},
+		{verify.Unfolding, "unfold.events"},
+	}
+	for _, c := range cases {
+		reg := obs.New()
+		rep, err := verify.CheckDeadlock(net, verify.Options{Engine: c.eng, Metrics: reg})
+		if err != nil {
+			t.Fatalf("%v: %v", c.eng, err)
+		}
+		if got := reg.Counter(c.counter).Value(); got != int64(rep.States) {
+			t.Errorf("%v: counter %s = %d, report states = %d", c.eng, c.counter, got, rep.States)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/petri"
 )
 
@@ -38,6 +39,20 @@ type Options struct {
 	// reduction: only deadlocks of the monitor trap witness a violation.
 	TrapFilter bool
 	TrapPlace  petri.Place
+	// Metrics, if non-nil, receives analysis statistics under the "core."
+	// prefix, plus the family algebra's own statistics when it implements
+	// StatsReporter (see OBSERVABILITY.md). Nil costs nothing; metrics
+	// never influence the exploration.
+	Metrics *obs.Registry
+	// Progress, if non-nil, is ticked once per GPN state interned.
+	Progress *obs.Progress
+}
+
+// StatsReporter is implemented by family algebras that can export
+// internal statistics (cache hit rates, node counts) into a metrics
+// registry; Analyze invokes it once when Options.Metrics is set.
+type StatsReporter interface {
+	ReportStats(*obs.Registry)
 }
 
 // Arc is one edge of the GPN reachability graph: the simultaneous (or
@@ -107,6 +122,25 @@ func (e *Engine[F]) Analyze(opts Options) (*Result, *Graph[F], error) {
 	if opts.WitnessLimit == 0 {
 		opts.WitnessLimit = 1
 	}
+	defer opts.Metrics.StartSpan("core.analyze").End()
+	var (
+		cStates    = opts.Metrics.Counter("core.states")
+		cArcs      = opts.Metrics.Counter("core.arcs")
+		cMulti     = opts.Metrics.Counter("core.multi_firings")
+		cSingle    = opts.Metrics.Counter("core.single_firings")
+		cDead      = opts.Metrics.Counter("core.dead_states")
+		cProviso   = opts.Metrics.Counter("core.proviso_expansions")
+		gPeakValid = opts.Metrics.Gauge("core.peak_valid")
+		gStack     = opts.Metrics.Gauge("core.stack_peak")
+		hValid     = opts.Metrics.Histogram("core.valid_sets")
+	)
+	if opts.Metrics != nil {
+		// Export the algebra's internal statistics (ZDD cache hit rates,
+		// explicit-family op counts) on every exit path.
+		if sr, ok := any(e.Alg).(StatsReporter); ok {
+			defer sr.ReportStats(opts.Metrics)
+		}
+	}
 	res := &Result{Complete: true}
 	var g *Graph[F]
 	if opts.StoreGraph {
@@ -129,9 +163,14 @@ func (e *Engine[F]) Analyze(opts Options) (*Result, *Graph[F], error) {
 			g.States = append(g.States, s)
 			g.Edges = append(g.Edges, nil)
 		}
-		if c := e.Alg.Count(s.R); c > res.PeakValid {
+		c := e.Alg.Count(s.R)
+		if c > res.PeakValid {
 			res.PeakValid = c
 		}
+		cStates.Inc()
+		hValid.Observe(int64(c))
+		gPeakValid.SetMax(int64(c))
+		opts.Progress.Tick(1)
 		return id, true
 	}
 
@@ -154,6 +193,7 @@ func (e *Engine[F]) Analyze(opts Options) (*Result, *Graph[F], error) {
 		if isDead {
 			res.Deadlock = true
 			res.DeadStates = append(res.DeadStates, f.id)
+			cDead.Inc()
 			if opts.WitnessLimit > 0 {
 				for _, v := range e.Alg.Enumerate(dead, opts.WitnessLimit) {
 					res.Witnesses = append(res.Witnesses, e.MarkingOf(f.state, v))
@@ -187,10 +227,13 @@ func (e *Engine[F]) Analyze(opts Options) (*Result, *Graph[F], error) {
 
 		id, fresh := intern(sc.state)
 		res.Arcs++
+		cArcs.Inc()
 		if sc.multiple {
 			res.MultiFirings++
+			cMulti.Inc()
 		} else {
 			res.SingleFirings++
+			cSingle.Inc()
 		}
 		if g != nil {
 			g.Edges[f.id] = append(g.Edges[f.id], Arc{Fired: sc.fired, To: id, Multiple: sc.multiple})
@@ -208,11 +251,13 @@ func (e *Engine[F]) Analyze(opts Options) (*Result, *Graph[F], error) {
 			}
 			onStack[id] = true
 			stack = append(stack, nf)
+			gStack.SetMax(int64(len(stack)))
 		} else if onStack[id] && f.postponed && !f.fullDone {
 			// Cycle proviso: a cycle closed while this state postponed
 			// enabled transitions; expand it fully so nothing is ignored
 			// forever (paper footnote 2).
 			f.fullDone = true
+			cProviso.Inc()
 			f.succs = append(f.succs, e.allSingleSuccessors(f.state)...)
 		}
 	}

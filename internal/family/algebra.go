@@ -1,17 +1,37 @@
 package family
 
-import "repro/internal/tset"
+import (
+	"repro/internal/obs"
+	"repro/internal/tset"
+)
+
+// algStats counts the set operations performed through one algebra
+// instance and the largest family produced. Plain int64: the engine is
+// single-goroutine, and the explicit representation is measured precisely
+// because it is the slow reference path.
+type algStats struct {
+	unions, intersects, diffs, onsets int64
+	peakSets                          int64
+}
+
+func (st *algStats) sized(f *Family) *Family {
+	if st != nil && int64(f.Size()) > st.peakSets {
+		st.peakSets = int64(f.Size())
+	}
+	return f
+}
 
 // Alg adapts the explicit Family representation to the algebra interface
 // consumed by the analysis engine (internal/core.Algebra). The zero value
 // is unusable; construct with NewAlgebra.
 type Alg struct {
-	n int
+	n  int
+	st *algStats
 }
 
 // NewAlgebra returns the explicit family algebra over an n-transition
 // universe.
-func NewAlgebra(n int) Alg { return Alg{n: n} }
+func NewAlgebra(n int) Alg { return Alg{n: n, st: &algStats{}} }
 
 // Universe returns the transition universe size.
 func (a Alg) Universe() int { return a.n }
@@ -23,16 +43,36 @@ func (a Alg) Empty() *Family { return Empty(a.n) }
 func (a Alg) FromSets(sets []tset.TSet) *Family { return Of(a.n, sets...) }
 
 // Union returns x ∪ y.
-func (a Alg) Union(x, y *Family) *Family { return x.Union(y) }
+func (a Alg) Union(x, y *Family) *Family {
+	if a.st != nil {
+		a.st.unions++
+	}
+	return a.st.sized(x.Union(y))
+}
 
 // Intersect returns x ∩ y.
-func (a Alg) Intersect(x, y *Family) *Family { return x.Intersect(y) }
+func (a Alg) Intersect(x, y *Family) *Family {
+	if a.st != nil {
+		a.st.intersects++
+	}
+	return a.st.sized(x.Intersect(y))
+}
 
 // Diff returns x \ y.
-func (a Alg) Diff(x, y *Family) *Family { return x.Diff(y) }
+func (a Alg) Diff(x, y *Family) *Family {
+	if a.st != nil {
+		a.st.diffs++
+	}
+	return a.st.sized(x.Diff(y))
+}
 
 // OnSet returns {v ∈ x | t ∈ v}.
-func (a Alg) OnSet(x *Family, t int) *Family { return x.OnSet(t) }
+func (a Alg) OnSet(x *Family, t int) *Family {
+	if a.st != nil {
+		a.st.onsets++
+	}
+	return a.st.sized(x.OnSet(t))
+}
 
 // IsEmpty reports whether x has no member sets.
 func (a Alg) IsEmpty(x *Family) bool { return x.IsEmpty() }
@@ -66,4 +106,18 @@ func (a Alg) Enumerate(x *Family, limit int) []tset.TSet {
 // the conflict graph: the initial valid sets r₀.
 func (a Alg) MaximalConflictFree(conflict func(i, j int) bool) *Family {
 	return MaximalConflictFree(a.n, conflict)
+}
+
+// ReportStats exports the algebra's operation counts under the "family."
+// prefix (the core engine's StatsReporter hook). Gauges, not counters, so
+// a repeated call overwrites rather than double-counts.
+func (a Alg) ReportStats(r *obs.Registry) {
+	if a.st == nil {
+		return
+	}
+	r.Gauge("family.union_ops").Set(a.st.unions)
+	r.Gauge("family.intersect_ops").Set(a.st.intersects)
+	r.Gauge("family.diff_ops").Set(a.st.diffs)
+	r.Gauge("family.onset_ops").Set(a.st.onsets)
+	r.Gauge("family.peak_sets").Set(a.st.peakSets)
 }

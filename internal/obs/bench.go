@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// BenchSchema identifies the machine-readable benchmark artifact format.
+// Bump the version suffix on any incompatible change so downstream
+// perf-diff tooling can refuse mixed comparisons.
+const BenchSchema = "gpobench/v1"
+
+// BenchReport is the machine-readable artifact emitted by `gpobench
+// -json`: one entry per (model instance, engine) pair, sufficient to diff
+// perf runs across commits.
+type BenchReport struct {
+	Schema    string       `json:"schema"`
+	Date      string       `json:"date"` // RFC 3339
+	GoVersion string       `json:"go_version"`
+	Entries   []BenchEntry `json:"entries"`
+}
+
+// BenchEntry is one engine run on one model instance.
+type BenchEntry struct {
+	Family string `json:"family"`
+	Size   int    `json:"size"`
+	Engine string `json:"engine"`
+	// States is states explored (GPN states for gpo, events for
+	// unfolding, |reachable| for symbolic).
+	States int64 `json:"states"`
+	// PeakNodes is the peak decision-diagram node count (symbolic engine;
+	// 0 elsewhere).
+	PeakNodes int64 `json:"peak_nodes"`
+	WallNS    int64 `json:"wall_ns"`
+	// Allocs is the number of heap objects allocated during the run.
+	Allocs int64 `json:"allocs"`
+	// AllocBytes is the number of heap bytes allocated during the run.
+	AllocBytes int64 `json:"alloc_bytes"`
+	// Capped marks a run aborted at a state/node cap; States/PeakNodes
+	// then hold the cap value reached.
+	Capped bool `json:"capped,omitempty"`
+	// Skipped marks an instance/engine pair that was not run (e.g. full
+	// enumeration of a 10^6-state family).
+	Skipped bool `json:"skipped,omitempty"`
+	// Error holds a failure message; all numeric fields are then invalid.
+	Error string `json:"error,omitempty"`
+	// Counters carries the engine's full counter/gauge set for the run
+	// ("core.multi_firings", "bdd.cache_hits", ...).
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ParseBenchReport decodes and validates a report produced by WriteJSON.
+func ParseBenchReport(data []byte) (*BenchReport, error) {
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("obs: invalid bench report: %w", err)
+	}
+	if r.Schema != BenchSchema {
+		return nil, fmt.Errorf("obs: bench report schema %q, want %q", r.Schema, BenchSchema)
+	}
+	return &r, nil
+}
+
+// BenchFileName returns the dated artifact name, BENCH_YYYY-MM-DD.json.
+func BenchFileName(t time.Time) string {
+	return "BENCH_" + t.Format("2006-01-02") + ".json"
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time.Now so progress reporting and span timing are
+// testable with a fake clock.
+type Clock interface {
+	Now() time.Time
+}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+// SystemClock is the wall clock.
+var SystemClock Clock = systemClock{}
+
+// FakeClock is a manually advanced clock for tests.
+type FakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFakeClock returns a fake clock reading start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{t: start}
+}
+
+// Now returns the fake time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the fake time forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// Update is one progress report.
+type Update struct {
+	Label   string
+	Count   int64
+	Elapsed time.Duration
+	// Rate is Count per second of Elapsed (0 when Elapsed is 0).
+	Rate float64
+	// Final marks the report emitted by Done.
+	Final bool
+}
+
+// Progress emits periodic liveness reports from a long-running
+// exploration: every Every ticks, or whenever Interval has elapsed since
+// the last report, whichever fires first. The zero thresholds disable
+// their trigger; a nil *Progress disables everything, so engines tick
+// unconditionally.
+//
+// Engines call Tick once per unit of work (one state, one event, one
+// fixpoint iteration). Reports go to the Report callback if set,
+// otherwise as a text line to W (default os.Stderr).
+type Progress struct {
+	Label    string
+	Every    int64         // report each time this many more ticks arrive (0 = off)
+	Interval time.Duration // report when this much time passed since the last report (0 = off)
+	Clock    Clock         // nil = wall clock
+	Report   func(Update)  // nil = write text to W
+	W        io.Writer     // nil = os.Stderr
+
+	mu      sync.Mutex
+	n       int64
+	started time.Time
+	last    time.Time
+	nextAt  int64
+}
+
+func (p *Progress) now() time.Time {
+	if p.Clock != nil {
+		return p.Clock.Now()
+	}
+	return time.Now()
+}
+
+// Tick records delta units of work and emits a report if a threshold was
+// crossed. Safe on a nil *Progress.
+func (p *Progress) Tick(delta int64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.started.IsZero() {
+		p.started = p.now()
+		p.last = p.started
+		p.nextAt = p.Every
+	}
+	p.n += delta
+	fire := false
+	if p.Every > 0 && p.n >= p.nextAt {
+		fire = true
+		p.nextAt = p.n + p.Every
+	}
+	var now time.Time
+	if p.Interval > 0 || fire {
+		now = p.now()
+	}
+	if !fire && p.Interval > 0 && now.Sub(p.last) >= p.Interval {
+		fire = true
+	}
+	if !fire {
+		p.mu.Unlock()
+		return
+	}
+	p.last = now
+	u := p.update(now, false)
+	p.mu.Unlock()
+	p.emit(u)
+}
+
+// Count returns the ticks seen so far.
+func (p *Progress) Count() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}
+
+// Done emits a final report if any work was ticked. Safe on a nil
+// *Progress.
+func (p *Progress) Done() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.n == 0 {
+		p.mu.Unlock()
+		return
+	}
+	u := p.update(p.now(), true)
+	p.mu.Unlock()
+	p.emit(u)
+}
+
+func (p *Progress) update(now time.Time, final bool) Update {
+	elapsed := now.Sub(p.started)
+	u := Update{Label: p.Label, Count: p.n, Elapsed: elapsed, Final: final}
+	if secs := elapsed.Seconds(); secs > 0 {
+		u.Rate = float64(p.n) / secs
+	}
+	return u
+}
+
+func (p *Progress) emit(u Update) {
+	if p.Report != nil {
+		p.Report(u)
+		return
+	}
+	w := p.W
+	if w == nil {
+		w = os.Stderr
+	}
+	label := u.Label
+	if label == "" {
+		label = "progress"
+	}
+	state := ""
+	if u.Final {
+		state = " (done)"
+	}
+	fmt.Fprintf(w, "%s: %d states in %v (%.0f/s)%s\n",
+		label, u.Count, u.Elapsed.Round(time.Millisecond), u.Rate, state)
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProgressEveryN(t *testing.T) {
+	var got []Update
+	p := &Progress{
+		Label:  "rw(9)",
+		Every:  100,
+		Clock:  NewFakeClock(time.Unix(0, 0)),
+		Report: func(u Update) { got = append(got, u) },
+	}
+	for i := 0; i < 1050; i++ {
+		p.Tick(1)
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d reports, want 10", len(got))
+	}
+	for i, u := range got {
+		if want := int64((i + 1) * 100); u.Count != want {
+			t.Errorf("report %d at count %d, want %d", i, u.Count, want)
+		}
+		if u.Label != "rw(9)" || u.Final {
+			t.Errorf("report %d = %+v", i, u)
+		}
+	}
+	p.Done()
+	if len(got) != 11 || got[10].Count != 1050 || !got[10].Final {
+		t.Fatalf("Done report = %+v", got[len(got)-1])
+	}
+}
+
+func TestProgressInterval(t *testing.T) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	var got []Update
+	p := &Progress{
+		Interval: time.Second,
+		Clock:    clock,
+		Report:   func(u Update) { got = append(got, u) },
+	}
+	// Ticks arrive 300ms apart starting at t=0: tick 5 is the first with
+	// >= 1s since the last report (t=1.2s), then tick 9 (t=2.4s).
+	for i := 0; i < 10; i++ {
+		p.Tick(1)
+		clock.Advance(300 * time.Millisecond)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d reports (%+v), want 2", len(got), got)
+	}
+	if got[0].Count != 5 || got[0].Elapsed != 1200*time.Millisecond {
+		t.Errorf("first report = %+v, want count 5 at 1.2s", got[0])
+	}
+	if got[1].Count != 9 || got[1].Elapsed != 2400*time.Millisecond {
+		t.Errorf("second report = %+v, want count 9 at 2.4s", got[1])
+	}
+	// Rate uses the fake elapsed time.
+	if want := 5 / 1.2; got[0].Rate < want-0.01 || got[0].Rate > want+0.01 {
+		t.Errorf("rate = %v, want %v", got[0].Rate, want)
+	}
+}
+
+func TestProgressBothTriggers(t *testing.T) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	var got []Update
+	p := &Progress{
+		Every:    5,
+		Interval: time.Second,
+		Clock:    clock,
+		Report:   func(u Update) { got = append(got, u) },
+	}
+	p.Tick(5) // count trigger
+	if len(got) != 1 || got[0].Count != 5 {
+		t.Fatalf("count trigger: %+v", got)
+	}
+	clock.Advance(2 * time.Second)
+	p.Tick(1) // time trigger
+	if len(got) != 2 || got[1].Count != 6 {
+		t.Fatalf("time trigger: %+v", got)
+	}
+}
+
+func TestProgressDefaultTextOutput(t *testing.T) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	var buf bytes.Buffer
+	p := &Progress{Label: "sweep", Every: 2, Clock: clock, W: &buf}
+	p.Tick(1)
+	clock.Advance(time.Second)
+	p.Tick(1)
+	out := buf.String()
+	if !strings.Contains(out, "sweep: 2 states in 1s (2/s)") {
+		t.Errorf("unexpected progress line: %q", out)
+	}
+}
+
+func TestProgressNoTriggersConfigured(t *testing.T) {
+	fired := false
+	p := &Progress{Report: func(Update) { fired = true }}
+	for i := 0; i < 1000; i++ {
+		p.Tick(1)
+	}
+	if fired {
+		t.Error("progress with no thresholds should never report from Tick")
+	}
+	if p.Count() != 1000 {
+		t.Errorf("count = %d", p.Count())
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Snapshot is a point-in-time export of a registry: plain maps and
+// slices, directly marshalable to JSON and comparable in tests.
+type Snapshot struct {
+	TakenUnixNS int64                        `json:"taken_unix_ns"`
+	Counters    map[string]int64             `json:"counters,omitempty"`
+	Gauges      map[string]int64             `json:"gauges,omitempty"`
+	Histograms  map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans       []SpanRecord                 `json:"spans,omitempty"`
+}
+
+// Snapshot exports the registry's current state. Safe on a nil registry
+// (returns an empty snapshot).
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if r == nil {
+		return s
+	}
+	s.TakenUnixNS = r.now().UnixNano()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.snapshot()
+		}
+	}
+	if len(r.spans) > 0 {
+		s.Spans = make([]SpanRecord, len(r.spans))
+		copy(s.Spans, r.spans)
+	}
+	return s
+}
+
+// Sink consumes a snapshot: the seam between metric collection and
+// output format.
+type Sink interface {
+	Emit(*Snapshot) error
+}
+
+// Flush snapshots the registry into the sink. Safe on a nil registry.
+func (r *Registry) Flush(s Sink) error {
+	return s.Emit(r.Snapshot())
+}
+
+// NopSink discards every snapshot.
+type NopSink struct{}
+
+// Emit discards the snapshot.
+func (NopSink) Emit(*Snapshot) error { return nil }
+
+// JSONSink writes each snapshot as one JSON document.
+type JSONSink struct {
+	W io.Writer
+	// Indent pretty-prints with two-space indentation.
+	Indent bool
+}
+
+// Emit marshals the snapshot to the writer.
+func (s JSONSink) Emit(snap *Snapshot) error {
+	enc := json.NewEncoder(s.W)
+	if s.Indent {
+		enc.SetIndent("", "  ")
+	}
+	return enc.Encode(snap)
+}
+
+// TextSink writes a human-readable summary, metrics sorted by name.
+type TextSink struct {
+	W io.Writer
+}
+
+// Emit formats the snapshot as aligned text.
+func (s TextSink) Emit(snap *Snapshot) error {
+	for _, name := range sortedKeys(snap.Counters) {
+		if _, err := fmt.Fprintf(s.W, "counter %-32s %d\n", name, snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		if _, err := fmt.Fprintf(s.W, "gauge   %-32s %d\n", name, snap.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	histNames := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := snap.Histograms[name]
+		if _, err := fmt.Fprintf(s.W, "hist    %-32s n=%d mean=%.2f min=%d p50=%d p90=%d p99=%d max=%d\n",
+			name, h.Count, h.Mean, h.Min, h.P50, h.P90, h.P99, h.Max); err != nil {
+			return err
+		}
+	}
+	for _, sp := range snap.Spans {
+		if _, err := fmt.Fprintf(s.W, "span    %-32s wall=%v alloc=%dB mallocs=%d gc=%d\n",
+			sp.Name, time.Duration(sp.WallNS).Round(time.Microsecond), sp.AllocBytes, sp.Mallocs, sp.GCCycles); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

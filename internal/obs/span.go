@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// SpanRecord is one finished span: a named phase with its wall-clock
+// duration and the runtime.MemStats deltas accumulated while it ran.
+// Memory deltas are process-wide, so overlapping spans double-count
+// allocations; the engines only nest spans (phase inside run), where the
+// outer span's delta legitimately includes the inner one's.
+type SpanRecord struct {
+	Name string `json:"name"`
+	// StartUnixNS is the span's start time (UnixNano of the registry's
+	// clock), kept as an integer so records survive a JSON round trip
+	// bit-for-bit.
+	StartUnixNS int64 `json:"start_unix_ns"`
+	WallNS      int64 `json:"wall_ns"`
+	// AllocBytes and Mallocs are the deltas of MemStats.TotalAlloc and
+	// MemStats.Mallocs: bytes and objects allocated during the span.
+	AllocBytes int64 `json:"alloc_bytes"`
+	Mallocs    int64 `json:"mallocs"`
+	// HeapObjectsDelta is the change in live heap objects (can be
+	// negative when the GC ran during the span).
+	HeapObjectsDelta int64 `json:"heap_objects_delta"`
+	// GCCycles is the number of completed GC cycles during the span.
+	GCCycles int64 `json:"gc_cycles"`
+}
+
+// Wall returns the span's wall-clock duration.
+func (s SpanRecord) Wall() time.Duration { return time.Duration(s.WallNS) }
+
+// Span is an in-flight phase measurement. Obtain one from
+// Registry.StartSpan and finish it with End; a nil *Span is valid and
+// End is a no-op.
+type Span struct {
+	r           *Registry
+	name        string
+	start       time.Time
+	allocBytes  uint64
+	mallocs     uint64
+	heapObjects uint64
+	gcCycles    uint32
+}
+
+// StartSpan begins a named span. It reads runtime.MemStats, which costs
+// tens of microseconds — cheap per phase, far too expensive per state, so
+// spans delimit phases and counters track states. Returns nil on a nil
+// registry.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &Span{
+		r:           r,
+		name:        name,
+		start:       r.now(),
+		allocBytes:  ms.TotalAlloc,
+		mallocs:     ms.Mallocs,
+		heapObjects: ms.HeapObjects,
+		gcCycles:    ms.NumGC,
+	}
+}
+
+// End finishes the span, appends its record to the registry and returns
+// the wall-clock duration. Safe on a nil span.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	wall := s.r.now().Sub(s.start)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rec := SpanRecord{
+		Name:             s.name,
+		StartUnixNS:      s.start.UnixNano(),
+		WallNS:           int64(wall),
+		AllocBytes:       int64(ms.TotalAlloc - s.allocBytes),
+		Mallocs:          int64(ms.Mallocs - s.mallocs),
+		HeapObjectsDelta: int64(ms.HeapObjects) - int64(s.heapObjects),
+		GCCycles:         int64(ms.NumGC - s.gcCycles),
+	}
+	s.r.mu.Lock()
+	s.r.spans = append(s.r.spans, rec)
+	s.r.mu.Unlock()
+	return wall
+}
+
+// Spans returns a copy of the finished span records in completion order.
+func (r *Registry) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]SpanRecord, len(r.spans))
+	copy(out, r.spans)
+	return out
+}

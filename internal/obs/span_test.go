@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpanFakeClockWall(t *testing.T) {
+	clock := NewFakeClock(time.Unix(100, 0))
+	r := NewWithClock(clock)
+	sp := r.StartSpan("phase.one")
+	clock.Advance(3 * time.Second)
+	if d := sp.End(); d != 3*time.Second {
+		t.Errorf("End returned %v, want 3s", d)
+	}
+	spans := r.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	rec := spans[0]
+	if rec.Name != "phase.one" {
+		t.Errorf("name = %q", rec.Name)
+	}
+	if rec.StartUnixNS != time.Unix(100, 0).UnixNano() {
+		t.Errorf("start = %d", rec.StartUnixNS)
+	}
+	if rec.WallNS != int64(3*time.Second) || rec.Wall() != 3*time.Second {
+		t.Errorf("wall = %d", rec.WallNS)
+	}
+}
+
+func TestSpanMemDeltas(t *testing.T) {
+	r := New()
+	sp := r.StartSpan("alloc")
+	// Allocate something measurable (1 MB kept live until End).
+	buf := make([]byte, 1<<20)
+	_ = buf[len(buf)-1]
+	sp.End()
+	rec := r.Spans()[0]
+	if rec.AllocBytes < 1<<20 {
+		t.Errorf("alloc_bytes = %d, want >= 1MiB", rec.AllocBytes)
+	}
+	if rec.Mallocs < 1 {
+		t.Errorf("mallocs = %d, want >= 1", rec.Mallocs)
+	}
+}
+
+func TestSpansOrdered(t *testing.T) {
+	r := New()
+	a := r.StartSpan("a")
+	b := r.StartSpan("b")
+	b.End()
+	a.End()
+	spans := r.Spans()
+	if len(spans) != 2 || spans[0].Name != "b" || spans[1].Name != "a" {
+		t.Fatalf("spans = %+v, want completion order b, a", spans)
+	}
+}

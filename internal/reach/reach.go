@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/petri"
 )
 
@@ -38,6 +39,11 @@ type Options struct {
 	Bad func(petri.Marking) bool
 	// StopAtBad halts the search at the first Bad marking.
 	StopAtBad bool
+	// Metrics, if non-nil, receives exploration statistics under the
+	// "reach." prefix (see OBSERVABILITY.md). Nil costs nothing.
+	Metrics *obs.Registry
+	// Progress, if non-nil, is ticked once per distinct state found.
+	Progress *obs.Progress
 }
 
 // Edge is one arc of the reachability graph: firing T from the source
@@ -69,7 +75,22 @@ type Result struct {
 
 // Explore enumerates the reachable markings of n breadth-first.
 func Explore(n *petri.Net, opts Options) (*Result, error) {
+	defer opts.Metrics.StartSpan("reach.explore").End()
 	res := &Result{Complete: true}
+	var qPeak int
+	if opts.Metrics != nil {
+		// Exported once on the way out (every return path) rather than
+		// incremented per event: the per-state work of this engine is a
+		// hash insert, so even uncontended atomics would be measurable.
+		defer func() {
+			reg := opts.Metrics
+			reg.Counter("reach.states").Add(int64(res.States))
+			reg.Counter("reach.arcs").Add(int64(res.Arcs))
+			reg.Counter("reach.deadlocks").Add(int64(len(res.Deadlocks)))
+			reg.Counter("reach.bad_states").Add(int64(len(res.BadStates)))
+			reg.Gauge("reach.queue_peak").SetMax(int64(qPeak))
+		}()
+	}
 	var g *Graph
 	if opts.StoreGraph {
 		g = &Graph{Net: n}
@@ -90,6 +111,7 @@ func Explore(n *petri.Net, opts Options) (*Result, error) {
 		if opts.StoreGraph {
 			g.Edges = append(g.Edges, nil)
 		}
+		opts.Progress.Tick(1)
 		return id, true
 	}
 
@@ -160,6 +182,9 @@ func Explore(n *petri.Net, opts Options) (*Result, error) {
 					return res, nil
 				}
 				queue = append(queue, nid)
+				if len(queue) > qPeak {
+					qPeak = len(queue)
+				}
 			}
 		}
 	}

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/petri"
 )
 
@@ -50,6 +51,11 @@ type Options struct {
 	// required for deadlock detection, but emulates the behavior the paper
 	// observed for SPIN+PO (e.g. no reduction at all on RW).
 	Proviso bool
+	// Metrics, if non-nil, receives exploration statistics under the
+	// "stubborn." prefix (see OBSERVABILITY.md). Nil costs nothing.
+	Metrics *obs.Registry
+	// Progress, if non-nil, is ticked once per distinct state found.
+	Progress *obs.Progress
 }
 
 // Result summarizes a reduced exploration.
@@ -146,6 +152,15 @@ type frame struct {
 // Explore enumerates the stubborn-set-reduced state space of n
 // depth-first.
 func Explore(n *petri.Net, opts Options) (*Result, error) {
+	defer opts.Metrics.StartSpan("stubborn.explore").End()
+	var (
+		cStates  = opts.Metrics.Counter("stubborn.states")
+		cArcs    = opts.Metrics.Counter("stubborn.arcs")
+		cDead    = opts.Metrics.Counter("stubborn.deadlocks")
+		cKey     = opts.Metrics.Counter("stubborn.key_singletons")
+		cProviso = opts.Metrics.Counter("stubborn.proviso_expansions")
+		hSetSize = opts.Metrics.Histogram("stubborn.set_size")
+	)
 	res := &Result{Complete: true}
 	index := make(map[string]int)
 	var states []petri.Marking
@@ -159,6 +174,8 @@ func Explore(n *petri.Net, opts Options) (*Result, error) {
 		id := len(states)
 		index[k] = id
 		states = append(states, m)
+		cStates.Inc()
+		opts.Progress.Tick(1)
 		return id, true
 	}
 
@@ -166,6 +183,7 @@ func Explore(n *petri.Net, opts Options) (*Result, error) {
 		if n.IsDeadlock(m) {
 			res.Deadlock = true
 			res.Deadlocks = append(res.Deadlocks, m)
+			cDead.Inc()
 			return opts.StopAtDeadlock
 		}
 		return false
@@ -175,6 +193,14 @@ func Explore(n *petri.Net, opts Options) (*Result, error) {
 		m := states[id]
 		fire := StubbornEnabled(n, m, opts.Seed)
 		enabledCount := len(n.EnabledTrans(m))
+		if len(fire) > 0 {
+			hSetSize.Observe(int64(len(fire)))
+			if len(fire) == 1 {
+				// A singleton stubborn set: the reducer found a "key"
+				// transition that can be fired alone.
+				cKey.Inc()
+			}
+		}
 		return &frame{id: id, fire: fire, reduced: len(fire) < enabledCount}
 	}
 
@@ -203,6 +229,7 @@ func Explore(n *petri.Net, opts Options) (*Result, error) {
 				n.Name(), n.TransName(t))
 		}
 		res.Arcs++
+		cArcs.Inc()
 		nid, fresh := add(next)
 		if fresh {
 			if opts.MaxStates > 0 && len(states) > opts.MaxStates {
@@ -221,6 +248,7 @@ func Explore(n *petri.Net, opts Options) (*Result, error) {
 			// Cycle proviso: the reduced expansion closed a DFS cycle;
 			// expand the state fully so no transition is ignored forever.
 			f.full = true
+			cProviso.Inc()
 			already := make(map[petri.Trans]bool, len(f.fire))
 			for _, u := range f.fire {
 				already[u] = true

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"repro/internal/bdd"
+	"repro/internal/obs"
 	"repro/internal/petri"
 )
 
@@ -39,6 +40,12 @@ type Options struct {
 	// Bad, if non-empty, adds a safety check: is a marking with all these
 	// places simultaneously marked reachable?
 	Bad []petri.Place
+	// Metrics, if non-nil, receives analysis statistics under the
+	// "symbolic." prefix plus the BDD manager's cache statistics under
+	// "bdd." (see OBSERVABILITY.md). Nil costs nothing.
+	Metrics *obs.Registry
+	// Progress, if non-nil, is ticked once per image iteration.
+	Progress *obs.Progress
 }
 
 // Result summarizes a symbolic reachability analysis.
@@ -126,8 +133,25 @@ func (a *analyzer) transitionRelation(t petri.Trans) bdd.Node {
 
 // Analyze runs the symbolic reachability analysis and deadlock check.
 func Analyze(n *petri.Net, opts Options) (*Result, error) {
+	defer opts.Metrics.StartSpan("symbolic.analyze").End()
 	a := newAnalyzer(n, opts.Order)
 	m := a.m
+	if opts.Metrics != nil {
+		// Export manager statistics on every exit path, including the
+		// node-limit aborts: peak size at abort is exactly what a cap
+		// investigation needs.
+		defer func() {
+			st := m.Stats()
+			reg := opts.Metrics
+			reg.Gauge("symbolic.peak_nodes").Set(int64(st.Peak))
+			reg.Gauge("bdd.nodes").Set(int64(st.Nodes))
+			reg.Gauge("bdd.unique_hits").Set(st.UniqueHits)
+			reg.Gauge("bdd.unique_misses").Set(st.UniqueMisses)
+			reg.Gauge("bdd.cache_hits").Set(st.CacheHits)
+			reg.Gauge("bdd.cache_misses").Set(st.CacheMisses)
+		}()
+	}
+	cIter := opts.Metrics.Counter("symbolic.iterations")
 
 	rels := make([]bdd.Node, n.NumTrans())
 	for t := petri.Trans(0); int(t) < n.NumTrans(); t++ {
@@ -156,6 +180,8 @@ func Analyze(n *petri.Net, opts Options) (*Result, error) {
 	iterations := 0
 	for frontier != bdd.False {
 		iterations++
+		cIter.Inc()
+		opts.Progress.Tick(1)
 		img := bdd.False
 		for _, rel := range rels {
 			step := m.AndExists(frontier, rel, a.shed)

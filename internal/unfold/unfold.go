@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/petri"
 )
 
@@ -116,6 +117,11 @@ type Options struct {
 	// MaxEvents aborts the construction beyond this many events
 	// (0 = no limit).
 	MaxEvents int
+	// Metrics, if non-nil, receives construction statistics under the
+	// "unfold." prefix (see OBSERVABILITY.md). Nil costs nothing.
+	Metrics *obs.Registry
+	// Progress, if non-nil, is ticked once per inserted event.
+	Progress *obs.Progress
 }
 
 // Build constructs the complete finite prefix: events are inserted in
@@ -123,10 +129,16 @@ type Options struct {
 // event is a cutoff when some earlier event — or the empty configuration —
 // already reaches the same marking with a smaller local configuration.
 func Build(n *petri.Net, opts Options) (*Prefix, error) {
+	defer opts.Metrics.StartSpan("unfold.build").End()
 	u := &unfolder{
-		net:    n,
-		prefix: &Prefix{Net: n},
-		marks:  map[string]int{n.InitialMarking().Key(): 0},
+		net:      n,
+		prefix:   &Prefix{Net: n},
+		marks:    map[string]int{n.InitialMarking().Key(): 0},
+		cEvents:  opts.Metrics.Counter("unfold.events"),
+		cCutoffs: opts.Metrics.Counter("unfold.cutoffs"),
+		cConds:   opts.Metrics.Counter("unfold.conds"),
+		gPQ:      opts.Metrics.Gauge("unfold.pq_peak"),
+		progress: opts.Progress,
 	}
 	for _, p := range n.InitialPlaces() {
 		c := u.newCond(p, nil)
@@ -160,11 +172,19 @@ type unfolder struct {
 	marks map[string]int
 	// seen dedupes events by (transition, preset condition ids).
 	seen map[string]bool
+
+	// Instrumentation; the nil values are valid no-ops.
+	cEvents  *obs.Counter
+	cCutoffs *obs.Counter
+	cConds   *obs.Counter
+	gPQ      *obs.Gauge
+	progress *obs.Progress
 }
 
 func (u *unfolder) newCond(p petri.Place, producer *Event) *Cond {
 	c := &Cond{ID: len(u.prefix.Conds), Place: p, Producer: producer}
 	u.prefix.Conds = append(u.prefix.Conds, c)
+	u.cConds.Inc()
 	return c
 }
 
@@ -200,11 +220,14 @@ func (u *unfolder) dupe(e *Event) bool {
 func (u *unfolder) insert(e *Event) {
 	e.ID = len(u.prefix.Events)
 	u.prefix.Events = append(u.prefix.Events, e)
+	u.cEvents.Inc()
+	u.progress.Tick(1)
 
 	key := e.mark.Key()
 	if best, ok := u.marks[key]; ok && best < e.Size() {
 		e.Cutoff = true
 		u.prefix.CutoffCnt++
+		u.cCutoffs.Inc()
 		return
 	}
 	if best, ok := u.marks[key]; !ok || e.Size() < best {
@@ -287,6 +310,7 @@ func (u *unfolder) push(t petri.Trans, pre []*Cond) {
 	e.local.count = cfg.count
 	e.mark = u.markOf(e)
 	heap.Push(&u.pq, e)
+	u.gPQ.SetMax(int64(u.pq.Len()))
 }
 
 // markOf computes Mark([e]): fire, at the condition level, every event of

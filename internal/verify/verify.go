@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/family"
+	"repro/internal/obs"
 	"repro/internal/petri"
 	"repro/internal/reach"
 	"repro/internal/stubborn"
@@ -83,6 +84,13 @@ type Options struct {
 	MaxNodes  int
 	// Proviso applies the cycle proviso in the partial-order engine.
 	Proviso bool
+	// Metrics, if non-nil, is handed to the selected engine, which fills
+	// it with its package-prefixed counters, gauges, histograms and spans
+	// (see OBSERVABILITY.md). Nil costs nothing.
+	Metrics *obs.Registry
+	// Progress, if non-nil, is ticked by the selected engine once per
+	// unit of work (state, event or iteration).
+	Progress *obs.Progress
 }
 
 // Report is the engine-comparable outcome of a check.
@@ -107,6 +115,8 @@ func CheckDeadlock(n *petri.Net, opts Options) (*Report, error) {
 		res, err := reach.Explore(n, reach.Options{
 			MaxStates:      opts.MaxStates,
 			StopAtDeadlock: opts.StopAtFirst,
+			Metrics:        opts.Metrics,
+			Progress:       opts.Progress,
 		})
 		if err != nil {
 			return nil, err
@@ -122,6 +132,8 @@ func CheckDeadlock(n *petri.Net, opts Options) (*Report, error) {
 			MaxStates:      opts.MaxStates,
 			StopAtDeadlock: opts.StopAtFirst,
 			Proviso:        opts.Proviso,
+			Metrics:        opts.Metrics,
+			Progress:       opts.Progress,
 		})
 		if err != nil {
 			return nil, err
@@ -133,7 +145,11 @@ func CheckDeadlock(n *petri.Net, opts Options) (*Report, error) {
 			rep.Witness = res.Deadlocks[0]
 		}
 	case Symbolic:
-		res, err := symbolic.Analyze(n, symbolic.Options{MaxNodes: opts.MaxNodes})
+		res, err := symbolic.Analyze(n, symbolic.Options{
+			MaxNodes: opts.MaxNodes,
+			Metrics:  opts.Metrics,
+			Progress: opts.Progress,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -150,6 +166,8 @@ func CheckDeadlock(n *petri.Net, opts Options) (*Report, error) {
 		res, _, err := e.Analyze(core.Options{
 			MaxStates:      opts.MaxStates,
 			StopAtDeadlock: opts.StopAtFirst,
+			Metrics:        opts.Metrics,
+			Progress:       opts.Progress,
 		})
 		if err != nil {
 			return nil, err
@@ -163,13 +181,19 @@ func CheckDeadlock(n *petri.Net, opts Options) (*Report, error) {
 		res, _, err := e.Analyze(core.Options{
 			MaxStates:      opts.MaxStates,
 			StopAtDeadlock: opts.StopAtFirst,
+			Metrics:        opts.Metrics,
+			Progress:       opts.Progress,
 		})
 		if err != nil {
 			return nil, err
 		}
 		fillGPO(rep, res)
 	case Unfolding:
-		px, err := unfold.Build(n, unfold.Options{MaxEvents: opts.MaxStates})
+		px, err := unfold.Build(n, unfold.Options{
+			MaxEvents: opts.MaxStates,
+			Metrics:   opts.Metrics,
+			Progress:  opts.Progress,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -219,6 +243,8 @@ func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error)
 			MaxStates: opts.MaxStates,
 			Bad:       predicate,
 			StopAtBad: opts.StopAtFirst,
+			Metrics:   opts.Metrics,
+			Progress:  opts.Progress,
 		})
 		if err != nil {
 			return nil, err
@@ -230,7 +256,12 @@ func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error)
 			rep.Witness = res.BadStates[0]
 		}
 	case Symbolic:
-		res, err := symbolic.Analyze(n, symbolic.Options{MaxNodes: opts.MaxNodes, Bad: bad})
+		res, err := symbolic.Analyze(n, symbolic.Options{
+			MaxNodes: opts.MaxNodes,
+			Bad:      bad,
+			Metrics:  opts.Metrics,
+			Progress: opts.Progress,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -250,6 +281,8 @@ func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error)
 		res, err := stubborn.Explore(mon, stubborn.Options{
 			MaxStates: opts.MaxStates,
 			Proviso:   opts.Proviso,
+			Metrics:   opts.Metrics,
+			Progress:  opts.Progress,
 		})
 		if err != nil {
 			return nil, err
@@ -268,7 +301,11 @@ func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error)
 		if err != nil {
 			return nil, err
 		}
-		px, err := unfold.Build(mon, unfold.Options{MaxEvents: opts.MaxStates})
+		px, err := unfold.Build(mon, unfold.Options{
+			MaxEvents: opts.MaxStates,
+			Metrics:   opts.Metrics,
+			Progress:  opts.Progress,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -291,6 +328,8 @@ func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error)
 			ExpandDead:     true, // original deadlocks must not cut exploration
 			TrapFilter:     true,
 			TrapPlace:      trap,
+			Metrics:        opts.Metrics,
+			Progress:       opts.Progress,
 		}
 		var res *core.Result
 		if opts.Engine == GPO {

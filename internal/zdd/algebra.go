@@ -1,6 +1,9 @@
 package zdd
 
-import "repro/internal/tset"
+import (
+	"repro/internal/obs"
+	"repro/internal/tset"
+)
 
 // Alg adapts a ZDD Manager to the algebra interface consumed by the
 // analysis engine (internal/core.Algebra). All families produced by one
@@ -57,4 +60,17 @@ func (a *Alg) Enumerate(x Node, limit int) []tset.TSet { return a.m.Enumerate(x,
 // MaximalConflictFree returns the initial valid sets r₀.
 func (a *Alg) MaximalConflictFree(conflict func(i, j int) bool) Node {
 	return a.m.MaximalConflictFree(conflict)
+}
+
+// ReportStats exports the manager's cache statistics under the "zdd."
+// prefix (the core engine's StatsReporter hook). Gauges, not counters, so
+// a repeated call overwrites rather than double-counts.
+func (a *Alg) ReportStats(r *obs.Registry) {
+	st := a.m.Stats()
+	r.Gauge("zdd.nodes").Set(int64(st.Nodes))
+	r.Gauge("zdd.peak_nodes").Set(int64(st.Peak))
+	r.Gauge("zdd.unique_hits").Set(st.UniqueHits)
+	r.Gauge("zdd.unique_misses").Set(st.UniqueMisses)
+	r.Gauge("zdd.memo_hits").Set(st.MemoHits)
+	r.Gauge("zdd.memo_misses").Set(st.MemoMisses)
 }

@@ -44,6 +44,39 @@ type Manager struct {
 	unique map[[3]int32]Node
 	memo2  map[[3]int32]Node // binary op cache, op-tagged
 	peak   int
+
+	// Plain (non-atomic) operation statistics: the manager is
+	// single-goroutine by design, and these must cost one increment on
+	// the hot path.
+	uniqueHits   int64
+	uniqueMisses int64
+	memoHits     int64
+	memoMisses   int64
+}
+
+// Stats is a snapshot of the manager's internal counters: unique-table
+// hits (node reuse) vs. misses (node creation), and binary-op memo hits
+// vs. misses. Nodes are never garbage-collected, so Size is also the
+// lifetime allocation count.
+type Stats struct {
+	Nodes        int
+	Peak         int
+	UniqueHits   int64
+	UniqueMisses int64
+	MemoHits     int64
+	MemoMisses   int64
+}
+
+// Stats returns the current operation statistics.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Nodes:        len(m.nodes),
+		Peak:         m.peak,
+		UniqueHits:   m.uniqueHits,
+		UniqueMisses: m.uniqueMisses,
+		MemoHits:     m.memoHits,
+		MemoMisses:   m.memoMisses,
+	}
 }
 
 // op tags for the binary memo table.
@@ -83,8 +116,10 @@ func (m *Manager) mk(level int32, lo, hi Node) Node {
 	}
 	key := [3]int32{level, int32(lo), int32(hi)}
 	if n, ok := m.unique[key]; ok {
+		m.uniqueHits++
 		return n
 	}
+	m.uniqueMisses++
 	n := Node(len(m.nodes))
 	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
 	m.unique[key] = n
@@ -129,8 +164,10 @@ func (m *Manager) Union(a, b Node) Node {
 	}
 	key := [3]int32{opUnion, int32(a), int32(b)}
 	if r, ok := m.memo2[key]; ok {
+		m.memoHits++
 		return r
 	}
+	m.memoMisses++
 	na, nb := m.nodes[a], m.nodes[b]
 	var r Node
 	switch {
@@ -158,8 +195,10 @@ func (m *Manager) Intersect(a, b Node) Node {
 	}
 	key := [3]int32{opIntersect, int32(a), int32(b)}
 	if r, ok := m.memo2[key]; ok {
+		m.memoHits++
 		return r
 	}
+	m.memoMisses++
 	na, nb := m.nodes[a], m.nodes[b]
 	var r Node
 	switch {
@@ -184,8 +223,10 @@ func (m *Manager) Diff(a, b Node) Node {
 	}
 	key := [3]int32{opDiff, int32(a), int32(b)}
 	if r, ok := m.memo2[key]; ok {
+		m.memoHits++
 		return r
 	}
+	m.memoMisses++
 	na, nb := m.nodes[a], m.nodes[b]
 	var r Node
 	switch {
@@ -215,8 +256,10 @@ func (m *Manager) OnSet(a Node, v int) Node {
 	// per path, which is exponential.
 	key := [3]int32{opOnSet + int32(v)<<2, int32(a), 0}
 	if r, ok := m.memo2[key]; ok {
+		m.memoHits++
 		return r
 	}
+	m.memoMisses++
 	r := m.mk(na.level, m.OnSet(na.lo, v), m.OnSet(na.hi, v))
 	m.memo2[key] = r
 	return r
