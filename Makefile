@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the tier-1+ gate (see ROADMAP.md).
 
-.PHONY: check test bench-artifact
+.PHONY: check test bench-artifact benchdiff
 
 check:
 	./scripts/check.sh
@@ -11,3 +11,10 @@ test:
 # Regenerate the machine-readable benchmark artifact (BENCH_<date>.json).
 bench-artifact:
 	go run ./cmd/gpobench -json
+
+# Diff two benchmark artifacts and flag >10% wall-clock regressions:
+#   make benchdiff BASE=BENCH_old.json NEW=BENCH_new.json
+benchdiff:
+	@test -n "$(BASE)" -a -n "$(NEW)" || \
+		{ echo "usage: make benchdiff BASE=<old.json> NEW=<new.json>"; exit 2; }
+	go run ./cmd/benchdiff $(BASE) $(NEW)

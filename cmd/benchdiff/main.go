@@ -1,0 +1,84 @@
+// Command benchdiff compares two gpobench JSON artifacts
+// (BENCH_<date>.json, schema gpobench/v1) per (instance, engine) pair and
+// flags wall-clock regressions beyond a threshold as well as state-count
+// mismatches, so perf runs are diffed mechanically instead of by
+// eyeballing tables.
+//
+// Usage:
+//
+//	benchdiff BENCH_old.json BENCH_new.json
+//	benchdiff -threshold 0.05 -json old.json new.json
+//
+// Exit status: 0 when clean, 1 when regressions or mismatches were
+// flagged, 2 on usage or read errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", obs.DefaultRegressionThreshold,
+			"relative wall-clock slowdown to flag (0.10 = >10% slower)")
+		jsonOut = flag.Bool("json", false, "emit the diff as JSON instead of a table")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold F] [-json] <base.json> <new.json>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := readReport(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := readReport(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	diff := obs.DiffBenchReports(base, cur, *threshold)
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, diff); err != nil {
+			fatal(err)
+		}
+	} else if err := diff.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if !diff.Clean() {
+		os.Exit(1)
+	}
+}
+
+func readReport(path string) (*obs.BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := obs.ParseBenchReport(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func writeJSON(w *os.File, diff *obs.BenchDiffReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diff)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}

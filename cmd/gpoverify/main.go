@@ -49,6 +49,7 @@ func main() {
 		stop      = flag.Bool("stop", false, "stop at the first deadlock/violation")
 		maxStates = flag.Int("max-states", 0, "abort explicit searches beyond this many states")
 		maxNodes  = flag.Int("max-nodes", 0, "abort symbolic searches beyond this many BDD nodes")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for the exhaustive engine (0 = sequential)")
 		proviso   = flag.Bool("proviso", false, "apply the cycle proviso in the partial-order engine")
 		compare   = flag.Bool("compare", false, "run all engines and tabulate")
 		explain   = flag.Bool("explain", true, "explain deadlock witnesses structurally (empty siphon)")
@@ -123,6 +124,7 @@ func main() {
 			StopAtFirst: *stop,
 			MaxStates:   *maxStates,
 			MaxNodes:    *maxNodes,
+			Workers:     *workers,
 			Proviso:     *proviso,
 			Metrics:     reg,
 		}

@@ -82,6 +82,10 @@ type Config struct {
 	MaxStates int
 	// MaxNodes caps the symbolic engine's BDD (0 = the 3M default).
 	MaxNodes int
+	// Workers runs the exhaustive engine's BFS with that many parallel
+	// workers (0 = sequential); recorded in the JSON artifact so runs
+	// stay comparable.
+	Workers int
 	// Progress, if true, prints periodic per-run progress to stderr.
 	Progress bool
 }
@@ -125,6 +129,7 @@ func Run(c Config) (*obs.BenchReport, error) {
 		Schema:    obs.BenchSchema,
 		Date:      time.Now().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
+		Workers:   c.Workers,
 	}
 	rows := c.Rows()
 	if len(rows) == 0 {
@@ -214,6 +219,7 @@ func (c Config) measure(net *petri.Net, r Row, engine string, skip bool, run run
 func runExhaustive(net *petri.Net, c Config, reg *obs.Registry, prog *obs.Progress) outcome {
 	res, err := reach.Explore(net, reach.Options{
 		MaxStates: c.maxStates(),
+		Workers:   c.Workers,
 		Metrics:   reg,
 		Progress:  prog,
 	})

@@ -8,7 +8,7 @@ import (
 	"repro/internal/petri"
 )
 
-// ErrStateLimit is returned when exploration exceeds Options.MaxStates.
+// ErrStateLimit is returned when exploration would exceed Options.MaxStates.
 var ErrStateLimit = errors.New("core: state limit exceeded")
 
 // Options configures a generalized partial-order analysis.
@@ -27,7 +27,10 @@ type Options struct {
 	// one conflict set (ablation): every single-enabled transition is fired
 	// at every state.
 	NoAnticipation bool
-	// MaxStates aborts the search beyond this many GPN states (0 = no limit).
+	// MaxStates caps the search at exactly this many GPN states; the
+	// search stops with ErrStateLimit when one more would be interned, and
+	// the firing that would have exceeded the cap is not recorded. Zero
+	// means no limit.
 	MaxStates int
 	// StoreGraph retains all GPN states and arcs in the result.
 	StoreGraph bool
@@ -150,11 +153,16 @@ func (e *Engine[F]) Analyze(opts Options) (*Result, *Graph[F], error) {
 	index := make(map[string]int)
 	onStack := make(map[int]bool)
 	var states []*State[F]
+	limited := false
 
 	intern := func(s *State[F]) (int, bool) {
 		k := e.key(s)
 		if id, ok := index[k]; ok {
 			return id, false
+		}
+		if opts.MaxStates > 0 && len(states) >= opts.MaxStates {
+			limited = true
+			return -1, false
 		}
 		id := len(states)
 		index[k] = id
@@ -226,6 +234,11 @@ func (e *Engine[F]) Analyze(opts Options) (*Result, *Graph[F], error) {
 		f.next++
 
 		id, fresh := intern(sc.state)
+		if limited {
+			res.States = len(states)
+			res.Complete = false
+			return res, g, ErrStateLimit
+		}
 		res.Arcs++
 		cArcs.Inc()
 		if sc.multiple {
@@ -239,11 +252,6 @@ func (e *Engine[F]) Analyze(opts Options) (*Result, *Graph[F], error) {
 			g.Edges[f.id] = append(g.Edges[f.id], Arc{Fired: sc.fired, To: id, Multiple: sc.multiple})
 		}
 		if fresh {
-			if opts.MaxStates > 0 && len(states) > opts.MaxStates {
-				res.States = len(states)
-				res.Complete = false
-				return res, g, ErrStateLimit
-			}
 			nf := &frame[F]{id: id, state: sc.state}
 			if processFrame(nf) {
 				stop = true

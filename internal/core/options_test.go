@@ -11,9 +11,16 @@ import (
 
 func TestMaxStatesLimit(t *testing.T) {
 	e := explicitEngine(t, models.NSDP(3))
-	_, _, err := e.Analyze(Options{SingleOnly: true, MaxStates: 5})
+	res, _, err := e.Analyze(Options{SingleOnly: true, MaxStates: 5})
 	if !errors.Is(err, ErrStateLimit) {
 		t.Errorf("got %v, want ErrStateLimit", err)
+	}
+	// The cap is exact: a limit of 5 must not intern a 6th state.
+	if res.States != 5 {
+		t.Errorf("MaxStates=5 explored %d states, want exactly 5", res.States)
+	}
+	if res.Complete {
+		t.Error("capped run must not report Complete")
 	}
 }
 

@@ -16,10 +16,14 @@ const BenchSchema = "gpobench/v1"
 // -json`: one entry per (model instance, engine) pair, sufficient to diff
 // perf runs across commits.
 type BenchReport struct {
-	Schema    string       `json:"schema"`
-	Date      string       `json:"date"` // RFC 3339
-	GoVersion string       `json:"go_version"`
-	Entries   []BenchEntry `json:"entries"`
+	Schema    string `json:"schema"`
+	Date      string `json:"date"` // RFC 3339
+	GoVersion string `json:"go_version"`
+	// Workers is the parallel worker count the exhaustive engine ran with
+	// (0 = sequential). Wall-clock comparisons across artifacts are only
+	// meaningful between runs with the same value.
+	Workers int          `json:"workers"`
+	Entries []BenchEntry `json:"entries"`
 }
 
 // BenchEntry is one engine run on one model instance.

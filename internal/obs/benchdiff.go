@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DefaultRegressionThreshold is the relative wall-clock slowdown above
+// which DiffBenchReports flags an entry (0.10 = new run >10% slower).
+const DefaultRegressionThreshold = 0.10
+
+// BenchDelta compares one (family, size, engine) entry across two
+// artifacts.
+type BenchDelta struct {
+	Family string `json:"family"`
+	Size   int    `json:"size"`
+	Engine string `json:"engine"`
+
+	BaseWallNS int64   `json:"base_wall_ns"`
+	NewWallNS  int64   `json:"new_wall_ns"`
+	Ratio      float64 `json:"ratio"` // new / base wall clock
+	// Regression is set when the new run is slower than the threshold
+	// allows.
+	Regression bool `json:"regression,omitempty"`
+
+	BaseStates int64 `json:"base_states"`
+	NewStates  int64 `json:"new_states"`
+	// StatesMismatch flags a correctness drift: the same deterministic
+	// engine explored a different number of states across the two runs.
+	StatesMismatch bool `json:"states_mismatch,omitempty"`
+}
+
+// Key renders the delta's identity as family(size)/engine.
+func (d BenchDelta) Key() string {
+	return fmt.Sprintf("%s(%d)/%s", d.Family, d.Size, d.Engine)
+}
+
+// BenchDiffReport is the outcome of comparing two gpobench artifacts.
+type BenchDiffReport struct {
+	BaseDate  string  `json:"base_date"`
+	NewDate   string  `json:"new_date"`
+	Threshold float64 `json:"threshold"`
+	// WorkersDiffer warns that the exhaustive engine ran with different
+	// parallel worker counts, which makes its wall-clock deltas expected
+	// rather than actionable.
+	WorkersDiffer bool         `json:"workers_differ,omitempty"`
+	BaseWorkers   int          `json:"base_workers"`
+	NewWorkers    int          `json:"new_workers"`
+	Deltas        []BenchDelta `json:"deltas"`
+	// Incomparable lists entries present in both artifacts where at least
+	// one side was skipped or errored, so no wall-clock ratio exists.
+	Incomparable []string `json:"incomparable,omitempty"`
+	// OnlyInBase / OnlyInNew list entries without a counterpart.
+	OnlyInBase  []string `json:"only_in_base,omitempty"`
+	OnlyInNew   []string `json:"only_in_new,omitempty"`
+	Regressions int      `json:"regressions"`
+	Mismatches  int      `json:"mismatches"`
+}
+
+// Clean reports whether the diff found nothing to flag.
+func (r *BenchDiffReport) Clean() bool {
+	return r.Regressions == 0 && r.Mismatches == 0
+}
+
+// DiffBenchReports compares two artifacts entry by entry, keyed by
+// (family, size, engine), and flags wall-clock regressions beyond
+// threshold (<= 0 selects DefaultRegressionThreshold) as well as state
+// count mismatches. Deltas follow the base artifact's entry order.
+func DiffBenchReports(base, cur *BenchReport, threshold float64) *BenchDiffReport {
+	if threshold <= 0 {
+		threshold = DefaultRegressionThreshold
+	}
+	rep := &BenchDiffReport{
+		BaseDate:      base.Date,
+		NewDate:       cur.Date,
+		Threshold:     threshold,
+		BaseWorkers:   base.Workers,
+		NewWorkers:    cur.Workers,
+		WorkersDiffer: base.Workers != cur.Workers,
+	}
+
+	key := func(e BenchEntry) string {
+		return fmt.Sprintf("%s(%d)/%s", e.Family, e.Size, e.Engine)
+	}
+	newByKey := make(map[string]BenchEntry, len(cur.Entries))
+	for _, e := range cur.Entries {
+		newByKey[key(e)] = e
+	}
+	seen := make(map[string]bool, len(base.Entries))
+
+	for _, b := range base.Entries {
+		k := key(b)
+		seen[k] = true
+		n, ok := newByKey[k]
+		if !ok {
+			rep.OnlyInBase = append(rep.OnlyInBase, k)
+			continue
+		}
+		if b.Skipped || n.Skipped || b.Error != "" || n.Error != "" {
+			rep.Incomparable = append(rep.Incomparable, k)
+			continue
+		}
+		d := BenchDelta{
+			Family:     b.Family,
+			Size:       b.Size,
+			Engine:     b.Engine,
+			BaseWallNS: b.WallNS,
+			NewWallNS:  n.WallNS,
+			BaseStates: b.States,
+			NewStates:  n.States,
+		}
+		if b.WallNS > 0 {
+			d.Ratio = float64(n.WallNS) / float64(b.WallNS)
+		}
+		if d.Ratio > 1+threshold {
+			d.Regression = true
+			rep.Regressions++
+		}
+		// Capped runs may legitimately stop at different counts; only
+		// completed runs pin the exact state space.
+		if !b.Capped && !n.Capped && b.States != n.States {
+			d.StatesMismatch = true
+			rep.Mismatches++
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	for _, e := range cur.Entries {
+		if k := key(e); !seen[k] {
+			rep.OnlyInNew = append(rep.OnlyInNew, k)
+		}
+	}
+	sort.Strings(rep.OnlyInNew)
+	return rep
+}
+
+// WriteText renders the diff as the human-readable table benchdiff
+// prints, flagged entries marked in the rightmost column.
+func (r *BenchDiffReport) WriteText(w io.Writer) error {
+	if r.WorkersDiffer {
+		fmt.Fprintf(w, "note: exhaustive engine workers differ (base %d, new %d); its wall-clock deltas are expected\n",
+			r.BaseWorkers, r.NewWorkers)
+	}
+	fmt.Fprintf(w, "%-24s %12s %12s %8s  %s\n", "instance/engine", "base", "new", "ratio", "flags")
+	for _, d := range r.Deltas {
+		flags := ""
+		if d.Regression {
+			flags = "REGRESSION"
+		}
+		if d.StatesMismatch {
+			if flags != "" {
+				flags += ","
+			}
+			flags += fmt.Sprintf("STATES %d!=%d", d.BaseStates, d.NewStates)
+		}
+		fmt.Fprintf(w, "%-24s %12s %12s %7.2fx  %s\n",
+			d.Key(), fmtNS(d.BaseWallNS), fmtNS(d.NewWallNS), d.Ratio, flags)
+	}
+	for _, k := range r.Incomparable {
+		fmt.Fprintf(w, "%-24s %12s\n", k, "(skipped/error)")
+	}
+	for _, k := range r.OnlyInBase {
+		fmt.Fprintf(w, "%-24s only in base artifact\n", k)
+	}
+	for _, k := range r.OnlyInNew {
+		fmt.Fprintf(w, "%-24s only in new artifact\n", k)
+	}
+	_, err := fmt.Fprintf(w, "%d wall-clock regressions (> %+.0f%%), %d state mismatches\n",
+		r.Regressions, r.Threshold*100, r.Mismatches)
+	return err
+}
+
+func fmtNS(ns int64) string {
+	switch {
+	case ns < 1_000_000:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns < 1_000_000_000:
+		return fmt.Sprintf("%dms", ns/1_000_000)
+	default:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	}
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func diffFixtures() (*BenchReport, *BenchReport) {
+	base := &BenchReport{
+		Schema: BenchSchema, Date: "2026-01-01T00:00:00Z", Workers: 0,
+		Entries: []BenchEntry{
+			{Family: "rw", Size: 6, Engine: "exhaustive", States: 72, WallNS: 1_000_000},
+			{Family: "rw", Size: 6, Engine: "gpo", States: 2, WallNS: 500_000},
+			{Family: "rw", Size: 9, Engine: "exhaustive", States: 523, WallNS: 2_000_000},
+			{Family: "rw", Size: 9, Engine: "symbolic", Skipped: true},
+			{Family: "rw", Size: 12, Engine: "exhaustive", States: 4110, WallNS: 4_000_000},
+		},
+	}
+	cur := &BenchReport{
+		Schema: BenchSchema, Date: "2026-02-01T00:00:00Z", Workers: 0,
+		Entries: []BenchEntry{
+			// >10% slower: flagged.
+			{Family: "rw", Size: 6, Engine: "exhaustive", States: 72, WallNS: 1_200_000},
+			// Faster and same states: clean.
+			{Family: "rw", Size: 6, Engine: "gpo", States: 2, WallNS: 400_000},
+			// Within threshold but different states: mismatch.
+			{Family: "rw", Size: 9, Engine: "exhaustive", States: 524, WallNS: 2_050_000},
+			{Family: "rw", Size: 9, Engine: "symbolic", Skipped: true},
+			// rw(12)/exhaustive missing; rw(15) new.
+			{Family: "rw", Size: 15, Engine: "exhaustive", States: 29642, WallNS: 9_000_000},
+		},
+	}
+	return base, cur
+}
+
+func TestDiffBenchReports(t *testing.T) {
+	base, cur := diffFixtures()
+	d := DiffBenchReports(base, cur, 0) // 0 selects the 10% default
+
+	if d.Threshold != DefaultRegressionThreshold {
+		t.Errorf("threshold = %v, want default %v", d.Threshold, DefaultRegressionThreshold)
+	}
+	if d.Regressions != 1 {
+		t.Errorf("regressions = %d, want 1", d.Regressions)
+	}
+	if d.Mismatches != 1 {
+		t.Errorf("mismatches = %d, want 1", d.Mismatches)
+	}
+	if d.Clean() {
+		t.Error("diff with flags must not be Clean")
+	}
+
+	byKey := make(map[string]BenchDelta)
+	for _, delta := range d.Deltas {
+		byKey[delta.Key()] = delta
+	}
+	if !byKey["rw(6)/exhaustive"].Regression {
+		t.Error("rw(6)/exhaustive 1.2x slowdown not flagged")
+	}
+	if byKey["rw(6)/gpo"].Regression || byKey["rw(6)/gpo"].StatesMismatch {
+		t.Error("clean speedup wrongly flagged")
+	}
+	if !byKey["rw(9)/exhaustive"].StatesMismatch {
+		t.Error("state drift 523 -> 524 not flagged")
+	}
+	if byKey["rw(9)/exhaustive"].Regression {
+		t.Error("2.5% slowdown flagged at a 10% threshold")
+	}
+
+	if len(d.Incomparable) != 1 || d.Incomparable[0] != "rw(9)/symbolic" {
+		t.Errorf("incomparable = %v, want [rw(9)/symbolic]", d.Incomparable)
+	}
+	if len(d.OnlyInBase) != 1 || d.OnlyInBase[0] != "rw(12)/exhaustive" {
+		t.Errorf("only-in-base = %v", d.OnlyInBase)
+	}
+	if len(d.OnlyInNew) != 1 || d.OnlyInNew[0] != "rw(15)/exhaustive" {
+		t.Errorf("only-in-new = %v", d.OnlyInNew)
+	}
+}
+
+func TestDiffBenchReportsThresholdAndWorkers(t *testing.T) {
+	base, cur := diffFixtures()
+	// At a 25% threshold the 1.2x slowdown is tolerated.
+	d := DiffBenchReports(base, cur, 0.25)
+	if d.Regressions != 0 {
+		t.Errorf("regressions at 25%% = %d, want 0", d.Regressions)
+	}
+	cur.Workers = 4
+	d = DiffBenchReports(base, cur, 0.25)
+	if !d.WorkersDiffer {
+		t.Error("worker-count change not surfaced")
+	}
+}
+
+func TestDiffBenchReportText(t *testing.T) {
+	base, cur := diffFixtures()
+	var sb strings.Builder
+	if err := DiffBenchReports(base, cur, 0).WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"REGRESSION", "STATES 523!=524", "only in base artifact", "only in new artifact", "1 wall-clock regressions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,363 @@
+package reach
+
+// Parallel frontier-batch exploration. Each BFS level is a batch of
+// already-interned states fanned out to a pool of workers; successor
+// generation is pure (petri.Fire on value markings), so the only shared
+// mutable structure is the visited store, which is split into hash-indexed
+// shards with per-shard mutexes so interning does not serialize.
+//
+// Determinism is recovered at the level boundary: workers record every
+// firing they examine under the order key (parent position in the level,
+// transition id), first-claim newly seen markings in the shards as pending
+// discoveries, and min-combine order keys when several workers reach the
+// same new marking. After the level's barrier the discoveries are sorted
+// by order key and assigned state ids — exactly the order the sequential
+// BFS first encounters them — so States, Arcs, Deadlocks/BadStates order,
+// the stored Graph, and even the stop points of MaxStates and ErrUnsafe
+// reproduce the Workers: 0 run bit for bit.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/petri"
+)
+
+// numShards fixes the visited-store fan-out. A power of two well above
+// any sensible worker count keeps the probability of two workers hashing
+// into the same shard low without scaling allocation with Options.Workers.
+const numShards = 256
+
+// shard is one slice of the visited store: established markings in ids,
+// markings first seen during the current level in pend.
+type shard struct {
+	mu   sync.Mutex
+	ids  map[string]int
+	pend map[string]*discovery
+	_    [40]byte // pad to a 64-byte cache line so shards don't false-share
+}
+
+// discovery is a marking first reached during the current level, claimed
+// in a shard by the first worker to see it. order is the minimal
+// (parent position, transition) key over all firings that reached it this
+// level; id stays -1 until the level's merge assigns the definitive one.
+type discovery struct {
+	key   string
+	m     petri.Marking
+	order uint64
+	id    int
+}
+
+// succRef is one examined firing: either the target was already interned
+// (id >= 0) or it is pending and disc carries the id after the merge.
+type succRef struct {
+	t    petri.Trans
+	id   int
+	disc *discovery
+}
+
+// violation records an unsafe firing so the merge can report the
+// scan-order-first one with the same error as the sequential engine.
+type violation struct {
+	order uint64
+	t     petri.Trans
+	m     petri.Marking
+}
+
+func orderKey(pos int, t petri.Trans) uint64 {
+	return uint64(pos)<<32 | uint64(uint32(t))
+}
+
+// shardOf hashes a marking key (FNV-1a) onto a shard index.
+func shardOf(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return h & (numShards - 1)
+}
+
+// exploreParallel is the Workers > 0 path of Explore. Early-stop options
+// are routed to the sequential engine before this is called.
+func exploreParallel(n *petri.Net, opts Options) (*Result, error) {
+	defer opts.Metrics.StartSpan("reach.explore").End()
+	res := &Result{Complete: true}
+	var (
+		qPeak      int
+		batches    int64
+		contention int64
+	)
+	hBatch := opts.Metrics.Histogram("reach.batch_sizes")
+	if opts.Metrics != nil {
+		// Same export-once-on-exit discipline as the sequential engine,
+		// plus the parallel-only worker/batch/shard metrics.
+		defer func() {
+			reg := opts.Metrics
+			reg.Counter("reach.states").Add(int64(res.States))
+			reg.Counter("reach.arcs").Add(int64(res.Arcs))
+			reg.Counter("reach.deadlocks").Add(int64(len(res.Deadlocks)))
+			reg.Counter("reach.bad_states").Add(int64(len(res.BadStates)))
+			reg.Gauge("reach.queue_peak").SetMax(int64(qPeak))
+			reg.Gauge("reach.workers").Set(int64(opts.Workers))
+			reg.Gauge("reach.shards").Set(numShards)
+			reg.Counter("reach.batches").Add(batches)
+			reg.Counter("reach.shard_contention").Add(contention)
+		}()
+	}
+	var g *Graph
+	if opts.StoreGraph {
+		g = &Graph{Net: n}
+		res.Graph = g
+	}
+
+	shards := make([]shard, numShards)
+	for i := range shards {
+		shards[i].ids = make(map[string]int)
+		shards[i].pend = make(map[string]*discovery)
+	}
+
+	var states []petri.Marking
+	m0 := n.InitialMarking()
+	k0 := m0.Key()
+	shards[shardOf(k0)].ids[k0] = 0
+	states = append(states, m0)
+	if opts.StoreGraph {
+		g.Edges = append(g.Edges, nil)
+	}
+	opts.Progress.Tick(1)
+
+	nt := n.NumTrans()
+	level := []int{0}
+
+	// Per-level scratch, reused so steady-state exploration does not
+	// reallocate with every batch.
+	var (
+		succs      [][]succRef
+		deadFlags  []bool
+		badFlags   []bool
+		discovered []*discovery
+	)
+
+	for len(level) > 0 {
+		batches++
+		if len(level) > qPeak {
+			qPeak = len(level)
+		}
+		hBatch.Observe(int64(len(level)))
+
+		if cap(succs) >= len(level) {
+			succs = succs[:len(level)]
+			deadFlags = deadFlags[:len(level)]
+			badFlags = badFlags[:len(level)]
+			for i := range succs {
+				succs[i] = nil
+				deadFlags[i] = false
+				badFlags[i] = false
+			}
+		} else {
+			succs = make([][]succRef, len(level))
+			deadFlags = make([]bool, len(level))
+			badFlags = make([]bool, len(level))
+		}
+
+		w := opts.Workers
+		if w > len(level) {
+			w = len(level)
+		}
+		workerDiscs := make([][]*discovery, w)
+		workerViols := make([]*violation, w)
+		workerCont := make([]int64, w)
+
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		const chunk = 16
+		for wi := 0; wi < w; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				var local []*discovery
+				var vio *violation
+				var cont int64
+				for {
+					lo := int(cursor.Add(chunk)) - chunk
+					if lo >= len(level) {
+						break
+					}
+					hi := lo + chunk
+					if hi > len(level) {
+						hi = len(level)
+					}
+					for pos := lo; pos < hi; pos++ {
+						m := states[level[pos]]
+						enabled := 0
+						var out []succRef
+						for t := petri.Trans(0); int(t) < nt; t++ {
+							if !n.Enabled(m, t) {
+								continue
+							}
+							enabled++
+							next, safe := n.Fire(m, t)
+							order := orderKey(pos, t)
+							if !safe {
+								if vio == nil || order < vio.order {
+									vio = &violation{order: order, t: t, m: m}
+								}
+								continue
+							}
+							key := next.Key()
+							s := &shards[shardOf(key)]
+							if !s.mu.TryLock() {
+								cont++
+								s.mu.Lock()
+							}
+							if id, ok := s.ids[key]; ok {
+								s.mu.Unlock()
+								out = append(out, succRef{t: t, id: id})
+							} else if d, ok := s.pend[key]; ok {
+								if order < d.order {
+									d.order = order
+								}
+								s.mu.Unlock()
+								out = append(out, succRef{t: t, id: -1, disc: d})
+							} else {
+								d := &discovery{key: key, m: next, order: order, id: -1}
+								s.pend[key] = d
+								s.mu.Unlock()
+								local = append(local, d)
+								out = append(out, succRef{t: t, id: -1, disc: d})
+							}
+						}
+						succs[pos] = out
+						if enabled == 0 {
+							deadFlags[pos] = true
+						}
+						if opts.Bad != nil && opts.Bad(m) {
+							badFlags[pos] = true
+						}
+					}
+				}
+				workerDiscs[wi] = local
+				workerViols[wi] = vio
+				workerCont[wi] = cont
+			}(wi)
+		}
+		wg.Wait()
+		for _, c := range workerCont {
+			contention += c
+		}
+
+		// Verdicts of this level's parents. They were interned (and in the
+		// sequential engine, checked) in id order before any state of the
+		// next level, so appending here preserves the global id order of
+		// the Deadlocks and BadStates lists.
+		for pos, id := range level {
+			if badFlags[pos] {
+				res.BadFound = true
+				res.BadStates = append(res.BadStates, states[id])
+			}
+			if deadFlags[pos] {
+				res.Deadlock = true
+				res.Deadlocks = append(res.Deadlocks, states[id])
+			}
+		}
+
+		discovered = discovered[:0]
+		for _, local := range workerDiscs {
+			discovered = append(discovered, local...)
+		}
+		sort.Slice(discovered, func(i, j int) bool {
+			return discovered[i].order < discovered[j].order
+		})
+
+		// The sequential engine stops at whichever comes first in its scan
+		// order: an unsafe firing, or the firing that would intern state
+		// MaxStates+1. Establish both candidate stop points before
+		// committing anything from this level.
+		trigger := ^uint64(0)
+		capped := false
+		if opts.MaxStates > 0 && len(states)+len(discovered) > opts.MaxStates {
+			capped = true
+			trigger = discovered[opts.MaxStates-len(states)].order
+		}
+		var vio *violation
+		for _, v := range workerViols {
+			if v != nil && (vio == nil || v.order < vio.order) {
+				vio = v
+			}
+		}
+		if vio != nil && vio.order < trigger {
+			return nil, fmt.Errorf("%w: firing %s from %s double-marks a place",
+				ErrUnsafe, n.TransName(vio.t), vio.m.String(n))
+		}
+
+		// Assign ids in first-encounter order; on the capped path only the
+		// discoveries the sequential engine interned before its stop.
+		nextLevel := make([]int, 0, len(discovered))
+		for _, d := range discovered {
+			if d.order >= trigger {
+				break
+			}
+			d.id = len(states)
+			states = append(states, d.m)
+			shards[shardOf(d.key)].ids[d.key] = d.id // workers are quiesced
+			if opts.StoreGraph {
+				g.Edges = append(g.Edges, nil)
+			}
+			opts.Progress.Tick(1)
+			nextLevel = append(nextLevel, d.id)
+		}
+		for i := range shards {
+			clear(shards[i].pend)
+		}
+
+		// Count arcs and store edges; on the capped path only firings the
+		// sequential scan examined strictly before the triggering one.
+		for pos, list := range succs {
+			for _, sr := range list {
+				if capped && orderKey(pos, sr.t) >= trigger {
+					break // orders grow with t within a parent
+				}
+				res.Arcs++
+				if opts.StoreGraph {
+					to := sr.id
+					if sr.disc != nil {
+						to = sr.disc.id
+					}
+					g.Edges[level[pos]] = append(g.Edges[level[pos]], Edge{T: sr.t, To: to})
+				}
+			}
+		}
+
+		if capped {
+			// The fresh states interned above were checked at discovery by
+			// the sequential engine before it hit the cap; reproduce that.
+			for _, id := range nextLevel {
+				m := states[id]
+				if opts.Bad != nil && opts.Bad(m) {
+					res.BadFound = true
+					res.BadStates = append(res.BadStates, m)
+				}
+				if n.IsDeadlock(m) {
+					res.Deadlock = true
+					res.Deadlocks = append(res.Deadlocks, m)
+				}
+			}
+			res.States = len(states)
+			res.Complete = false
+			if opts.StoreGraph {
+				g.States = states
+			}
+			return res, ErrStateLimit
+		}
+
+		level = nextLevel
+	}
+
+	res.States = len(states)
+	if opts.StoreGraph {
+		g.States = states
+	}
+	return res, nil
+}

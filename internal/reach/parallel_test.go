@@ -1,0 +1,201 @@
+package reach
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/obs"
+	"repro/internal/petri"
+)
+
+// sameResult asserts the parallel explorer reproduced the sequential
+// Result bit for bit: counts, verdict lists in order, and the stored
+// graph when present.
+func sameResult(t *testing.T, name string, seq, par *Result) {
+	t.Helper()
+	if seq.States != par.States {
+		t.Errorf("%s: states %d != %d", name, par.States, seq.States)
+	}
+	if seq.Arcs != par.Arcs {
+		t.Errorf("%s: arcs %d != %d", name, par.Arcs, seq.Arcs)
+	}
+	if seq.Deadlock != par.Deadlock || seq.BadFound != par.BadFound || seq.Complete != par.Complete {
+		t.Errorf("%s: flags (dead=%v bad=%v complete=%v) != (dead=%v bad=%v complete=%v)",
+			name, par.Deadlock, par.BadFound, par.Complete, seq.Deadlock, seq.BadFound, seq.Complete)
+	}
+	sameMarkings(t, name+"/deadlocks", seq.Deadlocks, par.Deadlocks)
+	sameMarkings(t, name+"/bad", seq.BadStates, par.BadStates)
+	if (seq.Graph == nil) != (par.Graph == nil) {
+		t.Fatalf("%s: graph presence differs", name)
+	}
+	if seq.Graph == nil {
+		return
+	}
+	sameMarkings(t, name+"/graph.states", seq.Graph.States, par.Graph.States)
+	if len(seq.Graph.Edges) != len(par.Graph.Edges) {
+		t.Fatalf("%s: graph edges for %d states != %d", name, len(par.Graph.Edges), len(seq.Graph.Edges))
+	}
+	for id := range seq.Graph.Edges {
+		se, pe := seq.Graph.Edges[id], par.Graph.Edges[id]
+		if len(se) != len(pe) {
+			t.Fatalf("%s: state %d has %d edges, want %d", name, id, len(pe), len(se))
+		}
+		for i := range se {
+			if se[i] != pe[i] {
+				t.Fatalf("%s: state %d edge %d is %+v, want %+v", name, id, i, pe[i], se[i])
+			}
+		}
+	}
+}
+
+func sameMarkings(t *testing.T, name string, want, got []petri.Marking) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Errorf("%s: %d markings != %d", name, len(got), len(want))
+		return
+	}
+	for i := range want {
+		if !want[i].Equal(got[i]) {
+			t.Errorf("%s: marking %d differs", name, i)
+			return
+		}
+	}
+}
+
+// TestParallelMatchesSequential drives the parallel explorer at several
+// worker counts over small models (with graphs and a Bad predicate) and
+// requires results identical to Workers: 0.
+func TestParallelMatchesSequential(t *testing.T) {
+	nets := []*petri.Net{
+		models.Fig1(3), models.Fig2(3), models.Fig3(), models.Fig7(),
+		models.NSDP(4), models.ReadersWriters(4), models.Overtake(3),
+	}
+	for _, net := range nets {
+		bad := func(m petri.Marking) bool { return m.Has(petri.Place(0)) }
+		seq, err := Explore(net, Options{StoreGraph: true, Bad: bad})
+		if err != nil {
+			t.Fatalf("%s: %v", net.Name(), err)
+		}
+		for _, w := range []int{1, 2, 4, 8} {
+			par, err := Explore(net, Options{StoreGraph: true, Bad: bad, Workers: w})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", net.Name(), w, err)
+			}
+			sameResult(t, net.Name(), seq, par)
+		}
+	}
+}
+
+// TestMaxStatesExact is the regression test for the off-by-one: a limit
+// of N must admit exactly N states, sequentially and in parallel.
+func TestMaxStatesExact(t *testing.T) {
+	for _, w := range []int{0, 4} {
+		res, err := Explore(models.NSDP(6), Options{MaxStates: 10, Workers: w})
+		if !errors.Is(err, ErrStateLimit) {
+			t.Fatalf("workers=%d: got %v, want ErrStateLimit", w, err)
+		}
+		if res.States != 10 {
+			t.Errorf("workers=%d: MaxStates=10 admitted %d states, want exactly 10", w, res.States)
+		}
+		if res.Complete {
+			t.Errorf("workers=%d: capped run must not report Complete", w)
+		}
+	}
+}
+
+// TestParallelMaxStatesMatchesSequential sweeps caps that stop the search
+// mid-level and requires the parallel engine to reproduce the sequential
+// stop point exactly, including arcs and the truncated graph.
+func TestParallelMaxStatesMatchesSequential(t *testing.T) {
+	net := models.NSDP(4) // 322 states
+	for _, cap := range []int{1, 2, 7, 50, 321, 322} {
+		seq, seqErr := Explore(net, Options{MaxStates: cap, StoreGraph: true})
+		par, parErr := Explore(net, Options{MaxStates: cap, StoreGraph: true, Workers: 4})
+		if !errors.Is(parErr, seqErr) && !(seqErr == nil && parErr == nil) {
+			t.Fatalf("cap=%d: err %v != %v", cap, parErr, seqErr)
+		}
+		sameResult(t, net.Name(), seq, par)
+	}
+}
+
+// TestParallelEarlyStopFallsBack pins that the latency-oriented early
+// stops still behave exactly like the sequential engine when Workers is
+// set (they route to the sequential path).
+func TestParallelEarlyStopFallsBack(t *testing.T) {
+	net := models.NSDP(4)
+	seq, err := Explore(net, Options{StopAtDeadlock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Explore(net, Options{StopAtDeadlock: true, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, net.Name(), seq, par)
+	if par.Complete {
+		t.Error("StopAtDeadlock run must stop early")
+	}
+}
+
+// TestParallelUnsafeNet checks the parallel engine reports the same
+// ErrUnsafe (same scan-order-first firing in the message) as the
+// sequential one.
+func TestParallelUnsafeNet(t *testing.T) {
+	b := petri.NewBuilder("unsafe")
+	p := b.Place("p")
+	q := b.Place("q")
+	r := b.Place("r")
+	b.TransArcs("t1", []petri.Place{p}, []petri.Place{r})
+	b.TransArcs("t2", []petri.Place{q}, []petri.Place{r})
+	b.Mark(p, q)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, seqErr := Explore(n, Options{})
+	if !errors.Is(seqErr, ErrUnsafe) {
+		t.Fatalf("sequential: got %v, want ErrUnsafe", seqErr)
+	}
+	_, parErr := Explore(n, Options{Workers: 4})
+	if !errors.Is(parErr, ErrUnsafe) {
+		t.Fatalf("parallel: got %v, want ErrUnsafe", parErr)
+	}
+	if seqErr.Error() != parErr.Error() {
+		t.Errorf("error message differs:\n  seq: %s\n  par: %s", seqErr, parErr)
+	}
+}
+
+// TestParallelMetrics checks the parallel-only metrics are exported and
+// the shared ones match the sequential run's.
+func TestParallelMetrics(t *testing.T) {
+	net := models.NSDP(4)
+	seqReg := obs.New()
+	if _, err := Explore(net, Options{Metrics: seqReg}); err != nil {
+		t.Fatal(err)
+	}
+	parReg := obs.New()
+	if _, err := Explore(net, Options{Metrics: parReg, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"reach.states", "reach.arcs", "reach.deadlocks"} {
+		if s, p := seqReg.Counter(name).Value(), parReg.Counter(name).Value(); s != p {
+			t.Errorf("%s: parallel %d != sequential %d", name, p, s)
+		}
+	}
+	if got := parReg.Gauge("reach.workers").Value(); got != 4 {
+		t.Errorf("reach.workers = %d, want 4", got)
+	}
+	if parReg.Gauge("reach.shards").Value() == 0 {
+		t.Error("reach.shards not exported")
+	}
+	if parReg.Counter("reach.batches").Value() == 0 {
+		t.Error("reach.batches not exported")
+	}
+	if seqReg.Gauge("reach.queue_peak").Value() == 0 {
+		t.Error("sequential reach.queue_peak lost")
+	}
+	if parReg.Gauge("reach.queue_peak").Value() == 0 {
+		t.Error("parallel reach.queue_peak (peak level size) lost")
+	}
+}

@@ -1,0 +1,35 @@
+package reach
+
+// intQueue is the sequential BFS frontier: a FIFO of state ids backed by
+// one slice with a head index. Consumed slots are reclaimed by shifting
+// the live window down once more than half the backing array is spent,
+// so the queue's memory stays proportional to the peak frontier. The
+// previous `queue = queue[1:]` idiom kept the array allocated at the
+// frontier's peak pinned — consumed prefix included — for the rest of
+// the run.
+type intQueue struct {
+	buf  []int
+	head int
+}
+
+// compactAt bounds how many consumed slots may accumulate before a
+// compaction is considered; below it the copy is not worth the bother.
+const compactAt = 32
+
+func (q *intQueue) push(v int) { q.buf = append(q.buf, v) }
+
+func (q *intQueue) pop() int {
+	v := q.buf[q.head]
+	q.head++
+	if q.head > compactAt && q.head > len(q.buf)/2 {
+		q.buf = q.buf[:copy(q.buf, q.buf[q.head:])]
+		q.head = 0
+	}
+	return v
+}
+
+func (q *intQueue) len() int { return len(q.buf) - q.head }
+
+// spare reports the backing array's capacity, for tests pinning that the
+// queue does not accumulate consumed slots.
+func (q *intQueue) spare() int { return cap(q.buf) }

@@ -1,0 +1,61 @@
+package reach
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/obs"
+)
+
+// TestQueueMemoryBoundedByFrontier is the regression test for the BFS
+// queue pinning its backing array: streaming many ids through a queue
+// whose live window stays small must keep the backing capacity near the
+// window size, not near the total number of ids ever enqueued. A queue
+// that only advances a head index (or re-slices from the front) without
+// compacting fails this.
+func TestQueueMemoryBoundedByFrontier(t *testing.T) {
+	const (
+		total  = 100_000
+		window = 100
+	)
+	var q intQueue
+	for i := 0; i < total; i++ {
+		q.push(i)
+		if q.len() > window {
+			if got := q.pop(); got != i-window {
+				t.Fatalf("pop = %d, want %d (FIFO order broken)", got, i-window)
+			}
+		}
+	}
+	// Allow the 2x headroom of the compaction scheme plus append's growth
+	// slack; anything near `total` means consumed slots accumulated.
+	if q.spare() > 8*window+compactAt {
+		t.Errorf("backing capacity = %d after %d pushes with a %d-wide window; consumed slots pinned",
+			q.spare(), total, window)
+	}
+	for want := total - window; q.len() > 0; want++ {
+		if got := q.pop(); got != want {
+			t.Fatalf("drain pop = %d, want %d", got, want)
+		}
+	}
+}
+
+// TestQueuePeakAccounting pins that the queue refactor kept the
+// reach.queue_peak gauge correct: for Fig1(3) (the 3-cube) the BFS
+// frontier peaks at 4 pending states (the tail of level 1 plus the first
+// two level-2 discoveries), and the gauge must never exceed the state
+// count.
+func TestQueuePeakAccounting(t *testing.T) {
+	reg := obs.New()
+	res, err := Explore(models.Fig1(3), Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := reg.Gauge("reach.queue_peak").Value()
+	if peak != 4 {
+		t.Errorf("reach.queue_peak = %d, want 4", peak)
+	}
+	if peak > int64(res.States) {
+		t.Errorf("queue peak %d exceeds state count %d", peak, res.States)
+	}
+}

@@ -5,7 +5,9 @@
 //
 // This engine is the ground truth the reduced analyses (internal/stubborn,
 // internal/symbolic, internal/core) are validated against, and it produces
-// the "States" column of Table 1.
+// the "States" column of Table 1. Exploration is breadth-first; setting
+// Options.Workers > 0 switches to the parallel frontier-batch explorer
+// (parallel.go), which produces bit-identical Results.
 package reach
 
 import (
@@ -16,7 +18,7 @@ import (
 	"repro/internal/petri"
 )
 
-// ErrStateLimit is returned when exploration exceeds Options.MaxStates.
+// ErrStateLimit is returned when exploration would exceed Options.MaxStates.
 var ErrStateLimit = errors.New("reach: state limit exceeded")
 
 // ErrUnsafe is returned when a firing would place a second token on a
@@ -26,9 +28,22 @@ var ErrUnsafe = errors.New("reach: net is not safe")
 
 // Options configures an exploration.
 type Options struct {
-	// MaxStates aborts the search when more states than this are found.
-	// Zero means no limit.
+	// MaxStates caps the search at exactly this many distinct states; the
+	// search stops with ErrStateLimit when one more would be interned, and
+	// the firing that would have exceeded the cap is not recorded (no arc,
+	// no edge). Zero means no limit.
 	MaxStates int
+	// Workers selects the parallel frontier-batch explorer with that many
+	// worker goroutines; 0 preserves the classical sequential BFS. The
+	// parallel explorer returns Results identical to Workers: 0 — same
+	// States, Arcs, Deadlocks/BadStates order and Graph — by merging each
+	// BFS level's discoveries in deterministic (parent, transition) order.
+	// StopAtDeadlock and StopAtBad are latency-oriented early exits whose
+	// stop point is inherently scan-order-dependent, so those runs always
+	// use the sequential path regardless of Workers. When Workers > 0 the
+	// Bad predicate may be called from multiple goroutines and must be
+	// safe for concurrent use.
+	Workers int
 	// StopAtDeadlock halts the search at the first deadlock found.
 	StopAtDeadlock bool
 	// StoreGraph retains the full reachability graph in the result; needed
@@ -73,8 +88,20 @@ type Result struct {
 	Complete  bool   // false if the search stopped early
 }
 
-// Explore enumerates the reachable markings of n breadth-first.
+// Explore enumerates the reachable markings of n breadth-first. With
+// Options.Workers > 0 (and no early-stop option) each BFS level is
+// explored by a pool of workers over a sharded visited store; the Result
+// is identical to the sequential one.
 func Explore(n *petri.Net, opts Options) (*Result, error) {
+	if opts.Workers > 0 && !opts.StopAtDeadlock && !opts.StopAtBad {
+		return exploreParallel(n, opts)
+	}
+	return exploreSeq(n, opts)
+}
+
+// exploreSeq is the classical sequential BFS, kept as the Workers: 0 path
+// and as the reference the parallel explorer must reproduce exactly.
+func exploreSeq(n *petri.Net, opts Options) (*Result, error) {
 	defer opts.Metrics.StartSpan("reach.explore").End()
 	res := &Result{Complete: true}
 	var qPeak int
@@ -99,11 +126,16 @@ func Explore(n *petri.Net, opts Options) (*Result, error) {
 
 	index := make(map[string]int)
 	var states []petri.Marking
+	limited := false
 
 	add := func(m petri.Marking) (int, bool) {
 		k := m.Key()
 		if id, ok := index[k]; ok {
 			return id, false
+		}
+		if opts.MaxStates > 0 && len(states) >= opts.MaxStates {
+			limited = true
+			return -1, false
 		}
 		id := len(states)
 		index[k] = id
@@ -117,7 +149,9 @@ func Explore(n *petri.Net, opts Options) (*Result, error) {
 
 	m0 := n.InitialMarking()
 	add(m0)
-	queue := []int{0}
+
+	var queue intQueue
+	queue.push(0)
 
 	checkState := func(id int) (stop bool) {
 		m := states[id]
@@ -146,9 +180,8 @@ func Explore(n *petri.Net, opts Options) (*Result, error) {
 		return res, nil
 	}
 
-	for len(queue) > 0 {
-		id := queue[0]
-		queue = queue[1:]
+	for queue.len() > 0 {
+		id := queue.pop()
 		m := states[id]
 		for t := petri.Trans(0); int(t) < n.NumTrans(); t++ {
 			if !n.Enabled(m, t) {
@@ -159,20 +192,20 @@ func Explore(n *petri.Net, opts Options) (*Result, error) {
 				return nil, fmt.Errorf("%w: firing %s from %s double-marks a place",
 					ErrUnsafe, n.TransName(t), m.String(n))
 			}
-			res.Arcs++
 			nid, fresh := add(next)
+			if limited {
+				res.States = len(states)
+				res.Complete = false
+				if opts.StoreGraph {
+					g.States = states
+				}
+				return res, ErrStateLimit
+			}
+			res.Arcs++
 			if opts.StoreGraph {
 				g.Edges[id] = append(g.Edges[id], Edge{T: t, To: nid})
 			}
 			if fresh {
-				if opts.MaxStates > 0 && len(states) > opts.MaxStates {
-					res.States = len(states)
-					res.Complete = false
-					if opts.StoreGraph {
-						g.States = states
-					}
-					return res, ErrStateLimit
-				}
 				if checkState(nid) {
 					res.States = len(states)
 					res.Complete = false
@@ -181,9 +214,9 @@ func Explore(n *petri.Net, opts Options) (*Result, error) {
 					}
 					return res, nil
 				}
-				queue = append(queue, nid)
-				if len(queue) > qPeak {
-					qPeak = len(queue)
+				queue.push(nid)
+				if live := queue.len(); live > qPeak {
+					qPeak = live
 				}
 			}
 		}

@@ -210,9 +210,17 @@ func (s TSet) Compare(t TSet) int {
 }
 
 // Key returns a string usable as a map key, unique per (universe, members).
+// The universe size is encoded ahead of the member words: sets over
+// different universes can share an identical word representation (e.g.
+// empty sets over 60 and 64 elements) and must not collide.
 func (s TSet) Key() string {
 	var b strings.Builder
-	b.Grow(len(s.words) * 8)
+	b.Grow(8 + len(s.words)*8)
+	var nbuf [8]byte
+	for i := 0; i < 8; i++ {
+		nbuf[i] = byte(uint64(s.n) >> (8 * uint(i)))
+	}
+	b.Write(nbuf[:])
 	for _, w := range s.words {
 		var buf [8]byte
 		for i := 0; i < 8; i++ {

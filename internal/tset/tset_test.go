@@ -186,3 +186,22 @@ func TestString(t *testing.T) {
 		t.Errorf("StringNamed=%q", named)
 	}
 }
+
+// TestKeyEncodesUniverse is the regression test for the key-collision
+// bug: sets over different universes with identical word representations
+// (60 and 64 elements both occupy one word) must not share a Key, per the
+// "unique per (universe, members)" contract.
+func TestKeyEncodesUniverse(t *testing.T) {
+	if Of(60).Key() == Of(64).Key() {
+		t.Error("empty sets over universes 60 and 64 collide")
+	}
+	if Of(60, 3, 7).Key() == Of(64, 3, 7).Key() {
+		t.Error("{3,7} over universes 60 and 64 collide")
+	}
+	if Of(64, 3, 7).Key() != Of(64, 3, 7).Key() {
+		t.Error("identical sets must share a key")
+	}
+	if Of(64, 3).Key() == Of(64, 7).Key() {
+		t.Error("different members over the same universe collide")
+	}
+}

@@ -82,6 +82,10 @@ type Options struct {
 	// MaxStates bounds explicit searches; MaxNodes bounds symbolic ones.
 	MaxStates int
 	MaxNodes  int
+	// Workers, when > 0, runs the exhaustive engine's BFS with that many
+	// parallel workers (see reach.Options.Workers); results are identical
+	// to the sequential search. Other engines ignore it.
+	Workers int
 	// Proviso applies the cycle proviso in the partial-order engine.
 	Proviso bool
 	// Metrics, if non-nil, is handed to the selected engine, which fills
@@ -114,6 +118,7 @@ func CheckDeadlock(n *petri.Net, opts Options) (*Report, error) {
 	case Exhaustive:
 		res, err := reach.Explore(n, reach.Options{
 			MaxStates:      opts.MaxStates,
+			Workers:        opts.Workers,
 			StopAtDeadlock: opts.StopAtFirst,
 			Metrics:        opts.Metrics,
 			Progress:       opts.Progress,
@@ -241,6 +246,7 @@ func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error)
 	case Exhaustive:
 		res, err := reach.Explore(n, reach.Options{
 			MaxStates: opts.MaxStates,
+			Workers:   opts.Workers,
 			Bad:       predicate,
 			StopAtBad: opts.StopAtFirst,
 			Metrics:   opts.Metrics,
