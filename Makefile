@@ -1,12 +1,17 @@
 # Convenience targets; `make check` is the tier-1+ gate (see ROADMAP.md).
 
-.PHONY: check test bench-artifact benchdiff
+.PHONY: check test bench-micro bench-artifact benchdiff
 
 check:
 	./scripts/check.sh
 
 test:
 	go test ./...
+
+# Microbenchmarks of the GPO hot path: ZDD primitive ops and full
+# Analyze runs, with allocation counts (b.ReportAllocs).
+bench-micro:
+	go test -run '^$$' -bench . -benchtime 100x ./internal/zdd/ ./internal/core/
 
 # Regenerate the machine-readable benchmark artifact (BENCH_<date>.json).
 bench-artifact:

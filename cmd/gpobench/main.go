@@ -45,6 +45,7 @@ func main() {
 	var (
 		doTable1   = flag.Bool("table1", false, "regenerate Table 1")
 		family     = flag.String("family", "all", "restrict Table 1 to one family (nsdp, asat, over, rw)")
+		only       = flag.String("only", "", "restrict Table 1 to instances whose name (e.g. 'nsdp(8)') matches this regexp")
 		figure     = flag.Int("figure", 0, "regenerate the Figure 1 or Figure 2 sweep")
 		maxN       = flag.Int("max", 0, "largest size: figure sweeps default to 10; caps Table 1 rows when set")
 		doAll      = flag.Bool("all", false, "regenerate everything")
@@ -82,6 +83,7 @@ func main() {
 	reg := obs.New()
 	cfg := bench.Config{
 		Family:   *family,
+		Only:     *only,
 		MaxSize:  *maxN,
 		MaxNodes: *maxNodes,
 		Workers:  *workers,
@@ -197,7 +199,11 @@ func runTable1(cfg bench.Config) {
 		"Problem", "States", "PO", "PO+prov", "time", "Symbolic peak", "time", "GPO", "time")
 	fmt.Println(strings.Repeat("-", 118))
 
-	for _, r := range cfg.Rows() {
+	rows, err := cfg.Rows()
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range rows {
 		net, err := models.ByName(r.Family, r.Size)
 		if err != nil {
 			fmt.Println("error:", err)

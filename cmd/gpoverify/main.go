@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/models"
 	"repro/internal/obs"
 	"repro/internal/petri"
@@ -44,6 +45,7 @@ func main() {
 		specFile  = flag.String("spec", "", "compile the net from this process-algebra spec file")
 		model     = flag.String("model", "", "use a built-in model family: "+strings.Join(models.Families(), ", "))
 		size      = flag.Int("size", 3, "parameter of the built-in model")
+		only      = flag.String("only", "", "run over every Table 1 instance whose name (e.g. 'nsdp(8)') matches this regexp, instead of one -model/-size")
 		engine    = flag.String("engine", "gpo", "engine: exhaustive, partial-order, symbolic, gpo, gpo-explicit, unfolding")
 		safety    = flag.String("safety", "", "comma-separated places; check if all can be marked at once")
 		stop      = flag.Bool("stop", false, "stop at the first deadlock/violation")
@@ -81,22 +83,31 @@ func main() {
 		}()
 	}
 
-	net, err := loadNet(*netFile, *specFile, *model, *size)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("net %s: %d places, %d transitions, %d conflict clusters\n",
-		net.Name(), net.NumPlaces(), net.NumTrans(), len(net.Clusters()))
-
-	var bad []petri.Place
-	if *safety != "" {
-		for _, name := range strings.Split(*safety, ",") {
-			p, ok := net.PlaceByName(strings.TrimSpace(name))
-			if !ok {
-				fatal(fmt.Errorf("no place named %q", name))
-			}
-			bad = append(bad, p)
+	var nets []*petri.Net
+	if *only != "" {
+		if *netFile != "" || *specFile != "" || *model != "" {
+			fatal(fmt.Errorf("-only selects built-in Table 1 instances; drop -net/-spec/-model"))
 		}
+		rows, err := bench.Config{Only: *only}.Rows()
+		if err != nil {
+			fatal(err)
+		}
+		if len(rows) == 0 {
+			fatal(fmt.Errorf("no Table 1 instance matches -only %q", *only))
+		}
+		for _, r := range rows {
+			n, err := models.ByName(r.Family, r.Size)
+			if err != nil {
+				fatal(err)
+			}
+			nets = append(nets, n)
+		}
+	} else {
+		net, err := loadNet(*netFile, *specFile, *model, *size)
+		if err != nil {
+			fatal(err)
+		}
+		nets = append(nets, net)
 	}
 
 	engines := []verify.Engine{}
@@ -116,19 +127,73 @@ func main() {
 		reg = obs.New()
 	}
 
-	fmt.Printf("%-14s %-10s %10s %12s %12s %10s\n",
-		"engine", "verdict", "states", "peak-bdd", "peak-sets", "time")
+	for _, net := range nets {
+		fmt.Printf("net %s: %d places, %d transitions, %d conflict clusters\n",
+			net.Name(), net.NumPlaces(), net.NumTrans(), len(net.Clusters()))
+
+		var bad []petri.Place
+		if *safety != "" {
+			for _, name := range strings.Split(*safety, ",") {
+				p, ok := net.PlaceByName(strings.TrimSpace(name))
+				if !ok {
+					fatal(fmt.Errorf("no place named %q", name))
+				}
+				bad = append(bad, p)
+			}
+		}
+
+		fmt.Printf("%-14s %-10s %10s %12s %12s %10s\n",
+			"engine", "verdict", "states", "peak-bdd", "peak-sets", "time")
+		runEngines(net, engines, bad, reg, runOpts{
+			stop: *stop, maxStates: *maxStates, maxNodes: *maxNodes,
+			workers: *workers, proviso: *proviso, progress: *progress,
+			explain: *explain,
+		})
+	}
+
+	if *metricsOut != "" {
+		if err := writeMetrics(reg, *metricsOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runOpts carries the flag-derived knobs of one engine table.
+type runOpts struct {
+	stop      bool
+	maxStates int
+	maxNodes  int
+	workers   int
+	proviso   bool
+	progress  bool
+	explain   bool
+}
+
+// runEngines verifies one net with each selected engine and prints the
+// result table rows.
+func runEngines(net *petri.Net, engines []verify.Engine, bad []petri.Place, reg *obs.Registry, ro runOpts) {
 	for _, eng := range engines {
 		opts := verify.Options{
 			Engine:      eng,
-			StopAtFirst: *stop,
-			MaxStates:   *maxStates,
-			MaxNodes:    *maxNodes,
-			Workers:     *workers,
-			Proviso:     *proviso,
+			StopAtFirst: ro.stop,
+			MaxStates:   ro.maxStates,
+			MaxNodes:    ro.maxNodes,
+			Workers:     ro.workers,
+			Proviso:     ro.proviso,
 			Metrics:     reg,
 		}
-		if *progress {
+		if ro.progress {
 			opts.Progress = &obs.Progress{
 				Label:    eng.String(),
 				Every:    250_000,
@@ -136,6 +201,7 @@ func main() {
 			}
 		}
 		var rep *verify.Report
+		var err error
 		if len(bad) > 0 {
 			rep, err = verify.CheckSafety(net, bad, opts)
 		} else {
@@ -157,7 +223,7 @@ func main() {
 			eng, verdict, rep.States, dash(rep.PeakBDD), dashF(rep.PeakSets), rep.Elapsed.Round(10e3))
 		if rep.Witness != nil {
 			fmt.Printf("  witness: %s\n", rep.Witness.String(net))
-			if *explain && len(bad) == 0 {
+			if ro.explain && len(bad) == 0 {
 				siphon := structural.DeadlockSiphon(net, rep.Witness)
 				var names []string
 				for _, p := range siphon {
@@ -168,23 +234,6 @@ func main() {
 		}
 		if opts.Progress != nil {
 			opts.Progress.Done()
-		}
-	}
-
-	if *metricsOut != "" {
-		if err := writeMetrics(reg, *metricsOut); err != nil {
-			fatal(err)
-		}
-	}
-	if *memProfile != "" {
-		f, err := os.Create(*memProfile)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fatal(err)
 		}
 	}
 }

@@ -11,6 +11,7 @@ package bench
 import (
 	"errors"
 	"fmt"
+	"regexp"
 	"runtime"
 	"time"
 
@@ -76,6 +77,11 @@ type Config struct {
 	// Family restricts the run to one family; "" or "all" runs every
 	// family.
 	Family string
+	// Only restricts the run to instances whose "family(size)" name
+	// matches this regular expression ("" = all); it composes with Family
+	// and MaxSize. An invalid pattern fails the run. The pattern is
+	// recorded in the JSON artifact so filtered runs stay identifiable.
+	Only string
 	// MaxSize skips rows above this size (0 = no cap).
 	MaxSize int
 	// MaxStates caps explicit searches (0 = the 20M default).
@@ -104,22 +110,39 @@ func (c Config) maxNodes() int {
 	return 3_000_000
 }
 
-func (c Config) selects(r Row) bool {
+func (c Config) selects(r Row, only *regexp.Regexp) bool {
 	if c.Family != "" && c.Family != "all" && c.Family != r.Family {
 		return false
 	}
-	return c.MaxSize <= 0 || r.Size <= c.MaxSize
+	if c.MaxSize > 0 && r.Size > c.MaxSize {
+		return false
+	}
+	return only == nil || only.MatchString(InstanceName(r.Family, r.Size))
 }
 
-// Rows returns the Table 1 rows selected by the config.
-func (c Config) Rows() []Row {
+// InstanceName is the canonical "family(size)" instance name the Only
+// filter matches against, e.g. "nsdp(8)".
+func InstanceName(family string, size int) string {
+	return fmt.Sprintf("%s(%d)", family, size)
+}
+
+// Rows returns the Table 1 rows selected by the config. It fails only on
+// an invalid Only pattern.
+func (c Config) Rows() ([]Row, error) {
+	var only *regexp.Regexp
+	if c.Only != "" {
+		var err error
+		if only, err = regexp.Compile(c.Only); err != nil {
+			return nil, fmt.Errorf("bench: invalid -only pattern: %w", err)
+		}
+	}
 	var out []Row
 	for _, r := range Table1() {
-		if c.selects(r) {
+		if c.selects(r, only) {
 			out = append(out, r)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Run measures every selected row with every engine and assembles the
@@ -130,10 +153,14 @@ func Run(c Config) (*obs.BenchReport, error) {
 		Date:      time.Now().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		Workers:   c.Workers,
+		Only:      c.Only,
 	}
-	rows := c.Rows()
+	rows, err := c.Rows()
+	if err != nil {
+		return nil, err
+	}
 	if len(rows) == 0 {
-		return nil, fmt.Errorf("bench: no Table 1 rows match family=%q max=%d", c.Family, c.MaxSize)
+		return nil, fmt.Errorf("bench: no Table 1 rows match family=%q only=%q max=%d", c.Family, c.Only, c.MaxSize)
 	}
 	for _, r := range rows {
 		net, err := models.ByName(r.Family, r.Size)

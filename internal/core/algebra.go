@@ -42,8 +42,12 @@ type Algebra[F any] interface {
 	// Count returns the number of member sets (exact while it fits a
 	// float64, approximate beyond).
 	Count(a F) float64
-	// Key returns a map key unique per family value.
-	Key(a F) string
+	// AppendKey appends a binary key unique per family value to dst and
+	// returns the extended slice. The encoding must be self-delimiting
+	// (fixed-width or length-prefixed) so that concatenations of keys
+	// remain unambiguous, and identical for equal families regardless of
+	// construction order.
+	AppendKey(dst []byte, a F) []byte
 	// Enumerate returns up to limit member sets (all of them if limit <= 0).
 	Enumerate(a F, limit int) []tset.TSet
 	// MaximalConflictFree returns the family of all maximal conflict-free

@@ -59,7 +59,8 @@ type StatsReporter interface {
 }
 
 // Arc is one edge of the GPN reachability graph: the simultaneous (or
-// single) firing of Fired leading to state To.
+// single) firing of Fired leading to state To. Fired is read-only; single
+// firings share one per-transition slice across all arcs.
 type Arc struct {
 	Fired    []petri.Trans
 	To       int
@@ -87,9 +88,39 @@ type Result struct {
 
 // Engine runs the generalized partial-order analysis of Section 3.3 over a
 // safe Petri net, parameterized by the family representation.
+//
+// An Engine is single-goroutine: its per-state work runs on reusable
+// scratch buffers (allocated once in NewEngine) instead of per-firing
+// maps, and structural firing data (•t \ t•, t• \ •t, the singleton
+// fired slices) is precomputed per transition. Concurrent Analyze calls
+// on one Engine are a data race; share the *petri.Net and build one
+// Engine per goroutine instead.
 type Engine[F any] struct {
 	Net *petri.Net
 	Alg Algebra[F]
+
+	// Precomputed structural firing data (ensureInit).
+	preOnly  [][]petri.Place // preOnly[t]:  •t \ t•
+	postOnly [][]petri.Place // postOnly[t]: t• \ •t
+	firedOne [][]petri.Trans // firedOne[t] = {t}, shared by arcs
+
+	// Scratch reused across states. Invariant between per-state calls:
+	// the bool bitsets are all-false and the slices are dead (no live
+	// references escape a state's processing).
+	sEnBuf    []F             // per-state enabled-family cache
+	mEnBuf    []F             // m_enabled vector for the multiple branch
+	isSingle  []bool          // single-enabled membership
+	inT       []bool          // T′ membership (multiFire, post-check)
+	inUnion   []bool          // candidate-union membership (po-safety)
+	singleBuf []petri.Trans   // single-enabled transition list
+	ufParent  []int32         // union-find over singles (components)
+	compOf    []int32         // root -> component index
+	compOff   []int32         // component -> members offset
+	compCur   []int32         // component fill cursors
+	memberBuf []petri.Trans   // component members backing array
+	compsBuf  [][]petri.Trans // component slice headers
+	tentBuf   [][]petri.Trans // tentative candidate components
+	keyBuf    []byte          // state-key assembly buffer
 }
 
 // NewEngine returns an engine for the net using the given family algebra.
@@ -99,7 +130,60 @@ func NewEngine[F any](n *petri.Net, alg Algebra[F]) (*Engine[F], error) {
 		return nil, fmt.Errorf("core: algebra universe %d != %d transitions of %s",
 			alg.Universe(), n.NumTrans(), n.Name())
 	}
-	return &Engine[F]{Net: n, Alg: alg}, nil
+	e := &Engine[F]{Net: n, Alg: alg}
+	e.ensureInit()
+	return e, nil
+}
+
+// ensureInit materializes the precomputed structural data and scratch
+// buffers. NewEngine calls it once; the entry points re-check so that a
+// literal-constructed Engine still works.
+func (e *Engine[F]) ensureInit() {
+	if e.preOnly != nil {
+		return
+	}
+	n := e.Net
+	nt := n.NumTrans()
+	e.preOnly = make([][]petri.Place, nt)
+	e.postOnly = make([][]petri.Place, nt)
+	e.firedOne = make([][]petri.Trans, nt)
+	for t := 0; t < nt; t++ {
+		tr := petri.Trans(t)
+		pre, post := n.Pre(tr), n.Post(tr)
+		for _, p := range pre {
+			if !placeIn(post, p) {
+				e.preOnly[t] = append(e.preOnly[t], p)
+			}
+		}
+		for _, p := range post {
+			if !placeIn(pre, p) {
+				e.postOnly[t] = append(e.postOnly[t], p)
+			}
+		}
+		e.firedOne[t] = []petri.Trans{tr}
+	}
+	e.sEnBuf = make([]F, nt)
+	e.mEnBuf = make([]F, nt)
+	e.isSingle = make([]bool, nt)
+	e.inT = make([]bool, nt)
+	e.inUnion = make([]bool, nt)
+	e.singleBuf = make([]petri.Trans, 0, nt)
+	e.ufParent = make([]int32, nt)
+	e.compOf = make([]int32, nt)
+	e.compOff = make([]int32, nt)
+	e.compCur = make([]int32, nt)
+	e.memberBuf = make([]petri.Trans, nt)
+	e.compsBuf = make([][]petri.Trans, 0, nt)
+	e.tentBuf = make([][]petri.Trans, 0, nt)
+}
+
+func placeIn(ps []petri.Place, p petri.Place) bool {
+	for _, q := range ps {
+		if q == p {
+			return true
+		}
+	}
+	return false
 }
 
 // succ is a computed successor before interning.
@@ -122,6 +206,7 @@ type frame[F any] struct {
 // Analyze runs the generalized partial-order reachability analysis from
 // the net's initial marking.
 func (e *Engine[F]) Analyze(opts Options) (*Result, *Graph[F], error) {
+	e.ensureInit()
 	if opts.WitnessLimit == 0 {
 		opts.WitnessLimit = 1
 	}
@@ -190,10 +275,14 @@ func (e *Engine[F]) Analyze(opts Options) (*Result, *Graph[F], error) {
 	stop := false
 
 	processFrame := func(f *frame[F]) bool {
+		// The enabled-family cache: s_enabled(t, s) for every t, computed
+		// once per state and shared by the deadlock check and the
+		// successor computation (which previously both recomputed it).
+		sEn := e.sEnabledAll(f.state)
 		// Deadlock check first (Section 3.3): a state whose valid sets are
 		// not all covered by single-enabled transitions exhibits a
 		// deadlock possibility.
-		dead := e.DeadSets(f.state)
+		dead := e.deadSets(f.state, sEn)
 		if opts.TrapFilter {
 			dead = e.Alg.Intersect(dead, f.state.M[opts.TrapPlace])
 		}
@@ -214,7 +303,7 @@ func (e *Engine[F]) Analyze(opts Options) (*Result, *Graph[F], error) {
 				return false // leaf, as in the paper's algorithm
 			}
 		}
-		f.succs, f.postponed = e.successors(f.state, opts)
+		f.succs, f.postponed = e.successors(f.state, opts, sEn)
 		return false
 	}
 	if processFrame(stack[0]) {
@@ -279,20 +368,20 @@ func (e *Engine[F]) Analyze(opts Options) (*Result, *Graph[F], error) {
 // the paper's algorithm: candidate maximal conflicting sets fired
 // simultaneously when they exist, otherwise one partial-order-selected
 // conflict set fired transition by transition, otherwise every
-// single-enabled transition. The second return value reports whether some
-// single-enabled transitions were postponed.
-func (e *Engine[F]) successors(s *State[F], opts Options) ([]succ[F], bool) {
-	n := e.Net
-	nt := n.NumTrans()
+// single-enabled transition. sEn is the state's enabled-family cache.
+// The second return value reports whether some single-enabled transitions
+// were postponed.
+func (e *Engine[F]) successors(s *State[F], opts Options, sEn []F) ([]succ[F], bool) {
+	nt := e.Net.NumTrans()
 
-	sEn := make([]F, nt)
-	var singles []petri.Trans
-	isSingle := make([]bool, nt)
+	singles := e.singleBuf[:0]
+	isSingle := e.isSingle
 	for t := 0; t < nt; t++ {
-		sEn[t] = e.SEnabled(s, petri.Trans(t))
 		if !e.Alg.IsEmpty(sEn[t]) {
 			singles = append(singles, petri.Trans(t))
 			isSingle[t] = true
+		} else {
+			isSingle[t] = false
 		}
 	}
 	if len(singles) == 0 {
@@ -329,9 +418,11 @@ func (e *Engine[F]) successors(s *State[F], opts Options) ([]succ[F], bool) {
 func (e *Engine[F]) tryMultiple(s *State[F], comps [][]petri.Trans, isSingle []bool, sEn []F) (succ[F], int, bool) {
 	// A component is tentatively a candidate if all members are multiple
 	// enabled; the po-safety condition is then iterated to a fixpoint since
-	// it references the union of all remaining candidates.
-	mEn := make(map[petri.Trans]F)
-	tentative := make([][]petri.Trans, 0, len(comps))
+	// it references the union of all remaining candidates. mEn is the
+	// engine's transition-indexed scratch vector; entries are meaningful
+	// only for members of tentative components.
+	mEn := e.mEnBuf
+	tentative := e.tentBuf[:0]
 	for _, comp := range comps {
 		ok := true
 		for _, t := range comp {
@@ -346,23 +437,31 @@ func (e *Engine[F]) tryMultiple(s *State[F], comps [][]petri.Trans, isSingle []b
 			tentative = append(tentative, comp)
 		}
 	}
+	inUnion := e.inUnion
 	for {
 		if len(tentative) == 0 {
 			return succ[F]{}, 0, false
 		}
-		union := make(map[petri.Trans]bool)
 		for _, comp := range tentative {
 			for _, t := range comp {
-				union[t] = true
+				inUnion[t] = true
 			}
 		}
 		kept := tentative[:0]
 		changed := false
 		for _, comp := range tentative {
-			if e.poSafeSet(comp, union, isSingle, s) {
+			if e.poSafeSet(comp, inUnion, isSingle, s) {
 				kept = append(kept, comp)
 			} else {
 				changed = true
+			}
+		}
+		// Clear the union bits before the next round (or the exit): the
+		// dropped components' members are no longer listed in tentative,
+		// but every union member is in some component of comps.
+		for _, comp := range comps {
+			for _, t := range comp {
+				inUnion[t] = false
 			}
 		}
 		tentative = kept
@@ -371,68 +470,107 @@ func (e *Engine[F]) tryMultiple(s *State[F], comps [][]petri.Trans, isSingle []b
 		}
 	}
 
-	var tPrime []petri.Trans
+	nFired := 0
+	for _, comp := range tentative {
+		nFired += len(comp)
+	}
+	tPrime := make([]petri.Trans, 0, nFired)
 	for _, comp := range tentative {
 		tPrime = append(tPrime, comp...)
 	}
-	next := e.MultiFire(s, tPrime, mEn)
+	next := e.multiFire(s, tPrime, mEn, sEn)
 
 	// Post-check (Section 3.3): firing the candidates must not disable any
 	// other transition that was single enabled.
-	inT := make(map[petri.Trans]bool, len(tPrime))
+	inT := e.inT
 	for _, t := range tPrime {
 		inT[t] = true
 	}
+	ok := true
 	for t := 0; t < e.Net.NumTrans(); t++ {
-		if isSingle[t] && !inT[petri.Trans(t)] {
+		if isSingle[t] && !inT[t] {
 			if e.Alg.IsEmpty(e.SEnabled(next, petri.Trans(t))) {
-				return succ[F]{}, 0, false
+				ok = false
+				break
 			}
 		}
+	}
+	for _, t := range tPrime {
+		inT[t] = false
+	}
+	if !ok {
+		return succ[F]{}, 0, false
 	}
 	return succ[F]{fired: tPrime, multiple: true, state: next}, len(tPrime), true
 }
 
 // enabledComponents partitions the single-enabled transitions into
 // connected components of the structural conflict relation: the enabled
-// parts of the maximal conflicting sets.
+// parts of the maximal conflicting sets. The returned component slices
+// live in the engine's scratch and are valid only until the next state is
+// processed; anything retained (tPrime) is copied out.
 func (e *Engine[F]) enabledComponents(singles []petri.Trans) [][]petri.Trans {
-	parent := make(map[petri.Trans]petri.Trans, len(singles))
-	for _, t := range singles {
-		parent[t] = t
+	k := len(singles)
+	parent := e.ufParent[:k]
+	for i := range parent {
+		parent[i] = int32(i)
 	}
-	var find func(petri.Trans) petri.Trans
-	find = func(x petri.Trans) petri.Trans {
+	find := func(x int32) int32 {
 		for parent[x] != x {
 			parent[x] = parent[parent[x]]
 			x = parent[x]
 		}
 		return x
 	}
-	for i, t := range singles {
-		for _, u := range singles[i+1:] {
-			if e.Net.Conflict(t, u) {
-				rt, ru := find(t), find(u)
-				if rt != ru {
-					parent[rt] = ru
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if e.Net.Conflict(singles[i], singles[j]) {
+				ri, rj := find(int32(i)), find(int32(j))
+				if ri != rj {
+					parent[ri] = rj
 				}
 			}
 		}
 	}
-	byRoot := make(map[petri.Trans][]petri.Trans)
-	var roots []petri.Trans
-	for _, t := range singles {
-		r := find(t)
-		if byRoot[r] == nil {
-			roots = append(roots, r)
+	// Components numbered by first occurrence in singles, members kept in
+	// singles order (both as in the original map-based grouping).
+	compOf := e.compOf[:k]
+	for i := range compOf {
+		compOf[i] = -1
+	}
+	ncomp := 0
+	for i := 0; i < k; i++ {
+		r := find(int32(i))
+		if compOf[r] < 0 {
+			compOf[r] = int32(ncomp)
+			ncomp++
 		}
-		byRoot[r] = append(byRoot[r], t)
 	}
-	out := make([][]petri.Trans, 0, len(roots))
-	for _, r := range roots {
-		out = append(out, byRoot[r])
+	offs := e.compOff[:ncomp]
+	cur := e.compCur[:ncomp]
+	for i := range cur {
+		cur[i] = 0
 	}
-	return out
+	for i := 0; i < k; i++ {
+		cur[compOf[find(int32(i))]]++
+	}
+	sum := int32(0)
+	for c := 0; c < ncomp; c++ {
+		offs[c] = sum
+		sum += cur[c]
+		cur[c] = offs[c]
+	}
+	members := e.memberBuf[:k]
+	for i := 0; i < k; i++ {
+		c := compOf[find(int32(i))]
+		members[cur[c]] = singles[i]
+		cur[c]++
+	}
+	comps := e.compsBuf[:0]
+	for c := 0; c < ncomp; c++ {
+		comps = append(comps, members[offs[c]:cur[c]])
+	}
+	return comps
 }
 
 // poSafe reports whether firing the conflict set comp is safe against the
@@ -441,24 +579,28 @@ func (e *Engine[F]) enabledComponents(singles []petri.Trans) [][]petri.Trans {
 // input place that only the union can fill (so its branch is anticipated,
 // not lost).
 func (e *Engine[F]) poSafe(comp []petri.Trans, union []petri.Trans, isSingle []bool, s *State[F]) bool {
-	u := make(map[petri.Trans]bool, len(union))
+	inUnion := e.inUnion
 	for _, t := range union {
-		u[t] = true
+		inUnion[t] = true
 	}
-	return e.poSafeSet(comp, u, isSingle, s)
+	ok := e.poSafeSet(comp, inUnion, isSingle, s)
+	for _, t := range union {
+		inUnion[t] = false
+	}
+	return ok
 }
 
-func (e *Engine[F]) poSafeSet(comp []petri.Trans, union map[petri.Trans]bool, isSingle []bool, s *State[F]) bool {
+func (e *Engine[F]) poSafeSet(comp []petri.Trans, inUnion []bool, isSingle []bool, s *State[F]) bool {
 	for _, t := range comp {
 		for _, p := range e.Net.Pre(t) {
 			for _, w := range e.Net.PostT(p) {
-				if union[w] {
+				if inUnion[w] {
 					continue
 				}
 				if isSingle[w] {
 					return false // an enabled competitor would be disabled
 				}
-				if !e.anticipated(w, union, s) {
+				if !e.anticipated(w, inUnion, s) {
 					return false
 				}
 			}
@@ -470,14 +612,14 @@ func (e *Engine[F]) poSafeSet(comp []petri.Trans, union map[petri.Trans]bool, is
 // anticipated reports whether the disabled transition w cannot become
 // enabled before the union fires: it has an empty input place whose
 // producers all belong to the union.
-func (e *Engine[F]) anticipated(w petri.Trans, union map[petri.Trans]bool, s *State[F]) bool {
+func (e *Engine[F]) anticipated(w petri.Trans, inUnion []bool, s *State[F]) bool {
 	for _, q := range e.Net.Pre(w) {
 		if !e.Alg.IsEmpty(s.M[q]) {
 			continue
 		}
 		all := true
 		for _, prod := range e.Net.PreT(q) {
-			if !union[prod] {
+			if !inUnion[prod] {
 				all = false
 				break
 			}
@@ -493,7 +635,7 @@ func (e *Engine[F]) singleSuccs(s *State[F], ts []petri.Trans, sEn []F) []succ[F
 	out := make([]succ[F], 0, len(ts))
 	for _, t := range ts {
 		out = append(out, succ[F]{
-			fired: []petri.Trans{t},
+			fired: e.firedOne[t],
 			state: e.SingleFire(s, t, sEn[t]),
 		})
 	}
@@ -501,14 +643,16 @@ func (e *Engine[F]) singleSuccs(s *State[F], ts []petri.Trans, sEn []F) []succ[F
 }
 
 // allSingleSuccessors fires every single-enabled transition of s
-// separately; used by the cycle proviso.
+// separately; used by the cycle proviso. Cold path: it recomputes the
+// enabled families rather than using the per-state cache, because the
+// proviso expands a frame long after its cache was overwritten.
 func (e *Engine[F]) allSingleSuccessors(s *State[F]) []succ[F] {
 	var out []succ[F]
 	for t := 0; t < e.Net.NumTrans(); t++ {
 		en := e.SEnabled(s, petri.Trans(t))
 		if !e.Alg.IsEmpty(en) {
 			out = append(out, succ[F]{
-				fired: []petri.Trans{petri.Trans(t)},
+				fired: e.firedOne[t],
 				state: e.SingleFire(s, petri.Trans(t), en),
 			})
 		}

@@ -166,6 +166,6 @@ func (badAlgebra) IsEmpty(_ *familyStub) bool                            { retur
 func (badAlgebra) Equal(_, _ *familyStub) bool                           { return true }
 func (badAlgebra) Contains(_ *familyStub, _ tset.TSet) bool              { return false }
 func (badAlgebra) Count(_ *familyStub) float64                           { return 0 }
-func (badAlgebra) Key(_ *familyStub) string                              { return "" }
+func (badAlgebra) AppendKey(dst []byte, _ *familyStub) []byte            { return dst }
 func (badAlgebra) Enumerate(_ *familyStub, _ int) []tset.TSet            { return nil }
 func (badAlgebra) MaximalConflictFree(_ func(i, j int) bool) *familyStub { return nil }

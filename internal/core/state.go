@@ -1,8 +1,6 @@
 package core
 
 import (
-	"strings"
-
 	"repro/internal/petri"
 	"repro/internal/tset"
 )
@@ -16,15 +14,18 @@ type State[F any] struct {
 	R F
 }
 
-// key returns a map key unique per state value.
+// key returns a map key unique per state value: the concatenation of the
+// algebra's self-delimiting binary keys of every place family plus r,
+// assembled in the engine's reusable buffer (one string allocation per
+// interned state).
 func (e *Engine[F]) key(s *State[F]) string {
-	var b strings.Builder
+	b := e.keyBuf[:0]
 	for _, f := range s.M {
-		b.WriteString(e.Alg.Key(f))
-		b.WriteByte(0xFE)
+		b = e.Alg.AppendKey(b, f)
 	}
-	b.WriteString(e.Alg.Key(s.R))
-	return b.String()
+	b = e.Alg.AppendKey(b, s.R)
+	e.keyBuf = b
+	return string(b)
 }
 
 // InitialState builds ⟨m₀ᴳ, r₀⟩ for the engine's net (Section 3.3):
@@ -60,6 +61,18 @@ func (e *Engine[F]) SEnabled(s *State[F], t petri.Trans) F {
 	return e.Alg.Intersect(acc, s.R)
 }
 
+// sEnabledAll fills the engine's per-state enabled-family cache:
+// sEnBuf[t] = s_enabled(t, s) for every transition. Computed once per
+// state and threaded through deadSets, successors, tryMultiple and
+// multiFire, which previously each recomputed it from scratch.
+func (e *Engine[F]) sEnabledAll(s *State[F]) []F {
+	buf := e.sEnBuf
+	for t := range buf {
+		buf[t] = e.SEnabled(s, petri.Trans(t))
+	}
+	return buf
+}
+
 // MEnabled computes m_enabled(t, ⟨m,r⟩) = {v ∈ ∩_{p∈•t} m(p) | t ∈ v}
 // (Definition 3.5).
 func (e *Engine[F]) MEnabled(s *State[F], t petri.Trans) F {
@@ -77,26 +90,16 @@ func (e *Engine[F]) MEnabled(s *State[F], t petri.Trans) F {
 // SingleFire applies the single firing rule (Definition 3.3) for a
 // transition with s_enabled(t,s) = en ≠ ∅: en is removed from the marking
 // of every p ∈ •t \ t•, and added to every p ∈ t• \ •t. r is unchanged.
+// The •t \ t• and t• \ •t place slices are precomputed per transition, so
+// a firing allocates nothing beyond the successor state itself.
 func (e *Engine[F]) SingleFire(s *State[F], t petri.Trans, en F) *State[F] {
-	n := e.Net
+	e.ensureInit()
 	next := &State[F]{M: append([]F(nil), s.M...), R: s.R}
-	inPre := make(map[petri.Place]bool, len(n.Pre(t)))
-	for _, p := range n.Pre(t) {
-		inPre[p] = true
+	for _, p := range e.preOnly[t] {
+		next.M[p] = e.Alg.Diff(next.M[p], en)
 	}
-	inPost := make(map[petri.Place]bool, len(n.Post(t)))
-	for _, p := range n.Post(t) {
-		inPost[p] = true
-	}
-	for _, p := range n.Pre(t) {
-		if !inPost[p] {
-			next.M[p] = e.Alg.Diff(next.M[p], en)
-		}
-	}
-	for _, p := range n.Post(t) {
-		if !inPre[p] {
-			next.M[p] = e.Alg.Union(next.M[p], en)
-		}
+	for _, p := range e.postOnly[t] {
+		next.M[p] = e.Alg.Union(next.M[p], en)
 	}
 	return next
 }
@@ -109,19 +112,41 @@ func (e *Engine[F]) SingleFire(s *State[F], t petri.Trans, en F) *State[F] {
 //
 // and every place family is conditioned by ∩ r′, which is what prunes
 // "extended conflicts" such as {A,D} in the paper's Figure 7.
+//
+// This is the allocating convenience form; the analysis hot path runs
+// multiFire against the engine's per-state enabled-family cache.
 func (e *Engine[F]) MultiFire(s *State[F], tPrime []petri.Trans, mEn map[petri.Trans]F) *State[F] {
+	e.ensureInit()
+	nt := e.Net.NumTrans()
+	mEnV := make([]F, nt)
+	for t, f := range mEn {
+		mEnV[t] = f
+	}
+	sEn := make([]F, nt)
+	for t := 0; t < nt; t++ {
+		sEn[t] = e.SEnabled(s, petri.Trans(t))
+	}
+	return e.multiFire(s, tPrime, mEnV, sEn)
+}
+
+// multiFire is MultiFire against the per-state caches: mEn and sEn are
+// transition-indexed vectors (mEn[t] meaningful for t ∈ T′ only, sEn the
+// state's enabled-family cache). T′ membership runs on the engine's
+// scratch bitset; all scratch is left cleared on return.
+func (e *Engine[F]) multiFire(s *State[F], tPrime []petri.Trans, mEn []F, sEn []F) *State[F] {
 	n := e.Net
-	inT := make(map[petri.Trans]bool, len(tPrime))
+	nt := n.NumTrans()
+	inT := e.inT
 	for _, t := range tPrime {
 		inT[t] = true
 	}
 
 	rNew := e.Alg.Empty()
-	for t := petri.Trans(0); int(t) < n.NumTrans(); t++ {
+	for t := 0; t < nt; t++ {
 		if inT[t] {
 			rNew = e.Alg.Union(rNew, mEn[t])
 		} else {
-			rNew = e.Alg.Union(rNew, e.SEnabled(s, t))
+			rNew = e.Alg.Union(rNew, sEn[t])
 		}
 	}
 
@@ -142,6 +167,9 @@ func (e *Engine[F]) MultiFire(s *State[F], tPrime []petri.Trans, mEn map[petri.T
 		}
 		next.M[p] = e.Alg.Intersect(f, rNew)
 	}
+	for _, t := range tPrime {
+		inT[t] = false
+	}
 	return next
 }
 
@@ -152,6 +180,15 @@ func (e *Engine[F]) DeadSets(s *State[F]) F {
 	alive := e.Alg.Empty()
 	for t := petri.Trans(0); int(t) < e.Net.NumTrans(); t++ {
 		alive = e.Alg.Union(alive, e.SEnabled(s, t))
+	}
+	return e.Alg.Diff(s.R, alive)
+}
+
+// deadSets is DeadSets against the state's enabled-family cache.
+func (e *Engine[F]) deadSets(s *State[F], sEn []F) F {
+	alive := e.Alg.Empty()
+	for _, en := range sEn {
+		alive = e.Alg.Union(alive, en)
 	}
 	return e.Alg.Diff(s.R, alive)
 }

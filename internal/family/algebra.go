@@ -1,6 +1,8 @@
 package family
 
 import (
+	"encoding/binary"
+
 	"repro/internal/obs"
 	"repro/internal/tset"
 )
@@ -86,8 +88,14 @@ func (a Alg) Contains(x *Family, s tset.TSet) bool { return x.Contains(s) }
 // Count returns the number of member sets.
 func (a Alg) Count(x *Family) float64 { return float64(x.Size()) }
 
-// Key returns a map key unique per family value.
-func (a Alg) Key(x *Family) string { return x.Key() }
+// AppendKey appends a self-delimiting binary key of x to dst: the
+// canonical Key string, length-prefixed with a uvarint so concatenated
+// keys of variable length stay unambiguous.
+func (a Alg) AppendKey(dst []byte, x *Family) []byte {
+	k := x.Key()
+	dst = binary.AppendUvarint(dst, uint64(len(k)))
+	return append(dst, k...)
+}
 
 // Enumerate returns up to limit member sets (all if limit <= 0).
 func (a Alg) Enumerate(x *Family, limit int) []tset.TSet {

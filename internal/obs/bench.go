@@ -22,7 +22,11 @@ type BenchReport struct {
 	// Workers is the parallel worker count the exhaustive engine ran with
 	// (0 = sequential). Wall-clock comparisons across artifacts are only
 	// meaningful between runs with the same value.
-	Workers int          `json:"workers"`
+	Workers int `json:"workers"`
+	// Only is the instance-name filter regexp the run was restricted to
+	// ("" = all instances). Recorded so a filtered artifact is never
+	// mistaken for a full Table 1 run when diffing.
+	Only    string       `json:"only,omitempty"`
 	Entries []BenchEntry `json:"entries"`
 }
 

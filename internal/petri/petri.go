@@ -40,7 +40,21 @@ type Net struct {
 	selfLoop   []bool    // selfLoop[t]: •t ∩ t• ≠ ∅
 	initMark   Marking
 	conflictTo []map[Trans]bool // adjacency of the conflict graph
+
+	// conflictBits is a dense |T|×|T| adjacency bitset (conflictStride
+	// words per transition) that serves Conflict() with one bit test
+	// instead of a map lookup; the analysis engines probe the conflict
+	// relation O(|enabled|²) per state. Built only while |T| ≤
+	// conflictBitsMax keeps it within a few MB; beyond that Conflict
+	// falls back to the map adjacency.
+	conflictBits   []uint64
+	conflictStride int
 }
+
+// conflictBitsMax bounds the transition count for which the dense
+// conflict bitset is materialized (memory is |T|²/8 bytes: 2 MB at the
+// cap).
+const conflictBitsMax = 4096
 
 // Name returns the net's name.
 func (n *Net) Name() string { return n.name }
@@ -95,6 +109,10 @@ func (n *Net) TransByName(name string) (Trans, bool) {
 // Conflict reports whether t and u share an input place (Definition 2.2).
 // A transition is not considered in conflict with itself.
 func (n *Net) Conflict(t, u Trans) bool {
+	if n.conflictBits != nil {
+		w := n.conflictBits[int(t)*n.conflictStride+int(u)>>6]
+		return w&(1<<(uint(u)&63)) != 0
+	}
 	if t == u {
 		return false
 	}
@@ -350,6 +368,16 @@ func (n *Net) buildConflicts() {
 			for j := i + 1; j < len(out); j++ {
 				n.conflictTo[out[i]][out[j]] = true
 				n.conflictTo[out[j]][out[i]] = true
+			}
+		}
+	}
+	if nt > 0 && nt <= conflictBitsMax {
+		n.conflictStride = (nt + 63) / 64
+		n.conflictBits = make([]uint64, nt*n.conflictStride)
+		for t := 0; t < nt; t++ {
+			row := n.conflictBits[t*n.conflictStride : (t+1)*n.conflictStride]
+			for u := range n.conflictTo[t] {
+				row[u>>6] |= 1 << (uint(u) & 63)
 			}
 		}
 	}

@@ -51,8 +51,9 @@ func (a *Alg) Contains(x Node, s tset.TSet) bool { return a.m.Contains(x, s) }
 // Count returns the number of member sets.
 func (a *Alg) Count(x Node) float64 { return a.m.Count(x) }
 
-// Key returns a map key unique per family value.
-func (a *Alg) Key(x Node) string { return a.m.Key(x) }
+// AppendKey appends the fixed-width binary key of x to dst: 4 bytes per
+// family, unique per manager because families are canonical nodes.
+func (a *Alg) AppendKey(dst []byte, x Node) []byte { return a.m.AppendKey(dst, x) }
 
 // Enumerate returns up to limit member sets (all if limit <= 0).
 func (a *Alg) Enumerate(x Node, limit int) []tset.TSet { return a.m.Enumerate(x, limit) }
@@ -65,6 +66,11 @@ func (a *Alg) MaximalConflictFree(conflict func(i, j int) bool) Node {
 // ReportStats exports the manager's cache statistics under the "zdd."
 // prefix (the core engine's StatsReporter hook). Gauges, not counters, so
 // a repeated call overwrites rather than double-counts.
+//
+// Beyond the hit/miss pairs, the open-addressed tables export their
+// shapes: *_slots (capacity), *_entries (live entries), *_probes
+// (accumulated probe steps past the home slot) and *_load_pct
+// (100·entries/slots). Mean excess probe length is probes/(hits+misses).
 func (a *Alg) ReportStats(r *obs.Registry) {
 	st := a.m.Stats()
 	r.Gauge("zdd.nodes").Set(int64(st.Nodes))
@@ -73,4 +79,18 @@ func (a *Alg) ReportStats(r *obs.Registry) {
 	r.Gauge("zdd.unique_misses").Set(st.UniqueMisses)
 	r.Gauge("zdd.memo_hits").Set(st.MemoHits)
 	r.Gauge("zdd.memo_misses").Set(st.MemoMisses)
+	r.Gauge("zdd.count_hits").Set(st.CountHits)
+	r.Gauge("zdd.count_misses").Set(st.CountMisses)
+	r.Gauge("zdd.unique_slots").Set(int64(st.UniqueSlots))
+	r.Gauge("zdd.unique_entries").Set(int64(st.UniqueEntries))
+	r.Gauge("zdd.unique_probes").Set(st.UniqueProbes)
+	r.Gauge("zdd.memo_slots").Set(int64(st.MemoSlots))
+	r.Gauge("zdd.memo_entries").Set(int64(st.MemoEntries))
+	r.Gauge("zdd.memo_probes").Set(st.MemoProbes)
+	if st.UniqueSlots > 0 {
+		r.Gauge("zdd.unique_load_pct").Set(int64(100 * st.UniqueEntries / st.UniqueSlots))
+	}
+	if st.MemoSlots > 0 {
+		r.Gauge("zdd.memo_load_pct").Set(int64(100 * st.MemoEntries / st.MemoSlots))
+	}
 }

@@ -1,0 +1,119 @@
+package zdd
+
+import (
+	"testing"
+
+	"repro/internal/tset"
+)
+
+// ringConflict is an NSDP-shaped conflict predicate: element i conflicts
+// with its ring neighbours. Its maximal conflict-free families are
+// product-structured — the workload the ZDD representation exists for.
+func ringConflict(n int) func(i, j int) bool {
+	return func(i, j int) bool {
+		return (i+1)%n == j || (j+1)%n == i
+	}
+}
+
+// buildFamilies returns a manager plus two overlapping mid-sized families
+// used as binary-op operands.
+func buildFamilies(n int) (*Manager, Node, Node) {
+	m := NewManager(n)
+	a := m.MaximalConflictFree(ringConflict(n))
+	// b: the member sets of a containing element 0, plus all singletons —
+	// overlaps a without equaling it.
+	b := m.OnSet(a, 0)
+	for i := 0; i < n; i++ {
+		s := tset.New(n)
+		s.Add(i)
+		b = m.Union(b, m.Single(s))
+	}
+	return m, a, b
+}
+
+// BenchmarkMk measures raw node interning on a cold manager: the
+// unique-table lookup/insert path.
+func BenchmarkMk(b *testing.B) {
+	const n = 24
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewManager(n)
+		s := tset.New(n)
+		for e := 0; e < n; e += 2 {
+			s.Add(e)
+		}
+		f := m.Single(s)
+		for e := 1; e < n; e += 2 {
+			t := tset.New(n)
+			t.Add(e)
+			f = m.Union(f, m.Single(t))
+		}
+	}
+}
+
+// BenchmarkUnion measures the memoized binary-op path on warm tables:
+// after the first iteration every recursive call is a memo hit.
+func BenchmarkUnion(b *testing.B) {
+	m, x, y := buildFamilies(20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Union(x, y)
+	}
+}
+
+// BenchmarkIntersect is BenchmarkUnion for Intersect.
+func BenchmarkIntersect(b *testing.B) {
+	m, x, y := buildFamilies(20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Intersect(x, y)
+	}
+}
+
+// BenchmarkDiff is BenchmarkUnion for Diff.
+func BenchmarkDiff(b *testing.B) {
+	m, x, y := buildFamilies(20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Diff(x, y)
+	}
+}
+
+// BenchmarkOnSet measures the element-restriction op on warm tables.
+func BenchmarkOnSet(b *testing.B) {
+	m, x, _ := buildFamilies(20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.OnSet(x, 10)
+	}
+}
+
+// BenchmarkCount measures repeated Count of one (large) family. With the
+// persistent per-node memo this is a slice lookup after the first call;
+// the engine calls Count once per interned state, so this path runs on
+// every state of every analysis.
+func BenchmarkCount(b *testing.B) {
+	m, x, _ := buildFamilies(30)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Count(x)
+	}
+}
+
+// BenchmarkMaximalConflictFree measures r₀ construction (BDD build +
+// model extraction), the one-time per-analysis setup cost.
+func BenchmarkMaximalConflictFree(b *testing.B) {
+	const n = 20
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewManager(n)
+		m.MaximalConflictFree(ringConflict(n))
+	}
+}

@@ -12,11 +12,20 @@
 //
 // Families handled by one Manager are canonical: equal families are the
 // same node, so Equal and Key are O(1).
+//
+// The unique table and the binary-op memo are open-addressed hash tables
+// in the style of CUDD/Sylvan rather than generic Go maps: power-of-two
+// sized flat slices probed linearly, grown at 3/4 load. The unique table
+// stores only node indices and compares probes against the node fields in
+// the arena, so a slot costs 4 bytes; the memo packs its (op, a, b) key
+// into two uint64 words per entry. Lookups on the analysis hot path are
+// therefore allocation-free, and Count keeps a persistent per-node memo
+// (sound because nodes are never freed).
 package zdd
 
 import (
+	"encoding/binary"
 	"sort"
-	"strconv"
 
 	"repro/internal/bdd"
 	"repro/internal/tset"
@@ -37,27 +46,65 @@ type node struct {
 	lo, hi Node  // lo: sets without the element; hi: sets with it
 }
 
+// Initial capacities of the open-addressed tables. Power of two;
+// amortized doubling from here covers arbitrarily large analyses.
+const (
+	initUniqueSlots = 1 << 10
+	initMemoSlots   = 1 << 11
+)
+
+// memoEntry is one slot of the op memo. key packs the operand pair as
+// a<<32|b and val packs op<<32|result. key == 0 marks an empty slot: no
+// memoized operation has a == Bot (those return before the lookup), so 0
+// is never a real key.
+type memoEntry struct {
+	key uint64
+	val uint64
+}
+
 // Manager owns a ZDD forest over a fixed element universe {0,…,n-1}.
 type Manager struct {
-	n      int
-	nodes  []node
-	unique map[[3]int32]Node
-	memo2  map[[3]int32]Node // binary op cache, op-tagged
-	peak   int
+	n     int
+	nodes []node
+
+	// unique is the open-addressed unique table: slots hold node indices
+	// (0 = empty; terminals are never interned), hashed by (level,lo,hi)
+	// with linear probing against the arena fields.
+	unique []Node
+
+	// memo is the open-addressed binary-op cache; memoCnt tracks live
+	// entries for the growth trigger.
+	memo    []memoEntry
+	memoCnt int
+
+	// count[i] memoizes the member-set count below node i (-1 = not yet
+	// computed). Nodes are immutable and never freed, so entries stay
+	// valid for the manager's lifetime.
+	count []float64
+
+	peak int
 
 	// Plain (non-atomic) operation statistics: the manager is
 	// single-goroutine by design, and these must cost one increment on
-	// the hot path.
+	// the hot path. The probe counters accumulate collision steps beyond
+	// the home slot, so probes/(hits+misses) is the mean excess probe
+	// length.
 	uniqueHits   int64
 	uniqueMisses int64
+	uniqueProbes int64
 	memoHits     int64
 	memoMisses   int64
+	memoProbes   int64
+	countHits    int64
+	countMisses  int64
 }
 
 // Stats is a snapshot of the manager's internal counters: unique-table
-// hits (node reuse) vs. misses (node creation), and binary-op memo hits
-// vs. misses. Nodes are never garbage-collected, so Size is also the
-// lifetime allocation count.
+// hits (node reuse) vs. misses (node creation), binary-op memo hits vs.
+// misses, count-memo hits vs. misses, plus the open-addressed table
+// shapes (slot capacities, live entries, accumulated probe steps).
+// Nodes are never garbage-collected, so Size is also the lifetime
+// allocation count.
 type Stats struct {
 	Nodes        int
 	Peak         int
@@ -65,36 +112,60 @@ type Stats struct {
 	UniqueMisses int64
 	MemoHits     int64
 	MemoMisses   int64
+	CountHits    int64
+	CountMisses  int64
+
+	// UniqueSlots/MemoSlots are the current table capacities;
+	// UniqueEntries/MemoEntries the live entry counts (their ratio is the
+	// load factor). UniqueProbes/MemoProbes count probe steps beyond the
+	// home slot across all lookups.
+	UniqueSlots   int
+	UniqueEntries int
+	MemoSlots     int
+	MemoEntries   int
+	UniqueProbes  int64
+	MemoProbes    int64
 }
 
 // Stats returns the current operation statistics.
 func (m *Manager) Stats() Stats {
 	return Stats{
-		Nodes:        len(m.nodes),
-		Peak:         m.peak,
-		UniqueHits:   m.uniqueHits,
-		UniqueMisses: m.uniqueMisses,
-		MemoHits:     m.memoHits,
-		MemoMisses:   m.memoMisses,
+		Nodes:         len(m.nodes),
+		Peak:          m.peak,
+		UniqueHits:    m.uniqueHits,
+		UniqueMisses:  m.uniqueMisses,
+		MemoHits:      m.memoHits,
+		MemoMisses:    m.memoMisses,
+		CountHits:     m.countHits,
+		CountMisses:   m.countMisses,
+		UniqueSlots:   len(m.unique),
+		UniqueEntries: len(m.nodes) - 2,
+		MemoSlots:     len(m.memo),
+		MemoEntries:   m.memoCnt,
+		UniqueProbes:  m.uniqueProbes,
+		MemoProbes:    m.memoProbes,
 	}
 }
 
-// op tags for the binary memo table.
+// op tags for the binary memo table. OnSet encodes the element in the
+// bits above opShift, so every (op, element) pair is a distinct tag.
 const (
-	opUnion int32 = iota
+	opUnion uint32 = iota
 	opIntersect
 	opDiff
 	opOnSet
+	opShift = 2
 )
 
 // NewManager returns a manager over an n-element universe.
 func NewManager(n int) *Manager {
 	m := &Manager{
 		n:      n,
-		unique: make(map[[3]int32]Node),
-		memo2:  make(map[[3]int32]Node),
+		unique: make([]Node, initUniqueSlots),
+		memo:   make([]memoEntry, initMemoSlots),
 	}
 	m.nodes = []node{{level: int32(n)}, {level: int32(n)}}
+	m.count = []float64{0, 1} // Bot holds no sets, Top exactly {∅}
 	m.peak = 2
 	return m
 }
@@ -108,25 +179,138 @@ func (m *Manager) Size() int { return len(m.nodes) }
 // Peak returns the largest node count observed.
 func (m *Manager) Peak() int { return m.peak }
 
+// mix64 is the splitmix64 finalizer; a full-avalanche 64-bit mix.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func hashTriple(level int32, lo, hi Node) uint64 {
+	h := uint64(uint32(lo))<<32 | uint64(uint32(hi))
+	return mix64(h ^ uint64(uint32(level))*0x9e3779b97f4a7c15)
+}
+
 // mk returns the canonical node, applying the zero-suppression rule
 // (hi = Bot ⇒ the node is redundant).
 func (m *Manager) mk(level int32, lo, hi Node) Node {
 	if hi == Bot {
 		return lo
 	}
-	key := [3]int32{level, int32(lo), int32(hi)}
-	if n, ok := m.unique[key]; ok {
-		m.uniqueHits++
-		return n
+	mask := uint64(len(m.unique) - 1)
+	i := hashTriple(level, lo, hi) & mask
+	for {
+		slot := m.unique[i]
+		if slot == 0 {
+			break
+		}
+		nd := &m.nodes[slot]
+		if nd.level == level && nd.lo == lo && nd.hi == hi {
+			m.uniqueHits++
+			return slot
+		}
+		m.uniqueProbes++
+		i = (i + 1) & mask
 	}
 	m.uniqueMisses++
 	n := Node(len(m.nodes))
 	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
-	m.unique[key] = n
+	m.count = append(m.count, -1)
+	m.unique[i] = n
 	if len(m.nodes) > m.peak {
 		m.peak = len(m.nodes)
 	}
+	// Grow at 3/4 load ((nodes-2) live entries ≥ 3/4 of the slots).
+	if (len(m.nodes)-2)*4 >= len(m.unique)*3 {
+		m.growUnique()
+	}
 	return n
+}
+
+// growUnique doubles the unique table and re-homes every interned node.
+// Values are node indices, so rehashing reads the arena.
+func (m *Manager) growUnique() {
+	next := make([]Node, 2*len(m.unique))
+	mask := uint64(len(next) - 1)
+	for idx := 2; idx < len(m.nodes); idx++ {
+		nd := &m.nodes[idx]
+		i := hashTriple(nd.level, nd.lo, nd.hi) & mask
+		for next[i] != 0 {
+			i = (i + 1) & mask
+		}
+		next[i] = Node(idx)
+	}
+	m.unique = next
+}
+
+// memoGet looks up a memoized binary-op result. It reports the probe
+// slot's state through ok; a false return means the op must be computed
+// (and should be stored with memoPut).
+func (m *Manager) memoGet(op uint32, a, b Node) (Node, bool) {
+	key := uint64(uint32(a))<<32 | uint64(uint32(b))
+	want := uint64(op)
+	mask := uint64(len(m.memo) - 1)
+	i := mix64(key ^ want*0x9e3779b97f4a7c15) & mask
+	for {
+		e := &m.memo[i]
+		if e.key == 0 {
+			m.memoMisses++
+			return 0, false
+		}
+		if e.key == key && e.val>>32 == want {
+			m.memoHits++
+			return Node(uint32(e.val)), true
+		}
+		m.memoProbes++
+		i = (i + 1) & mask
+	}
+}
+
+// memoPut stores a computed binary-op result, growing the table at 3/4
+// load. Recursive ops may have inserted other entries since the memoGet
+// miss, so the probe runs fresh.
+func (m *Manager) memoPut(op uint32, a, b, r Node) {
+	key := uint64(uint32(a))<<32 | uint64(uint32(b))
+	val := uint64(op)<<32 | uint64(uint32(r))
+	mask := uint64(len(m.memo) - 1)
+	i := mix64(key ^ uint64(op)*0x9e3779b97f4a7c15) & mask
+	for {
+		e := &m.memo[i]
+		if e.key == 0 {
+			e.key = key
+			e.val = val
+			m.memoCnt++
+			if m.memoCnt*4 >= len(m.memo)*3 {
+				m.growMemo()
+			}
+			return
+		}
+		if e.key == key && e.val>>32 == uint64(op) {
+			e.val = val // same op recomputed; canonical, so identical
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// growMemo doubles the memo table and re-homes every live entry.
+func (m *Manager) growMemo() {
+	next := make([]memoEntry, 2*len(m.memo))
+	mask := uint64(len(next) - 1)
+	for _, e := range m.memo {
+		if e.key == 0 {
+			continue
+		}
+		i := mix64(e.key ^ (e.val>>32)*0x9e3779b97f4a7c15) & mask
+		for next[i].key != 0 {
+			i = (i + 1) & mask
+		}
+		next[i] = e
+	}
+	m.memo = next
 }
 
 // Single returns the family {s} holding exactly the given set.
@@ -162,12 +346,9 @@ func (m *Manager) Union(a, b Node) Node {
 	if a > b {
 		a, b = b, a
 	}
-	key := [3]int32{opUnion, int32(a), int32(b)}
-	if r, ok := m.memo2[key]; ok {
-		m.memoHits++
+	if r, ok := m.memoGet(opUnion, a, b); ok {
 		return r
 	}
-	m.memoMisses++
 	na, nb := m.nodes[a], m.nodes[b]
 	var r Node
 	switch {
@@ -178,7 +359,7 @@ func (m *Manager) Union(a, b Node) Node {
 	default:
 		r = m.mk(na.level, m.Union(na.lo, nb.lo), m.Union(na.hi, nb.hi))
 	}
-	m.memo2[key] = r
+	m.memoPut(opUnion, a, b, r)
 	return r
 }
 
@@ -193,12 +374,9 @@ func (m *Manager) Intersect(a, b Node) Node {
 	if a > b {
 		a, b = b, a
 	}
-	key := [3]int32{opIntersect, int32(a), int32(b)}
-	if r, ok := m.memo2[key]; ok {
-		m.memoHits++
+	if r, ok := m.memoGet(opIntersect, a, b); ok {
 		return r
 	}
-	m.memoMisses++
 	na, nb := m.nodes[a], m.nodes[b]
 	var r Node
 	switch {
@@ -209,7 +387,7 @@ func (m *Manager) Intersect(a, b Node) Node {
 	default:
 		r = m.mk(na.level, m.Intersect(na.lo, nb.lo), m.Intersect(na.hi, nb.hi))
 	}
-	m.memo2[key] = r
+	m.memoPut(opIntersect, a, b, r)
 	return r
 }
 
@@ -221,12 +399,9 @@ func (m *Manager) Diff(a, b Node) Node {
 	if b == Bot {
 		return a
 	}
-	key := [3]int32{opDiff, int32(a), int32(b)}
-	if r, ok := m.memo2[key]; ok {
-		m.memoHits++
+	if r, ok := m.memoGet(opDiff, a, b); ok {
 		return r
 	}
-	m.memoMisses++
 	na, nb := m.nodes[a], m.nodes[b]
 	var r Node
 	switch {
@@ -237,7 +412,7 @@ func (m *Manager) Diff(a, b Node) Node {
 	default:
 		r = m.mk(na.level, m.Diff(na.lo, nb.lo), m.Diff(na.hi, nb.hi))
 	}
-	m.memo2[key] = r
+	m.memoPut(opDiff, a, b, r)
 	return r
 }
 
@@ -251,17 +426,14 @@ func (m *Manager) OnSet(a Node, v int) Node {
 	case int(na.level) == v:
 		return m.mk(na.level, Bot, na.hi)
 	}
-	// The op cache reuses the binary-memo table with the element as the
-	// second operand; without it the recursion revisits shared nodes once
-	// per path, which is exponential.
-	key := [3]int32{opOnSet + int32(v)<<2, int32(a), 0}
-	if r, ok := m.memo2[key]; ok {
-		m.memoHits++
+	// The op cache tags the entry with the element; without it the
+	// recursion revisits shared nodes once per path, which is exponential.
+	op := opOnSet + uint32(v)<<opShift
+	if r, ok := m.memoGet(op, a, 0); ok {
 		return r
 	}
-	m.memoMisses++
 	r := m.mk(na.level, m.OnSet(na.lo, v), m.OnSet(na.hi, v))
-	m.memo2[key] = r
+	m.memoPut(op, a, 0, r)
 	return r
 }
 
@@ -286,25 +458,26 @@ func (m *Manager) Contains(a Node, s tset.TSet) bool {
 	return false
 }
 
-// Count returns the number of member sets.
+// Count returns the number of member sets. The memo is per-node and
+// persistent (nodes are canonical, immutable and never freed), so
+// repeated counts — the engine counts r once per interned state — are
+// allocation-free slice lookups.
 func (m *Manager) Count(a Node) float64 {
-	memo := make(map[Node]float64)
-	var rec func(Node) float64
-	rec = func(a Node) float64 {
-		if a == Bot {
-			return 0
-		}
-		if a == Top {
-			return 1
-		}
-		if c, ok := memo[a]; ok {
-			return c
-		}
-		c := rec(m.nodes[a].lo) + rec(m.nodes[a].hi)
-		memo[a] = c
+	if c := m.count[a]; c >= 0 {
+		m.countHits++
 		return c
 	}
-	return rec(a)
+	return m.countSlow(a)
+}
+
+func (m *Manager) countSlow(a Node) float64 {
+	if c := m.count[a]; c >= 0 {
+		return c
+	}
+	m.countMisses++
+	c := m.countSlow(m.nodes[a].lo) + m.countSlow(m.nodes[a].hi)
+	m.count[a] = c
+	return c
 }
 
 // IsEmpty reports whether the family has no member sets.
@@ -313,8 +486,11 @@ func (m *Manager) IsEmpty(a Node) bool { return a == Bot }
 // Equal reports whether a and b are the same family (O(1): canonical).
 func (m *Manager) Equal(a, b Node) bool { return a == b }
 
-// Key returns a map key unique per family of this manager.
-func (m *Manager) Key(a Node) string { return strconv.Itoa(int(a)) }
+// AppendKey appends the canonical fixed-width binary key of the family
+// (its node index: families are canonical per manager) to dst.
+func (m *Manager) AppendKey(dst []byte, a Node) []byte {
+	return binary.LittleEndian.AppendUint32(dst, uint32(a))
+}
 
 // Enumerate returns up to limit member sets (all if limit <= 0), in
 // canonical DFS order.

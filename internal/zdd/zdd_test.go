@@ -199,3 +199,47 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// TestCountAllocFree pins the persistent Count memo: after the first
+// Count of a family, repeated Counts (of it and of its subgraphs) must
+// not allocate. A regression here means the per-call memo map came back.
+func TestCountAllocFree(t *testing.T) {
+	const n = 12
+	m := NewManager(n)
+	rng := rand.New(rand.NewSource(7))
+	f := m.FromSets(randSets(rng, n, 64))
+	g := m.FromSets(randSets(rng, n, 64))
+	u := m.Union(f, g)
+	want := m.Count(u) // warm the memo
+	if avg := testing.AllocsPerRun(100, func() {
+		if got := m.Count(u); got != want {
+			t.Fatalf("Count drifted: %v != %v", got, want)
+		}
+		m.Count(f)
+		m.Count(g)
+	}); avg != 0 {
+		t.Errorf("repeated Count allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestCountMemoSurvivesGrowth checks the count memo stays aligned with
+// the node arena across unique-table growth.
+func TestCountMemoSurvivesGrowth(t *testing.T) {
+	const n = 16
+	m := NewManager(n)
+	rng := rand.New(rand.NewSource(11))
+	fam := family.Empty(n)
+	f := Bot
+	for round := 0; round < 8; round++ {
+		sets := randSets(rng, n, 128)
+		f = m.Union(f, m.FromSets(sets))
+		fam = fam.Union(family.Of(n, sets...))
+		if got, want := m.Count(f), float64(fam.Size()); got != want {
+			t.Fatalf("round %d: Count=%v want %v", round, got, want)
+		}
+	}
+	st := m.Stats()
+	if st.UniqueEntries == 0 || st.UniqueSlots < st.UniqueEntries {
+		t.Errorf("implausible unique table stats: %+v", st)
+	}
+}
