@@ -1,12 +1,17 @@
 # Convenience targets; `make check` is the tier-1+ gate (see ROADMAP.md).
 
-.PHONY: check test bench-micro bench-artifact benchdiff
+.PHONY: check test serve bench-micro bench-artifact benchdiff
 
 check:
 	./scripts/check.sh
 
 test:
 	go test ./...
+
+# Run the verification daemon (see `go run ./cmd/gpod -h` for the
+# capacity knobs: -workers, -queue, -max-states, -timeout, -cache-bytes).
+serve:
+	go run ./cmd/gpod -addr :8722
 
 # Microbenchmarks of the GPO hot path: ZDD primitive ops and full
 # Analyze runs, with allocation counts (b.ReportAllocs).

@@ -1,0 +1,157 @@
+// Command gpod runs the verification service: an HTTP daemon that
+// accepts Petri nets (pnio text or built-in model families) plus an
+// engine/property selection and answers with Table-1-style statistics.
+//
+// Usage:
+//
+//	gpod -addr :8722                     # serve until SIGINT/SIGTERM
+//	gpod -addr :8722 -workers 4 -queue 16
+//	gpod -smoke                          # start, self-check, exit
+//
+// Endpoints: POST /v1/verify, GET /healthz, GET /metrics (JSON dump of
+// the metric registry; see OBSERVABILITY.md for the server.* names).
+//
+// On SIGINT/SIGTERM the daemon drains: health flips to "draining", new
+// verification requests answer 503, in-flight and queued jobs finish
+// (bounded by their own deadlines), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8722", "listen address")
+		workers    = flag.Int("workers", 0, "concurrent verifications (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "admission queue depth (0 = 2*workers)")
+		maxStates  = flag.Int("max-states", 0, "clamp every request's explicit state bound (0 = no cap)")
+		timeout    = flag.Duration("timeout", 10*time.Second, "default per-request wall-clock budget")
+		maxTimeout = flag.Duration("max-timeout", 60*time.Second, "largest per-request budget a client may ask for")
+		cacheBytes = flag.Int64("cache-bytes", 16<<20, "result cache budget in bytes (negative disables)")
+		smoke      = flag.Bool("smoke", false, "start on a random port, run one self-check request, shut down")
+	)
+	flag.Parse()
+
+	cfg := server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		MaxStates:      *maxStates,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		CacheBytes:     *cacheBytes,
+	}
+
+	if *smoke {
+		if err := runSmoke(cfg); err != nil {
+			fatal(err)
+		}
+		fmt.Println("gpod: smoke ok")
+		return
+	}
+	if err := serve(cfg, *addr); err != nil {
+		fatal(err)
+	}
+}
+
+// serve runs the daemon until SIGINT/SIGTERM, then drains gracefully.
+func serve(cfg server.Config, addr string) error {
+	svc := server.New(cfg)
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("gpod: listening on %s\n", addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		svc.Close()
+		return err
+	case sig := <-sigc:
+		fmt.Printf("gpod: %v, draining\n", sig)
+	}
+
+	// Shutdown order (see internal/server): refuse new work, let
+	// in-flight handlers finish, then stop the workers.
+	svc.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.MaxTimeout+5*time.Second)
+	defer cancel()
+	err := httpSrv.Shutdown(ctx)
+	svc.Close()
+	if err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Println("gpod: drained, bye")
+	return nil
+}
+
+// runSmoke boots the full daemon on a random loopback port, pushes one
+// verification through the wire with the client package, and tears the
+// whole thing down — the CI end-to-end liveness check.
+func runSmoke(cfg server.Config) error {
+	svc := server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c := client.New("http://"+ln.Addr().String(), nil)
+
+	if status, err := c.Healthz(ctx); err != nil || status != "ok" {
+		return fmt.Errorf("healthz: status=%q err=%v", status, err)
+	}
+	resp, err := c.Verify(ctx, &server.Request{Model: "nsdp", Size: 4, Engine: "gpo"})
+	if err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	// NSDP(4) deadlocks (every philosopher holding their left fork).
+	if resp.Status != server.StatusOK || !resp.Complete || !resp.Deadlock || len(resp.Witness) == 0 {
+		return fmt.Errorf("verify: unexpected result %+v", resp)
+	}
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if snap.Counters["server.done"] != 1 {
+		return fmt.Errorf("metrics: server.done = %d, want 1", snap.Counters["server.done"])
+	}
+
+	svc.Drain()
+	if status, err := c.Healthz(ctx); err != nil || status != "draining" {
+		return fmt.Errorf("healthz after drain: status=%q err=%v", status, err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	svc.Close()
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpod:", err)
+	os.Exit(1)
+}

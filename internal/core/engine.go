@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/obs"
 	"repro/internal/petri"
+	"repro/internal/stop"
 )
 
 // ErrStateLimit is returned when exploration would exceed Options.MaxStates.
@@ -13,6 +15,11 @@ var ErrStateLimit = errors.New("core: state limit exceeded")
 
 // Options configures a generalized partial-order analysis.
 type Options struct {
+	// Ctx, if non-nil, is polled cooperatively during the analysis: once
+	// cancelled the exploration stops within a bounded number of GPN
+	// states and Analyze returns the partial Result so far (Complete:
+	// false) together with the context's error.
+	Ctx context.Context
 	// StopAtDeadlock halts the analysis as soon as one state with a
 	// deadlock possibility is found.
 	StopAtDeadlock bool
@@ -270,6 +277,9 @@ func (e *Engine[F]) Analyze(opts Options) (*Result, *Graph[F], error) {
 	s0 := e.InitialState()
 	intern(s0)
 
+	// Created before the local `stop` flag shadows the package name.
+	cancel := stop.Every(opts.Ctx, 16)
+
 	stack := []*frame[F]{{id: 0, state: s0}}
 	onStack[0] = true
 	stop := false
@@ -313,6 +323,11 @@ func (e *Engine[F]) Analyze(opts Options) (*Result, *Graph[F], error) {
 	}
 
 	for len(stack) > 0 && !stop {
+		if err := cancel.Poll(); err != nil {
+			res.States = len(states)
+			res.Complete = false
+			return res, g, fmt.Errorf("core: aborted: %w", err)
+		}
 		f := stack[len(stack)-1]
 		if f.next >= len(f.succs) {
 			onStack[f.id] = false

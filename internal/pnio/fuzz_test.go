@@ -1,0 +1,95 @@
+package pnio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/petri"
+)
+
+// FuzzParse throws arbitrary text at the hardened parser. Whatever
+// parses must survive a Write/Parse round trip structurally unchanged;
+// everything else must fail with an error, never a panic or a hang.
+func FuzzParse(f *testing.F) {
+	// Seed with every built-in model family rendered to .pn text, so
+	// the fuzzer starts from realistic well-formed nets.
+	for _, fam := range models.Families() {
+		n, err := models.ByName(fam, 4) // every family accepts 4 (asat needs a power of two)
+		if err != nil {
+			f.Fatalf("models.ByName(%s, 4): %v", fam, err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, n); err != nil {
+			f.Fatalf("Write(%s): %v", fam, err)
+		}
+		f.Add(buf.String())
+	}
+	// And with the interesting malformed shapes the parser hardens
+	// against: duplicates, metacharacter names, truncated trans lines.
+	f.Add("net n\nplace p *\ntrans t : p -> p\n")
+	f.Add("net n\nplace p\nplace p\n")
+	f.Add("net n\nplace p\ntrans t : p p -> p\n")
+	f.Add("net n\nplace p\ntrans t : p\n")
+	f.Add("net n\nplace * *\n")
+	f.Add("net n\nplace a:b\n")
+	f.Add("net n\n# comment\nplace p\ntrans t :-> p\n")
+	f.Add("trans t : p -> p\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return // rejected input is fine; panics/hangs are the bug
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, n); err != nil {
+			t.Fatalf("Write of a parsed net failed: %v\ninput: %q", err, src)
+		}
+		n2, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of written net failed: %v\nwritten: %q", err, buf.String())
+		}
+		assertSameNet(t, n, n2)
+	})
+}
+
+// assertSameNet checks the two nets are structurally identical: same
+// names in the same order, same arcs, same initial marking.
+func assertSameNet(t *testing.T, a, b *petri.Net) {
+	t.Helper()
+	if a.Name() != b.Name() {
+		t.Fatalf("name %q != %q", a.Name(), b.Name())
+	}
+	if a.NumPlaces() != b.NumPlaces() || a.NumTrans() != b.NumTrans() {
+		t.Fatalf("size %d/%d != %d/%d", a.NumPlaces(), a.NumTrans(), b.NumPlaces(), b.NumTrans())
+	}
+	for p := petri.Place(0); int(p) < a.NumPlaces(); p++ {
+		if a.PlaceName(p) != b.PlaceName(p) {
+			t.Fatalf("place %d: %q != %q", p, a.PlaceName(p), b.PlaceName(p))
+		}
+	}
+	for tr := petri.Trans(0); int(tr) < a.NumTrans(); tr++ {
+		if a.TransName(tr) != b.TransName(tr) {
+			t.Fatalf("trans %d: %q != %q", tr, a.TransName(tr), b.TransName(tr))
+		}
+		if !samePlaces(a.Pre(tr), b.Pre(tr)) || !samePlaces(a.Post(tr), b.Post(tr)) {
+			t.Fatalf("trans %q: arcs differ", a.TransName(tr))
+		}
+	}
+	if !samePlaces(a.InitialPlaces(), b.InitialPlaces()) {
+		t.Fatalf("initial marking differs: %v != %v", a.InitialPlaces(), b.InitialPlaces())
+	}
+}
+
+func samePlaces(a, b []petri.Place) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

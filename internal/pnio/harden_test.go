@@ -1,0 +1,77 @@
+package pnio
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestParseRejectsMalformed is the table test for the parser hardening:
+// each malformed input must be rejected with a line-numbered error
+// mentioning the offense, instead of being silently accepted or
+// deferred to an unnumbered builder error.
+func TestParseRejectsMalformed(t *testing.T) {
+	hugeTrans := "net n\nplace p *\ntrans t : " +
+		strings.Repeat("p ", maxArcsLine) + "-> p\n"
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error
+	}{
+		{"duplicate-place", "net n\nplace p\nplace p\n", "line 3: duplicate place"},
+		{"duplicate-trans", "net n\nplace p *\ntrans t : p -> p\ntrans t : p -> p\n", "line 4: duplicate transition"},
+		{"duplicate-in-arc", "net n\nplace p *\ntrans t : p p -> p\n", "line 3: duplicate input arc"},
+		{"duplicate-out-arc", "net n\nplace p *\nplace q\ntrans t : p -> q q\n", "line 4: duplicate output arc"},
+		{"too-many-arcs", hugeTrans, "line 3: more than"},
+		{"star-place-name", "net n\nplace *\n", "initial-marking marker"},
+		{"colon-in-place", "net n\nplace a:b\n", "contains ':' or '->'"},
+		{"arrow-in-place", "net n\nplace a->b\n", "contains ':' or '->'"},
+		{"hash-place", "net n\nplace p #q\n", `unexpected "#q"`},
+		{"long-name", "net n\nplace " + strings.Repeat("x", maxNameLen+1) + "\n", "longer than"},
+		{"missing-arrow", "net n\nplace p\ntrans t : p\n", "missing '->'"},
+		{"missing-colon", "net n\nplace p\ntrans t p -> p\n", "missing ':'"},
+		{"trans-before-net", "trans t : p -> p\n", "'trans' before 'net'"},
+		{"empty-input", "", "empty input"},
+		{"comments-only", "# a\n\n# b\n", "empty input"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatalf("Parse accepted malformed input %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseAcceptsMaxArcs pins the cap boundary: exactly maxArcsLine
+// arcs on one line is still legal.
+func TestParseAcceptsMaxArcs(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("net n\n")
+	for i := 0; i < maxArcsLine; i++ {
+		sb.WriteString("place p")
+		sb.WriteString(itoa(i))
+		if i == 0 {
+			sb.WriteString(" *")
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("trans t :")
+	for i := 0; i < maxArcsLine/2; i++ {
+		sb.WriteString(" p" + itoa(i))
+	}
+	sb.WriteString(" ->")
+	for i := maxArcsLine / 2; i < maxArcsLine; i++ {
+		sb.WriteString(" p" + itoa(i))
+	}
+	sb.WriteString("\n")
+	if _, err := Parse(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("Parse rejected a net at the arc cap: %v", err)
+	}
+}
+
+func itoa(i int) string { return strconv.Itoa(i) }

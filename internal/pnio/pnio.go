@@ -10,7 +10,14 @@
 //	# comment
 //
 // Place lines must precede the transition lines that use them. Names may
-// contain any non-whitespace characters.
+// contain any non-whitespace characters except the format's own
+// metacharacters: a name may not be "*", may not start with "#", and may
+// not contain ":" or "->" (those would be ambiguous on a trans line and
+// break the Parse/Write round trip).
+//
+// Parse is hardened for untrusted input: it enforces caps on name
+// length, place/transition counts and arcs per transition, and reports
+// duplicate names and duplicate arcs with the offending line number.
 package pnio
 
 import (
@@ -23,12 +30,44 @@ import (
 	"repro/internal/petri"
 )
 
+// Limits on untrusted input. They are far above anything the Table 1
+// models need but stop adversarial inputs from ballooning the builder
+// (every arc list is materialized, and conflict-cluster construction is
+// quadratic in cluster size).
+const (
+	maxNameLen  = 256
+	maxPlaces   = 1 << 20
+	maxTrans    = 1 << 20
+	maxArcsLine = 1 << 12 // arcs on one trans line, both sides together
+)
+
+// checkName rejects names that could not survive a Write/Parse round
+// trip: the format's own metacharacters, and absurd lengths.
+func checkName(name string) error {
+	switch {
+	case name == "":
+		return fmt.Errorf("empty name")
+	case len(name) > maxNameLen:
+		return fmt.Errorf("name longer than %d bytes", maxNameLen)
+	case strings.ContainsAny(name, " \t\n\r\v\f"):
+		return fmt.Errorf("name %q contains whitespace", name)
+	case name == "*":
+		return fmt.Errorf("name %q is the initial-marking marker", name)
+	case strings.HasPrefix(name, "#"):
+		return fmt.Errorf("name %q would parse as a comment", name)
+	case strings.Contains(name, ":") || strings.Contains(name, "->"):
+		return fmt.Errorf("name %q contains ':' or '->'", name)
+	}
+	return nil
+}
+
 // Parse reads a net in .pn format.
 func Parse(r io.Reader) (*petri.Net, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	var b *petri.Builder
 	places := make(map[string]petri.Place)
+	transSeen := make(map[string]bool)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -45,6 +84,9 @@ func Parse(r io.Reader) (*petri.Net, error) {
 			if len(fields) != 2 {
 				return nil, fmt.Errorf("pnio: line %d: want 'net <name>'", lineNo)
 			}
+			if len(fields[1]) > maxNameLen {
+				return nil, fmt.Errorf("pnio: line %d: name longer than %d bytes", lineNo, maxNameLen)
+			}
 			b = petri.NewBuilder(fields[1])
 		case "place":
 			if b == nil {
@@ -52,6 +94,15 @@ func Parse(r io.Reader) (*petri.Net, error) {
 			}
 			if len(fields) < 2 || len(fields) > 3 {
 				return nil, fmt.Errorf("pnio: line %d: want 'place <name> [*]'", lineNo)
+			}
+			if err := checkName(fields[1]); err != nil {
+				return nil, fmt.Errorf("pnio: line %d: %v", lineNo, err)
+			}
+			if _, dup := places[fields[1]]; dup {
+				return nil, fmt.Errorf("pnio: line %d: duplicate place %q", lineNo, fields[1])
+			}
+			if len(places) >= maxPlaces {
+				return nil, fmt.Errorf("pnio: line %d: more than %d places", lineNo, maxPlaces)
 			}
 			p := b.Place(fields[1])
 			places[fields[1]] = p
@@ -75,26 +126,48 @@ func Parse(r io.Reader) (*petri.Net, error) {
 			if name == "" {
 				return nil, fmt.Errorf("pnio: line %d: empty transition name", lineNo)
 			}
+			if err := checkName(name); err != nil {
+				return nil, fmt.Errorf("pnio: line %d: %v", lineNo, err)
+			}
+			if transSeen[name] {
+				return nil, fmt.Errorf("pnio: line %d: duplicate transition %q", lineNo, name)
+			}
+			if len(transSeen) >= maxTrans {
+				return nil, fmt.Errorf("pnio: line %d: more than %d transitions", lineNo, maxTrans)
+			}
+			transSeen[name] = true
 			arrow := strings.Index(rest[colon:], "->")
 			if arrow < 0 {
 				return nil, fmt.Errorf("pnio: line %d: missing '->'", lineNo)
 			}
 			inPart := strings.Fields(rest[colon+1 : colon+arrow])
 			outPart := strings.Fields(rest[colon+arrow+2:])
-			var ins, outs []petri.Place
-			for _, nm := range inPart {
-				p, ok := places[nm]
-				if !ok {
-					return nil, fmt.Errorf("pnio: line %d: unknown place %q", lineNo, nm)
-				}
-				ins = append(ins, p)
+			if len(inPart)+len(outPart) > maxArcsLine {
+				return nil, fmt.Errorf("pnio: line %d: more than %d arcs on one transition", lineNo, maxArcsLine)
 			}
-			for _, nm := range outPart {
-				p, ok := places[nm]
-				if !ok {
-					return nil, fmt.Errorf("pnio: line %d: unknown place %q", lineNo, nm)
+			resolve := func(part []string, side string) ([]petri.Place, error) {
+				seen := make(map[string]bool, len(part))
+				ps := make([]petri.Place, 0, len(part))
+				for _, nm := range part {
+					p, ok := places[nm]
+					if !ok {
+						return nil, fmt.Errorf("pnio: line %d: unknown place %q", lineNo, nm)
+					}
+					if seen[nm] {
+						return nil, fmt.Errorf("pnio: line %d: duplicate %s arc %q", lineNo, side, nm)
+					}
+					seen[nm] = true
+					ps = append(ps, p)
 				}
-				outs = append(outs, p)
+				return ps, nil
+			}
+			ins, err := resolve(inPart, "input")
+			if err != nil {
+				return nil, err
+			}
+			outs, err := resolve(outPart, "output")
+			if err != nil {
+				return nil, err
 			}
 			b.TransArcs(name, ins, outs)
 		default:
@@ -110,8 +183,20 @@ func Parse(r io.Reader) (*petri.Net, error) {
 	return b.Build()
 }
 
-// Write renders the net in .pn format. Parse(Write(n)) reproduces n.
+// Write renders the net in .pn format. Parse(Write(n)) reproduces n;
+// Write refuses nets whose names contain the format's metacharacters,
+// since their output could not be parsed back.
 func Write(w io.Writer, n *petri.Net) error {
+	for p := petri.Place(0); int(p) < n.NumPlaces(); p++ {
+		if err := checkName(n.PlaceName(p)); err != nil {
+			return fmt.Errorf("pnio: place %d: %v", p, err)
+		}
+	}
+	for t := petri.Trans(0); int(t) < n.NumTrans(); t++ {
+		if err := checkName(n.TransName(t)); err != nil {
+			return fmt.Errorf("pnio: transition %d: %v", t, err)
+		}
+	}
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "net %s\n", n.Name())
 	marked := make(map[petri.Place]bool)

@@ -140,7 +140,19 @@ func exploreParallel(n *petri.Net, opts Options) (*Result, error) {
 		discovered []*discovery
 	)
 
+	abort := func() (*Result, error) {
+		res.States = len(states)
+		res.Complete = false
+		if opts.StoreGraph {
+			g.States = states
+		}
+		return res, fmt.Errorf("reach: aborted: %w", opts.Ctx.Err())
+	}
+
 	for len(level) > 0 {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			return abort()
+		}
 		batches++
 		if len(level) > qPeak {
 			qPeak = len(level)
@@ -181,6 +193,11 @@ func exploreParallel(n *petri.Net, opts Options) (*Result, error) {
 				var vio *violation
 				var cont int64
 				for {
+					// One context check per chunk bounds the abort latency
+					// of a worker to 16 states without a per-state Err call.
+					if opts.Ctx != nil && opts.Ctx.Err() != nil {
+						break
+					}
 					lo := int(cursor.Add(chunk)) - chunk
 					if lo >= len(level) {
 						break
@@ -246,6 +263,12 @@ func exploreParallel(n *petri.Net, opts Options) (*Result, error) {
 		wg.Wait()
 		for _, c := range workerCont {
 			contention += c
+		}
+		// A cancelled context makes workers bail mid-level, leaving the
+		// per-position scratch only partially filled; merging it would
+		// fabricate verdicts, so abort with the states of completed levels.
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			return abort()
 		}
 
 		// Verdicts of this level's parents. They were interned (and in the

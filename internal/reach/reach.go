@@ -11,11 +11,13 @@
 package reach
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/obs"
 	"repro/internal/petri"
+	"repro/internal/stop"
 )
 
 // ErrStateLimit is returned when exploration would exceed Options.MaxStates.
@@ -28,6 +30,12 @@ var ErrUnsafe = errors.New("reach: net is not safe")
 
 // Options configures an exploration.
 type Options struct {
+	// Ctx, if non-nil, is polled cooperatively during the search: once it
+	// is cancelled (deadline, client disconnect) the exploration stops
+	// within a bounded number of states and Explore returns the partial
+	// Result so far (Complete: false) together with the context's error.
+	// A nil Ctx costs one branch per state and never stops anything.
+	Ctx context.Context
 	// MaxStates caps the search at exactly this many distinct states; the
 	// search stops with ErrStateLimit when one more would be interned, and
 	// the firing that would have exceeded the cap is not recorded (no arc,
@@ -180,7 +188,16 @@ func exploreSeq(n *petri.Net, opts Options) (*Result, error) {
 		return res, nil
 	}
 
+	cancel := stop.Every(opts.Ctx, 64)
 	for queue.len() > 0 {
+		if err := cancel.Poll(); err != nil {
+			res.States = len(states)
+			res.Complete = false
+			if opts.StoreGraph {
+				g.States = states
+			}
+			return res, fmt.Errorf("reach: aborted: %w", err)
+		}
 		id := queue.pop()
 		m := states[id]
 		for t := petri.Trans(0); int(t) < n.NumTrans(); t++ {

@@ -1,0 +1,195 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/petri"
+	"repro/internal/verify"
+)
+
+// cacheKey is the content address of a verification result: the SHA-256
+// of the canonical binary encoding of the net plus every
+// result-determining option.
+type cacheKey [sha256.Size]byte
+
+// appendString appends a length-prefixed string, the same self-delimiting
+// style as the family algebras' AppendKey, so no two distinct nets can
+// collide by concatenation.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendNetKey appends the canonical encoding of the net: name, places
+// (names in index order), initial marking, and per-transition name and
+// sorted pre/post place sets. Two requests hash equal iff they describe
+// the same net the same way; structural isomorphs with different names
+// or orderings are (deliberately) distinct — the witness in the response
+// speaks in place names, so names are part of the content.
+func appendNetKey(b []byte, n *petri.Net) []byte {
+	b = appendString(b, n.Name())
+	b = binary.AppendUvarint(b, uint64(n.NumPlaces()))
+	for p := petri.Place(0); int(p) < n.NumPlaces(); p++ {
+		b = appendString(b, n.PlaceName(p))
+	}
+	init := n.InitialPlaces()
+	b = binary.AppendUvarint(b, uint64(len(init)))
+	for _, p := range init {
+		b = binary.AppendUvarint(b, uint64(p))
+	}
+	b = binary.AppendUvarint(b, uint64(n.NumTrans()))
+	for t := petri.Trans(0); int(t) < n.NumTrans(); t++ {
+		b = appendString(b, n.TransName(t))
+		pre, post := n.Pre(t), n.Post(t)
+		b = binary.AppendUvarint(b, uint64(len(pre)))
+		for _, p := range pre {
+			b = binary.AppendUvarint(b, uint64(p))
+		}
+		b = binary.AppendUvarint(b, uint64(len(post)))
+		for _, p := range post {
+			b = binary.AppendUvarint(b, uint64(p))
+		}
+	}
+	return b
+}
+
+// requestKey hashes the net and the options that determine the result.
+// Workers is excluded: the parallel exhaustive explorer is bit-identical
+// to the sequential one (DESIGN.md D6), so both serve one cache line.
+// Timeouts are excluded because aborted results are never cached.
+func requestKey(n *petri.Net, check string, bad []petri.Place, o verify.Options) cacheKey {
+	b := make([]byte, 0, 1024)
+	b = appendNetKey(b, n)
+	b = appendString(b, check)
+	b = binary.AppendUvarint(b, uint64(len(bad)))
+	for _, p := range bad {
+		b = binary.AppendUvarint(b, uint64(p))
+	}
+	b = binary.AppendUvarint(b, uint64(o.Engine))
+	flags := uint64(0)
+	if o.StopAtFirst {
+		flags |= 1
+	}
+	if o.Proviso {
+		flags |= 2
+	}
+	b = binary.AppendUvarint(b, flags)
+	b = binary.AppendUvarint(b, uint64(o.MaxStates))
+	b = binary.AppendUvarint(b, uint64(o.MaxNodes))
+	return sha256.Sum256(b)
+}
+
+// cacheEntry is one cached result with its budget charge.
+type cacheEntry struct {
+	key  cacheKey
+	resp Response
+	size int64
+}
+
+// entrySize estimates an entry's memory footprint against the byte
+// budget: struct overhead plus the variable-length strings.
+func entrySize(r *Response) int64 {
+	size := int64(len(cacheKey{})) + 256 // key + struct + list/map overhead
+	size += int64(len(r.Net) + len(r.Engine) + len(r.Check) + len(r.Status))
+	for _, w := range r.Witness {
+		size += int64(len(w)) + 16
+	}
+	return size
+}
+
+// resultCache is the content-addressed LRU result cache: complete,
+// uncancelled verification results keyed by requestKey, evicted least-
+// recently-used when the byte budget is exceeded.
+type resultCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	ll     *list.List // front = most recently used; values are *cacheEntry
+	items  map[cacheKey]*list.Element
+
+	hits, misses, evictions *obs.Counter
+	bytes, entries          *obs.Gauge
+}
+
+func newResultCache(budget int64, reg *obs.Registry) *resultCache {
+	return &resultCache{
+		budget:    budget,
+		ll:        list.New(),
+		items:     make(map[cacheKey]*list.Element),
+		hits:      reg.Counter("server.cache_hits"),
+		misses:    reg.Counter("server.cache_misses"),
+		evictions: reg.Counter("server.cache_evictions"),
+		bytes:     reg.Gauge("server.cache_bytes"),
+		entries:   reg.Gauge("server.cache_entries"),
+	}
+}
+
+// get returns a copy of the cached response for key, marking it as the
+// most recently used. The copy has Cached set.
+func (c *resultCache) get(key cacheKey) (*Response, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Inc()
+	resp := el.Value.(*cacheEntry).resp // copy; Witness backing array is never mutated
+	resp.Cached = true
+	return &resp, true
+}
+
+// put inserts a response, evicting from the cold end until the budget
+// holds. Responses larger than the whole budget are not cached.
+func (c *resultCache) put(key cacheKey, resp *Response) {
+	if c == nil {
+		return
+	}
+	e := &cacheEntry{key: key, resp: *resp, size: entrySize(resp)}
+	e.resp.Cached = false
+	if e.size > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// Identical request raced through two workers; keep the first
+		// result (they are equal) and just refresh recency.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(e)
+	c.used += e.size
+	for c.used > c.budget {
+		cold := c.ll.Back()
+		if cold == nil {
+			break
+		}
+		ce := cold.Value.(*cacheEntry)
+		c.ll.Remove(cold)
+		delete(c.items, ce.key)
+		c.used -= ce.size
+		c.evictions.Inc()
+	}
+	c.bytes.Set(c.used)
+	c.entries.Set(int64(c.ll.Len()))
+}
+
+// stats returns the current entry count and byte usage (tests).
+func (c *resultCache) stats() (entries int, bytes int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.used
+}

@@ -1,0 +1,124 @@
+// Package client is a small Go client for the gpod verification
+// service. It speaks the wire types of internal/server and surfaces
+// non-2xx answers as typed *APIError values so callers can tell
+// shedding (429) from draining (503) from bad requests (400).
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// Client talks to one gpod instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the service at base (e.g.
+// "http://127.0.0.1:8722"). A nil httpClient uses http.DefaultClient.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, hc: httpClient}
+}
+
+// APIError is a non-2xx answer from the service.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("gpod: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+}
+
+// Verify submits one verification request and waits for its result.
+// Deadlines and cancellation on ctx propagate into the service, which
+// aborts the exploration.
+func (c *Client) Verify(ctx context.Context, req *server.Request) (*server.Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var resp server.Response
+	if err := c.do(ctx, http.MethodPost, "/v1/verify", bytes.NewReader(body), &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Healthz returns the service's health status string: "ok", or
+// "draining" (which the service reports with a 503 so load balancers
+// rotate it out — not an error from this method).
+func (c *Client) Healthz(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&out); err != nil {
+		return "", err
+	}
+	if out.Status == "" {
+		return "", &APIError{StatusCode: resp.StatusCode, Message: "no status in healthz response"}
+	}
+	return out.Status, nil
+}
+
+// Metrics fetches the service's metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (*obs.Snapshot, error) {
+	var snap obs.Snapshot
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		msg := resp.Status
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}

@@ -1,0 +1,276 @@
+// Package server is the long-running verification service: an HTTP
+// front end over the verify façade with admission control (a bounded
+// worker pool and queue, request shedding), per-request deadlines wired
+// to the engines' cooperative cancellation, and a content-addressed LRU
+// cache of completed results.
+//
+// The intended shutdown order is Drain (new work answers 503), then
+// http.Server.Shutdown (in-flight handlers finish), then Close (workers
+// drain the queue and exit). Close implies Drain, so a bare Close is
+// safe too — it just sheds less politely.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/verify"
+)
+
+// Config sets the service's capacity limits. Zero values mean defaults.
+type Config struct {
+	// Workers is the number of concurrent verifications (default
+	// GOMAXPROCS). Each admitted request occupies one worker for its
+	// whole run, so this bounds CPU and memory, not just goroutines.
+	Workers int
+	// QueueDepth is how many admitted-but-not-started requests may wait
+	// (default 2*Workers). Beyond that the service sheds with 429.
+	QueueDepth int
+	// MaxStates caps every request's explicit state bound: requests
+	// asking for more (or for "unlimited", 0) are clamped down to it.
+	// 0 leaves request bounds alone.
+	MaxStates int
+	// DefaultTimeout is the wall-clock budget of requests that do not
+	// ask for one (default 10s); MaxTimeout is the ceiling any request
+	// can ask for (default 60s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// CacheBytes is the result cache budget (default 16 MiB; negative
+	// disables caching).
+	CacheBytes int64
+	// Metrics receives the server.* and engine metrics (default: a
+	// fresh registry, available via Metrics()).
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 16 << 20
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.New()
+	}
+	return c
+}
+
+// Server is the verification service. Create with New, mount Handler on
+// an http.Server, and Close when done.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	cache *resultCache
+	mux   *http.ServeMux
+
+	queue    chan *job
+	wg       sync.WaitGroup
+	draining atomic.Bool
+	qmu      sync.RWMutex // guards closed vs. sends on queue
+	closed   bool
+
+	requests, shed, aborts, failures, completed *obs.Counter
+	queueDepth, inflight                        *obs.Gauge
+}
+
+// New starts a Server's worker pool and returns it ready to serve.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:        cfg,
+		reg:        cfg.Metrics,
+		queue:      make(chan *job, cfg.QueueDepth),
+		requests:   cfg.Metrics.Counter("server.requests"),
+		shed:       cfg.Metrics.Counter("server.shed"),
+		aborts:     cfg.Metrics.Counter("server.aborted"),
+		failures:   cfg.Metrics.Counter("server.errors"),
+		completed:  cfg.Metrics.Counter("server.done"),
+		queueDepth: cfg.Metrics.Gauge("server.queue_depth"),
+		inflight:   cfg.Metrics.Gauge("server.inflight"),
+	}
+	if cfg.CacheBytes > 0 {
+		s.cache = newResultCache(cfg.CacheBytes, cfg.Metrics)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/verify", s.handleVerify)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the registry the service (and its engines) report to.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Drain makes the service refuse new verification requests with 503
+// while letting queued and running ones finish. Health checks report
+// "draining" so load balancers rotate the instance out.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Close drains, waits for the queue to empty and all workers to exit.
+// Call after http.Server.Shutdown so no handler is mid-enqueue.
+func (s *Server) Close() {
+	s.Drain()
+	s.qmu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.qmu.Unlock()
+	s.wg.Wait()
+}
+
+// enqueue tries to admit a job without blocking. False means the queue
+// is full or the service is closing — the caller sheds the request.
+func (s *Server) enqueue(j *job) bool {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.closed {
+		return false
+	}
+	select {
+	case s.queue <- j:
+		s.queueDepth.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// worker runs admitted verifications until the queue closes. The
+// request deadline and the client's disconnect both flow into the
+// engine through one derived context.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.queueDepth.Add(-1)
+		s.inflight.Add(1)
+		s.runJob(j)
+		s.inflight.Add(-1)
+		s.completed.Inc()
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	ctx, cancel := context.WithTimeout(j.ctx, j.req.timeout)
+	defer cancel()
+	opts := j.req.opts
+	opts.Ctx = ctx
+	opts.Metrics = s.reg
+
+	var (
+		rep *verify.Report
+		err error
+	)
+	if j.req.check == CheckSafety {
+		rep, err = verify.CheckSafety(j.req.net, j.req.bad, opts)
+	} else {
+		rep, err = verify.CheckDeadlock(j.req.net, opts)
+	}
+	if err != nil {
+		s.failures.Inc()
+		j.done <- jobResult{err: err}
+		return
+	}
+	resp := responseOf(j.req, rep)
+	if resp.Status == StatusAborted {
+		s.aborts.Inc()
+	} else if resp.Complete {
+		// Only complete, uncancelled results are cacheable: partial
+		// statistics depend on where the deadline happened to land.
+		s.cache.put(j.req.key, resp)
+	}
+	j.done <- jobResult{resp: resp}
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	pr, err := s.parseRequest(&req)
+	if err != nil {
+		var bre *badRequestError
+		if errors.As(err, &bre) {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: bre.msg})
+		} else {
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		}
+		return
+	}
+	if resp, ok := s.cache.get(pr.key); ok {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	j := &job{ctx: r.Context(), req: pr, done: make(chan jobResult, 1)}
+	if !s.enqueue(j) {
+		s.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "over capacity, retry later"})
+		return
+	}
+	// The worker always answers, even for a disconnected client (the
+	// engine aborts via the context and the response write just fails),
+	// so a plain receive cannot leak.
+	res := <-j.done
+	if res.err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: res.err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, res.resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"status": status})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

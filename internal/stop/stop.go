@@ -1,0 +1,61 @@
+// Package stop provides the cooperative-cancellation polling helper the
+// exploration engines share. Every engine loop is single-goroutine and
+// CPU-bound, so a request deadline or client disconnect can only take
+// effect if the loop itself checks for it; Checker amortizes that check
+// so the uncancelled hot path pays one increment-and-compare per unit of
+// work instead of a context.Context.Err call (which may take a mutex).
+//
+// Like the metrics in internal/obs, a nil *Checker is valid and free:
+// engines construct one with Every(opts.Ctx, period) and call Poll
+// unconditionally, so running without a context costs a single
+// predictable nil check per iteration and cancellation support never
+// perturbs what an uncancelled run explores.
+package stop
+
+import "context"
+
+// Checker polls a context's cancellation, amortized over a period of
+// calls. It is not safe for concurrent use; parallel engines give each
+// worker its own Checker (or check the context directly at a coarser
+// granularity).
+type Checker struct {
+	ctx    context.Context
+	period uint32
+	n      uint32
+	err    error
+}
+
+// Every returns a Checker whose Poll consults ctx.Err() on the first
+// call and then once per period calls. A nil ctx yields a nil Checker,
+// which is valid: its Poll always returns nil.
+func Every(ctx context.Context, period uint32) *Checker {
+	if ctx == nil {
+		return nil
+	}
+	if period == 0 {
+		period = 1
+	}
+	// Start one shy of the period so the very first Poll checks: a
+	// pre-cancelled context then aborts even a tiny exploration, which
+	// keeps the abort paths deterministic to test.
+	return &Checker{ctx: ctx, period: period, n: period - 1}
+}
+
+// Poll returns the context's error once the context is cancelled, nil
+// before that (and always nil on a nil Checker). After the first
+// non-nil return every subsequent Poll returns the same error
+// immediately.
+func (c *Checker) Poll() error {
+	if c == nil {
+		return nil
+	}
+	if c.err != nil {
+		return c.err
+	}
+	if c.n++; c.n < c.period {
+		return nil
+	}
+	c.n = 0
+	c.err = c.ctx.Err()
+	return c.err
+}

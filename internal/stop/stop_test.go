@@ -1,0 +1,62 @@
+package stop
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestNilCheckerIsNoOp(t *testing.T) {
+	var c *Checker
+	for i := 0; i < 10; i++ {
+		if err := c.Poll(); err != nil {
+			t.Fatalf("nil checker returned %v", err)
+		}
+	}
+	if Every(nil, 8) != nil {
+		t.Fatal("Every(nil, _) should return nil")
+	}
+}
+
+func TestFirstPollChecks(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := Every(ctx, 1024)
+	if err := c.Poll(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("first Poll on a pre-cancelled context: got %v, want Canceled", err)
+	}
+}
+
+func TestPeriodAmortizesAndLatches(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := Every(ctx, 4)
+	if err := c.Poll(); err != nil { // first call checks, ctx still live
+		t.Fatalf("live context: got %v", err)
+	}
+	cancel()
+	// Calls 2..4 fall inside the period and must not observe the cancel.
+	for i := 0; i < 3; i++ {
+		if err := c.Poll(); err != nil {
+			t.Fatalf("call %d inside period: got %v", i+2, err)
+		}
+	}
+	if err := c.Poll(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("period boundary: got %v, want Canceled", err)
+	}
+	// Latched: every later call returns the error without re-counting.
+	if err := c.Poll(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("latched: got %v, want Canceled", err)
+	}
+}
+
+func TestZeroPeriodMeansEveryCall(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := Every(ctx, 0)
+	if err := c.Poll(); err != nil {
+		t.Fatalf("live: %v", err)
+	}
+	cancel()
+	if err := c.Poll(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("after cancel: got %v", err)
+	}
+}

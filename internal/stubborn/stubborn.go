@@ -18,11 +18,13 @@
 package stubborn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/obs"
 	"repro/internal/petri"
+	"repro/internal/stop"
 )
 
 // ErrStateLimit is returned when exploration exceeds Options.MaxStates.
@@ -42,6 +44,10 @@ const (
 
 // Options configures a reduced exploration.
 type Options struct {
+	// Ctx, if non-nil, is polled cooperatively: once cancelled the search
+	// stops within a bounded number of firings and Explore returns the
+	// partial Result (Complete: false) plus the context's error.
+	Ctx            context.Context
 	MaxStates      int
 	StopAtDeadlock bool
 	Seed           SeedStrategy
@@ -213,7 +219,13 @@ func Explore(n *petri.Net, opts Options) (*Result, error) {
 	stack := []*frame{newFrame(0)}
 	onStack[0] = true
 
+	cancel := stop.Every(opts.Ctx, 64)
 	for len(stack) > 0 {
+		if err := cancel.Poll(); err != nil {
+			res.States = len(states)
+			res.Complete = false
+			return res, fmt.Errorf("stubborn: aborted: %w", err)
+		}
 		f := stack[len(stack)-1]
 		if f.next >= len(f.fire) {
 			onStack[f.id] = false

@@ -7,12 +7,15 @@
 package symbolic
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 
 	"repro/internal/bdd"
 	"repro/internal/obs"
 	"repro/internal/petri"
+	"repro/internal/stop"
 )
 
 // ErrNodeLimit is returned when the BDD grows beyond Options.MaxNodes.
@@ -33,6 +36,11 @@ const (
 
 // Options configures a symbolic analysis.
 type Options struct {
+	// Ctx, if non-nil, is polled between image steps: once cancelled the
+	// analysis stops and Analyze returns a partial Result (Complete:
+	// false, peak node count and iterations so far) plus the context's
+	// error.
+	Ctx   context.Context
 	Order Order
 	// MaxNodes aborts the analysis when the manager exceeds this many
 	// nodes (0 = no limit).
@@ -58,6 +66,7 @@ type Result struct {
 	Witness    petri.Marking // one deadlock marking, if any
 	BadFound   bool          // Options.Bad combination is reachable
 	BadWitness petri.Marking // one bad marking, if any
+	Complete   bool          // false if the analysis was cancelled mid-fixpoint
 }
 
 // analyzer carries the encoding.
@@ -153,8 +162,18 @@ func Analyze(n *petri.Net, opts Options) (*Result, error) {
 	}
 	cIter := opts.Metrics.Counter("symbolic.iterations")
 
+	iterations := 0
+	cancel := stop.Every(opts.Ctx, 1)
+	abort := func(err error) (*Result, error) {
+		return &Result{PeakNodes: m.Peak(), Iterations: iterations},
+			fmt.Errorf("symbolic: aborted: %w", err)
+	}
+
 	rels := make([]bdd.Node, n.NumTrans())
 	for t := petri.Trans(0); int(t) < n.NumTrans(); t++ {
+		if err := cancel.Poll(); err != nil {
+			return abort(err)
+		}
 		rels[t] = a.transitionRelation(t)
 		if opts.MaxNodes > 0 && m.Size() > opts.MaxNodes {
 			return nil, ErrNodeLimit
@@ -177,13 +196,15 @@ func Analyze(n *petri.Net, opts Options) (*Result, error) {
 
 	reached := init
 	frontier := init
-	iterations := 0
 	for frontier != bdd.False {
 		iterations++
 		cIter.Inc()
 		opts.Progress.Tick(1)
 		img := bdd.False
 		for _, rel := range rels {
+			if err := cancel.Poll(); err != nil {
+				return abort(err)
+			}
 			step := m.AndExists(frontier, rel, a.shed)
 			img = m.Or(img, m.Rename(step, a.perm))
 			if opts.MaxNodes > 0 && m.Size() > opts.MaxNodes {
@@ -210,6 +231,7 @@ func Analyze(n *petri.Net, opts Options) (*Result, error) {
 		PeakNodes:  m.Peak(),
 		FinalNodes: m.NodeCount(reached),
 		Iterations: iterations,
+		Complete:   true,
 	}
 	if assign, ok := m.AnySat(dead); ok {
 		res.Deadlock = true

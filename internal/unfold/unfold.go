@@ -18,6 +18,7 @@ package unfold
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -25,6 +26,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/petri"
+	"repro/internal/stop"
 )
 
 // ErrEventLimit is returned when the prefix exceeds Options.MaxEvents.
@@ -114,6 +116,10 @@ type Prefix struct {
 
 // Options bounds the construction.
 type Options struct {
+	// Ctx, if non-nil, is polled cooperatively: once cancelled the
+	// construction stops within a bounded number of events and Build
+	// returns the partial prefix plus the context's error.
+	Ctx context.Context
 	// MaxEvents aborts the construction beyond this many events
 	// (0 = no limit).
 	MaxEvents int
@@ -149,7 +155,11 @@ func Build(n *petri.Net, opts Options) (*Prefix, error) {
 		u.extensionsWith(c)
 	}
 
+	cancel := stop.Every(opts.Ctx, 16)
 	for u.pq.Len() > 0 {
+		if err := cancel.Poll(); err != nil {
+			return u.prefix, fmt.Errorf("unfold: aborted: %w", err)
+		}
 		cand := heap.Pop(&u.pq).(*Event)
 		if u.dupe(cand) {
 			continue

@@ -1,0 +1,140 @@
+package verify
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/petri"
+)
+
+// noLeak runs fn and then asserts the goroutine count settles back to
+// the pre-call level: an aborted engine must not leave workers behind.
+func noLeak(t *testing.T, fn func()) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	fn()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutine leak: %d before, %d after", before, after)
+	}
+}
+
+// TestAbortAllEngines runs every engine with an already-cancelled
+// context: each must return a partial aborted Report (not an error, not
+// a hang) within a bounded number of steps, with no goroutines leaked.
+func TestAbortAllEngines(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	net := models.NSDP(6) // 5778 states: big enough that completing would be a real run
+	for _, eng := range allEngines {
+		t.Run(eng.String(), func(t *testing.T) {
+			noLeak(t, func() {
+				rep, err := CheckDeadlock(net, Options{Engine: eng, Ctx: ctx})
+				if err != nil {
+					t.Fatalf("CheckDeadlock: %v", err)
+				}
+				if !rep.Aborted {
+					t.Fatal("report not marked Aborted")
+				}
+				if rep.Complete {
+					t.Fatal("aborted report marked Complete")
+				}
+			})
+		})
+	}
+}
+
+// TestAbortParallelReach covers the worker-pool abort path: a cancelled
+// parallel exhaustive search must stop all workers and leak nothing.
+func TestAbortParallelReach(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	net := models.NSDP(6)
+	noLeak(t, func() {
+		rep, err := CheckDeadlock(net, Options{Engine: Exhaustive, Workers: 4, Ctx: ctx})
+		if err != nil {
+			t.Fatalf("CheckDeadlock: %v", err)
+		}
+		if !rep.Aborted {
+			t.Fatal("report not marked Aborted")
+		}
+	})
+}
+
+// TestDeadlineAbortsMidExploration is the timing half: a short deadline
+// against nsdp(8) must stop the exhaustive search after some but not all
+// states, i.e. genuinely mid-exploration, promptly.
+func TestDeadlineAbortsMidExploration(t *testing.T) {
+	const full = 103682 // |RG(NSDP(8))|, pinned by the Table 1 suite
+	for _, workers := range []int{0, 4} {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		start := time.Now()
+		rep, err := CheckDeadlock(models.NSDP(8), Options{Engine: Exhaustive, Workers: workers, Ctx: ctx})
+		elapsed := time.Since(start)
+		cancel()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !rep.Aborted {
+			// The container may be fast enough to finish 103682 states in
+			// 30ms only on absurdly fast hardware; treat completion as a
+			// skip rather than a failure to keep the test robust.
+			t.Skipf("workers=%d: run completed before the deadline (%v, %d states)",
+				workers, elapsed, rep.States)
+		}
+		if rep.States <= 0 || rep.States >= full {
+			t.Errorf("workers=%d: aborted with %d states, want partial progress in (0, %d)",
+				workers, rep.States, full)
+		}
+		if elapsed > 5*time.Second {
+			t.Errorf("workers=%d: abort took %v, not a prompt stop", workers, elapsed)
+		}
+	}
+}
+
+// TestAbortSafetyPaths covers the CheckSafety abort plumbing (monitored
+// nets, trap filtering) for each engine family.
+func TestAbortSafetyPaths(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	net := models.NSDP(6)
+	eat0, _ := net.PlaceByName("eat0")
+	eat1, _ := net.PlaceByName("eat1")
+	bad := []petri.Place{eat0, eat1}
+	for _, eng := range allEngines {
+		rep, err := CheckSafety(net, bad, Options{Engine: eng, Ctx: ctx})
+		if err != nil {
+			t.Fatalf("%v: %v", eng, err)
+		}
+		if !rep.Aborted || rep.Complete {
+			t.Errorf("%v: Aborted=%v Complete=%v, want aborted partial report",
+				eng, rep.Aborted, rep.Complete)
+		}
+	}
+}
+
+// TestLiveContextDoesNotPerturb pins that merely threading a context
+// (never cancelled) through an engine changes nothing about its result.
+func TestLiveContextDoesNotPerturb(t *testing.T) {
+	net := models.NSDP(4)
+	for _, eng := range allEngines {
+		plain, err := CheckDeadlock(net, Options{Engine: eng})
+		if err != nil {
+			t.Fatalf("%v: %v", eng, err)
+		}
+		withCtx, err := CheckDeadlock(net, Options{Engine: eng, Ctx: context.Background()})
+		if err != nil {
+			t.Fatalf("%v (ctx): %v", eng, err)
+		}
+		if plain.States != withCtx.States || plain.Deadlock != withCtx.Deadlock ||
+			plain.Complete != withCtx.Complete || withCtx.Aborted {
+			t.Errorf("%v: ctx-threaded run diverged: plain=%+v ctx=%+v", eng, plain, withCtx)
+		}
+	}
+}

@@ -8,6 +8,8 @@
 package verify
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -77,6 +79,13 @@ func ParseEngine(s string) (Engine, error) {
 // Options configures a check.
 type Options struct {
 	Engine Engine
+	// Ctx, if non-nil, is threaded to the selected engine, which polls it
+	// cooperatively: once it is cancelled (deadline exceeded, client
+	// disconnect) the exploration stops within a bounded number of steps
+	// and the check returns a partial Report with Aborted set instead of
+	// an error. A nil Ctx never stops anything and costs one predictable
+	// branch per unit of work.
+	Ctx context.Context
 	// StopAtFirst halts at the first deadlock (or bad state) found.
 	StopAtFirst bool
 	// MaxStates bounds explicit searches; MaxNodes bounds symbolic ones.
@@ -108,24 +117,73 @@ type Report struct {
 	PeakSets float64       // GPO engines only: largest |r|
 	Elapsed  time.Duration
 	Complete bool
+	// Aborted marks a check stopped by Options.Ctx: the statistics are a
+	// partial account of the exploration up to the cancellation point and
+	// the verdict fields (Deadlock, Witness) are not meaningful.
+	Aborted bool
+}
+
+// OptionError reports an Options field whose value can never be valid,
+// as opposed to runtime failures such as state limits.
+type OptionError struct {
+	Field  string
+	Value  any
+	Reason string
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("verify: invalid option %s=%v: %s", e.Field, e.Value, e.Reason)
+}
+
+// Validate checks the options for values no engine can honor: a negative
+// state/node/worker bound or an unknown engine. Zero bounds mean
+// "unlimited"/"default" and are valid. CheckDeadlock and CheckSafety
+// validate implicitly and return the *OptionError unwrapped, so services
+// can distinguish caller mistakes (reject the request) from analysis
+// failures (report them).
+func (o Options) Validate() error {
+	if o.Engine < Exhaustive || o.Engine > Unfolding {
+		return &OptionError{Field: "Engine", Value: int(o.Engine), Reason: "unknown engine"}
+	}
+	if o.MaxStates < 0 {
+		return &OptionError{Field: "MaxStates", Value: o.MaxStates, Reason: "must be >= 0 (0 = unlimited)"}
+	}
+	if o.MaxNodes < 0 {
+		return &OptionError{Field: "MaxNodes", Value: o.MaxNodes, Reason: "must be >= 0 (0 = unlimited)"}
+	}
+	if o.Workers < 0 {
+		return &OptionError{Field: "Workers", Value: o.Workers, Reason: "must be >= 0 (0 = sequential)"}
+	}
+	return nil
+}
+
+// aborted reports whether an engine error is a cooperative cancellation
+// (Options.Ctx fired) rather than an analysis failure.
+func aborted(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // CheckDeadlock analyses the net for reachable deadlocks.
 func CheckDeadlock(n *petri.Net, opts Options) (*Report, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	rep := &Report{Net: n.Name(), Engine: opts.Engine}
 	switch opts.Engine {
 	case Exhaustive:
 		res, err := reach.Explore(n, reach.Options{
+			Ctx:            opts.Ctx,
 			MaxStates:      opts.MaxStates,
 			Workers:        opts.Workers,
 			StopAtDeadlock: opts.StopAtFirst,
 			Metrics:        opts.Metrics,
 			Progress:       opts.Progress,
 		})
-		if err != nil {
+		if err != nil && !(aborted(err) && res != nil) {
 			return nil, err
 		}
+		rep.Aborted = err != nil
 		rep.Deadlock = res.Deadlock
 		rep.States = res.States
 		rep.Complete = res.Complete
@@ -134,15 +192,17 @@ func CheckDeadlock(n *petri.Net, opts Options) (*Report, error) {
 		}
 	case PartialOrder:
 		res, err := stubborn.Explore(n, stubborn.Options{
+			Ctx:            opts.Ctx,
 			MaxStates:      opts.MaxStates,
 			StopAtDeadlock: opts.StopAtFirst,
 			Proviso:        opts.Proviso,
 			Metrics:        opts.Metrics,
 			Progress:       opts.Progress,
 		})
-		if err != nil {
+		if err != nil && !(aborted(err) && res != nil) {
 			return nil, err
 		}
+		rep.Aborted = err != nil
 		rep.Deadlock = res.Deadlock
 		rep.States = res.States
 		rep.Complete = res.Complete
@@ -151,32 +211,36 @@ func CheckDeadlock(n *petri.Net, opts Options) (*Report, error) {
 		}
 	case Symbolic:
 		res, err := symbolic.Analyze(n, symbolic.Options{
+			Ctx:      opts.Ctx,
 			MaxNodes: opts.MaxNodes,
 			Metrics:  opts.Metrics,
 			Progress: opts.Progress,
 		})
-		if err != nil {
+		if err != nil && !(aborted(err) && res != nil) {
 			return nil, err
 		}
+		rep.Aborted = err != nil
 		rep.Deadlock = res.Deadlock
 		rep.States = int(res.States)
 		rep.PeakBDD = res.PeakNodes
 		rep.Witness = res.Witness
-		rep.Complete = true
+		rep.Complete = res.Complete
 	case GPO:
 		e, err := core.NewEngine[zdd.Node](n, zdd.NewAlgebra(n.NumTrans()))
 		if err != nil {
 			return nil, err
 		}
 		res, _, err := e.Analyze(core.Options{
+			Ctx:            opts.Ctx,
 			MaxStates:      opts.MaxStates,
 			StopAtDeadlock: opts.StopAtFirst,
 			Metrics:        opts.Metrics,
 			Progress:       opts.Progress,
 		})
-		if err != nil {
+		if err != nil && !(aborted(err) && res != nil) {
 			return nil, err
 		}
+		rep.Aborted = err != nil
 		fillGPO(rep, res)
 	case GPOExplicit:
 		e, err := core.NewEngine[*family.Family](n, family.NewAlgebra(n.NumTrans()))
@@ -184,32 +248,40 @@ func CheckDeadlock(n *petri.Net, opts Options) (*Report, error) {
 			return nil, err
 		}
 		res, _, err := e.Analyze(core.Options{
+			Ctx:            opts.Ctx,
 			MaxStates:      opts.MaxStates,
 			StopAtDeadlock: opts.StopAtFirst,
 			Metrics:        opts.Metrics,
 			Progress:       opts.Progress,
 		})
-		if err != nil {
+		if err != nil && !(aborted(err) && res != nil) {
 			return nil, err
 		}
+		rep.Aborted = err != nil
 		fillGPO(rep, res)
 	case Unfolding:
 		px, err := unfold.Build(n, unfold.Options{
+			Ctx:       opts.Ctx,
 			MaxEvents: opts.MaxStates,
 			Metrics:   opts.Metrics,
 			Progress:  opts.Progress,
 		})
-		if err != nil {
+		if err != nil && !(aborted(err) && px != nil) {
 			return nil, err
 		}
 		rep.States = len(px.Events)
-		rep.Complete = true
-		if w, dead := px.FindDeadlock(); dead {
-			rep.Deadlock = true
-			rep.Witness = w
+		if err != nil {
+			// Deadlock checking on a truncated prefix would report phantom
+			// deadlocks (events whose successors were never inserted), so an
+			// aborted build carries only the size statistics.
+			rep.Aborted = true
+		} else {
+			rep.Complete = true
+			if w, dead := px.FindDeadlock(); dead {
+				rep.Deadlock = true
+				rep.Witness = w
+			}
 		}
-	default:
-		return nil, fmt.Errorf("verify: unknown engine %v", opts.Engine)
 	}
 	rep.Elapsed = time.Since(start)
 	return rep, nil
@@ -232,6 +304,9 @@ func fillGPO(rep *Report, res *core.Result) {
 // monitored net (Section 4 of the paper: "the verification of a safety
 // property can always be reduced to a check for deadlock").
 func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	rep := &Report{Net: n.Name(), Engine: opts.Engine}
 	predicate := func(m petri.Marking) bool {
@@ -245,6 +320,7 @@ func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error)
 	switch opts.Engine {
 	case Exhaustive:
 		res, err := reach.Explore(n, reach.Options{
+			Ctx:       opts.Ctx,
 			MaxStates: opts.MaxStates,
 			Workers:   opts.Workers,
 			Bad:       predicate,
@@ -252,9 +328,10 @@ func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error)
 			Metrics:   opts.Metrics,
 			Progress:  opts.Progress,
 		})
-		if err != nil {
+		if err != nil && !(aborted(err) && res != nil) {
 			return nil, err
 		}
+		rep.Aborted = err != nil
 		rep.Deadlock = res.BadFound
 		rep.States = res.States
 		rep.Complete = res.Complete
@@ -263,19 +340,21 @@ func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error)
 		}
 	case Symbolic:
 		res, err := symbolic.Analyze(n, symbolic.Options{
+			Ctx:      opts.Ctx,
 			MaxNodes: opts.MaxNodes,
 			Bad:      bad,
 			Metrics:  opts.Metrics,
 			Progress: opts.Progress,
 		})
-		if err != nil {
+		if err != nil && !(aborted(err) && res != nil) {
 			return nil, err
 		}
+		rep.Aborted = err != nil
 		rep.Deadlock = res.BadFound
 		rep.Witness = res.BadWitness
 		rep.States = int(res.States)
 		rep.PeakBDD = res.PeakNodes
-		rep.Complete = true
+		rep.Complete = res.Complete
 	case PartialOrder:
 		// Reduction to deadlock on the monitored net: the bad combination
 		// is reachable iff the monitor can fire, after which the run token
@@ -285,14 +364,16 @@ func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error)
 			return nil, err
 		}
 		res, err := stubborn.Explore(mon, stubborn.Options{
+			Ctx:       opts.Ctx,
 			MaxStates: opts.MaxStates,
 			Proviso:   opts.Proviso,
 			Metrics:   opts.Metrics,
 			Progress:  opts.Progress,
 		})
-		if err != nil {
+		if err != nil && !(aborted(err) && res != nil) {
 			return nil, err
 		}
+		rep.Aborted = err != nil
 		rep.States = res.States
 		rep.Complete = res.Complete
 		for _, m := range res.Deadlocks {
@@ -308,20 +389,25 @@ func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error)
 			return nil, err
 		}
 		px, err := unfold.Build(mon, unfold.Options{
+			Ctx:       opts.Ctx,
 			MaxEvents: opts.MaxStates,
 			Metrics:   opts.Metrics,
 			Progress:  opts.Progress,
 		})
-		if err != nil {
+		if err != nil && !(aborted(err) && px != nil) {
 			return nil, err
 		}
 		rep.States = len(px.Events)
-		rep.Complete = true
-		if w, dead := px.FindDeadlockWhere(func(m petri.Marking) bool {
-			return m.Has(trap)
-		}); dead {
-			rep.Deadlock = true
-			rep.Witness = w
+		if err != nil {
+			rep.Aborted = true
+		} else {
+			rep.Complete = true
+			if w, dead := px.FindDeadlockWhere(func(m petri.Marking) bool {
+				return m.Has(trap)
+			}); dead {
+				rep.Deadlock = true
+				rep.Witness = w
+			}
 		}
 	case GPO, GPOExplicit:
 		mon, trap, err := petri.WithSafetyMonitor(n, bad)
@@ -329,6 +415,7 @@ func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error)
 			return nil, err
 		}
 		copts := core.Options{
+			Ctx:            opts.Ctx,
 			MaxStates:      opts.MaxStates,
 			StopAtDeadlock: opts.StopAtFirst,
 			ExpandDead:     true, // original deadlocks must not cut exploration
@@ -344,22 +431,22 @@ func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error)
 				return nil, err
 			}
 			res, _, err = e.Analyze(copts)
-			if err != nil {
+			if err != nil && !(aborted(err) && res != nil) {
 				return nil, err
 			}
+			rep.Aborted = err != nil
 		} else {
 			e, err := core.NewEngine[*family.Family](mon, family.NewAlgebra(mon.NumTrans()))
 			if err != nil {
 				return nil, err
 			}
 			res, _, err = e.Analyze(copts)
-			if err != nil {
+			if err != nil && !(aborted(err) && res != nil) {
 				return nil, err
 			}
+			rep.Aborted = err != nil
 		}
 		fillGPO(rep, res)
-	default:
-		return nil, fmt.Errorf("verify: unknown engine %v", opts.Engine)
 	}
 	rep.Elapsed = time.Since(start)
 	return rep, nil

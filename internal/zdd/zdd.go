@@ -253,7 +253,7 @@ func (m *Manager) memoGet(op uint32, a, b Node) (Node, bool) {
 	key := uint64(uint32(a))<<32 | uint64(uint32(b))
 	want := uint64(op)
 	mask := uint64(len(m.memo) - 1)
-	i := mix64(key ^ want*0x9e3779b97f4a7c15) & mask
+	i := mix64(key^want*0x9e3779b97f4a7c15) & mask
 	for {
 		e := &m.memo[i]
 		if e.key == 0 {
@@ -276,7 +276,7 @@ func (m *Manager) memoPut(op uint32, a, b, r Node) {
 	key := uint64(uint32(a))<<32 | uint64(uint32(b))
 	val := uint64(op)<<32 | uint64(uint32(r))
 	mask := uint64(len(m.memo) - 1)
-	i := mix64(key ^ uint64(op)*0x9e3779b97f4a7c15) & mask
+	i := mix64(key^uint64(op)*0x9e3779b97f4a7c15) & mask
 	for {
 		e := &m.memo[i]
 		if e.key == 0 {
@@ -304,7 +304,7 @@ func (m *Manager) growMemo() {
 		if e.key == 0 {
 			continue
 		}
-		i := mix64(e.key ^ (e.val>>32)*0x9e3779b97f4a7c15) & mask
+		i := mix64(e.key^(e.val>>32)*0x9e3779b97f4a7c15) & mask
 		for next[i].key != 0 {
 			i = (i + 1) & mask
 		}

@@ -3,6 +3,8 @@
 # Keep in sync with `make check` and the gate recorded in ROADMAP.md.
 set -eux
 cd "$(dirname "$0")/.."
+# Formatting gate: gofmt -l prints offending files; any output fails.
+test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test -race ./...
@@ -10,3 +12,8 @@ go test -race ./...
 # breaks a bench harness (or reintroduces per-op allocation panics) is
 # caught here and not at artifact-regeneration time.
 go test -run '^$' -bench . -benchtime 1x ./...
+# Fuzz smoke: 5 seconds of FuzzParse against the hardened pnio parser.
+go test -fuzz=FuzzParse -fuzztime=5s -run '^$' ./internal/pnio
+# Service smoke: boot gpod on a random port, push one verification over
+# the wire with the client package, drain, shut down.
+go run ./cmd/gpod -smoke
