@@ -18,7 +18,9 @@
 //
 // Observability flags (see OBSERVABILITY.md): -json [-out file] writes
 // the structured benchmark artifact, -metrics dumps the program's metric
-// registry, -cpuprofile/-memprofile write pprof profiles, -pprof serves
+// registry, -trace records a flight-recorder trace of the engine runs
+// (most useful with a single -only instance; summarize with gpotrace),
+// -cpuprofile/-memprofile write pprof profiles, -pprof serves
 // net/http/pprof, and -progress reports long runs on stderr.
 package main
 
@@ -36,6 +38,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/models"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/reach"
 	"repro/internal/stubborn"
 	"repro/internal/verify"
@@ -54,6 +57,7 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "run Table 1 and write the machine-readable artifact")
 		outFile    = flag.String("out", "", "artifact path for -json ('-' = stdout; default BENCH_<date>.json)")
 		metricsOut = flag.String("metrics", "", "write the program's metric registry as JSON to this file ('-' = stderr)")
+		traceOut   = flag.String("trace", "", "record a flight-recorder trace to this file (.jsonl/.ndjson = JSON lines, else Chrome/Perfetto trace JSON)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -81,6 +85,10 @@ func main() {
 	}
 
 	reg := obs.New()
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New(trace.Options{})
+	}
 	cfg := bench.Config{
 		Family:   *family,
 		Only:     *only,
@@ -88,6 +96,7 @@ func main() {
 		MaxNodes: *maxNodes,
 		Workers:  *workers,
 		Progress: *progress,
+		Trace:    tracer,
 	}
 	figMax := *maxN
 	if figMax <= 0 {
@@ -129,6 +138,11 @@ func main() {
 
 	if *metricsOut != "" {
 		if err := writeMetrics(reg, *metricsOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *traceOut != "" {
+		if err := trace.WriteFile(*traceOut, tracer.Dump()); err != nil {
 			fatal(err)
 		}
 	}

@@ -9,7 +9,14 @@
 //	gpod -smoke                          # start, self-check, exit
 //
 // Endpoints: POST /v1/verify, GET /healthz, GET /metrics (JSON dump of
-// the metric registry; see OBSERVABILITY.md for the server.* names).
+// the metric registry, or Prometheus text with ?format=prom; see
+// OBSERVABILITY.md for the server.* names).
+//
+// Every /v1/verify response carries an X-Request-ID header (echoing the
+// client's, if it sent a well-formed one). With -access-log each request
+// becomes one JSON line under that ID; with -trace-dump each run that a
+// deadline or disconnect aborts leaves <dir>/<id>.trace.jsonl holding
+// the flight recorder's last events (summarize with gpotrace).
 //
 // On SIGINT/SIGTERM the daemon drains: health flips to "draining", new
 // verification requests answer 503, in-flight and queued jobs finish
@@ -25,9 +32,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"repro/internal/obs/trace"
 	"repro/internal/server"
 	"repro/internal/server/client"
 )
@@ -41,6 +50,9 @@ func main() {
 		timeout    = flag.Duration("timeout", 10*time.Second, "default per-request wall-clock budget")
 		maxTimeout = flag.Duration("max-timeout", 60*time.Second, "largest per-request budget a client may ask for")
 		cacheBytes = flag.Int64("cache-bytes", 16<<20, "result cache budget in bytes (negative disables)")
+		accessLog  = flag.String("access-log", "", "append JSON-lines access logs to this file ('-' = stderr)")
+		traceDump  = flag.String("trace-dump", "", "write aborted requests' flight-recorder tails to <dir>/<request-id>.trace.jsonl")
+		traceCap   = flag.Int("trace-events", 0, "per-track ring capacity of per-request traces (0 = default)")
 		smoke      = flag.Bool("smoke", false, "start on a random port, run one self-check request, shut down")
 	)
 	flag.Parse()
@@ -52,6 +64,25 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		CacheBytes:     *cacheBytes,
+		TraceEvents:    *traceCap,
+	}
+	if *accessLog != "" {
+		if *accessLog == "-" {
+			cfg.AccessLog = os.Stderr
+		} else {
+			f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			cfg.AccessLog = f
+		}
+	}
+	if *traceDump != "" {
+		if err := os.MkdirAll(*traceDump, 0o755); err != nil {
+			fatal(err)
+		}
+		cfg.TraceSink = dirTraceSink(*traceDump)
 	}
 
 	if *smoke {
@@ -149,6 +180,26 @@ func runSmoke(cfg server.Config) error {
 	}
 	svc.Close()
 	return nil
+}
+
+// dirTraceSink writes each aborted request's trace dump into dir as
+// <request-id>.trace.jsonl. IDs are validated by the server (printable,
+// no separators), so joining them onto dir is safe.
+func dirTraceSink(dir string) func(id string, d *trace.Dump) {
+	return func(id string, d *trace.Dump) {
+		path := filepath.Join(dir, id+".trace.jsonl")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpod: trace dump:", err)
+			return
+		}
+		if err := trace.WriteJSONL(f, d); err != nil {
+			fmt.Fprintln(os.Stderr, "gpod: trace dump:", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "gpod: trace dump:", err)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,64 @@
+// Command gpotrace summarizes a flight-recorder trace written by
+// gpoverify/gpobench -trace or dumped by gpod -trace-dump: total states
+// and firings reconstructed from the events alone, the hottest
+// transitions, per-phase wall clock, the state-discovery rate over
+// time, and the abort reason if the run was cancelled.
+//
+// Usage:
+//
+//	gpotrace trace.json                # Chrome/Perfetto trace
+//	gpotrace -top 20 dump.trace.jsonl  # JSONL dump, longer table
+//	gpotrace -json trace.json          # machine-readable summary
+//
+// Both formats are auto-detected. The same files open visually in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs/trace"
+)
+
+func main() {
+	var (
+		top     = flag.Int("top", 10, "rows in the top-transitions table")
+		asJSON  = flag.Bool("json", false, "print the summary as JSON instead of text")
+		summary = flag.Bool("summary", true, "print the summary (disable to just validate the file)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: gpotrace [flags] <trace-file>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	d, err := trace.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	s := trace.Summarize(d, *top)
+	switch {
+	case *asJSON:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s); err != nil {
+			fatal(err)
+		}
+	case *summary:
+		s.WriteText(os.Stdout)
+	default:
+		fmt.Printf("gpotrace: %s: valid (%d tracks, %d events)\n", flag.Arg(0), s.Tracks, s.Events)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpotrace:", err)
+	os.Exit(1)
+}

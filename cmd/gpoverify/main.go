@@ -13,8 +13,10 @@
 // tabulated.
 //
 // Observability flags (see OBSERVABILITY.md): -metrics dumps the engine's
-// metric registry as JSON, -progress reports long runs on stderr,
-// -cpuprofile/-memprofile write pprof profiles, -pprof serves
+// metric registry as JSON, -trace records a flight-recorder trace
+// (.json opens in Perfetto / chrome://tracing, .jsonl is line-oriented;
+// summarize either with gpotrace), -progress reports long runs on
+// stderr, -cpuprofile/-memprofile write pprof profiles, -pprof serves
 // net/http/pprof.
 package main
 
@@ -32,6 +34,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/models"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/petri"
 	"repro/internal/pnio"
 	"repro/internal/proc"
@@ -57,6 +60,7 @@ func main() {
 		explain   = flag.Bool("explain", true, "explain deadlock witnesses structurally (empty siphon)")
 
 		metricsOut = flag.String("metrics", "", "write the engine's metric registry as JSON to this file ('-' = stderr)")
+		traceOut   = flag.String("trace", "", "record a flight-recorder trace to this file (.jsonl/.ndjson = JSON lines, else Chrome/Perfetto trace JSON)")
 		progress   = flag.Bool("progress", false, "report long engine runs periodically on stderr")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
@@ -126,10 +130,25 @@ func main() {
 	if *metricsOut != "" {
 		reg = obs.New()
 	}
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New(trace.Options{})
+	}
 
 	for _, net := range nets {
 		fmt.Printf("net %s: %d places, %d transitions, %d conflict clusters\n",
 			net.Name(), net.NumPlaces(), net.NumTrans(), len(net.Clusters()))
+
+		if tracer != nil {
+			// With -only, later instances overwrite the shared name
+			// tables; tracing is most useful on a single instance.
+			tracer.SetMeta("net", net.Name())
+			names := make([]string, net.NumTrans())
+			for t := range names {
+				names[t] = net.TransName(petri.Trans(t))
+			}
+			tracer.SetTransNames(names)
+		}
 
 		var bad []petri.Place
 		if *safety != "" {
@@ -147,12 +166,17 @@ func main() {
 		runEngines(net, engines, bad, reg, runOpts{
 			stop: *stop, maxStates: *maxStates, maxNodes: *maxNodes,
 			workers: *workers, proviso: *proviso, progress: *progress,
-			explain: *explain,
+			explain: *explain, tracer: tracer,
 		})
 	}
 
 	if *metricsOut != "" {
 		if err := writeMetrics(reg, *metricsOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *traceOut != "" {
+		if err := trace.WriteFile(*traceOut, tracer.Dump()); err != nil {
 			fatal(err)
 		}
 	}
@@ -178,6 +202,7 @@ type runOpts struct {
 	proviso   bool
 	progress  bool
 	explain   bool
+	tracer    *trace.Tracer
 }
 
 // runEngines verifies one net with each selected engine and prints the
@@ -192,6 +217,7 @@ func runEngines(net *petri.Net, engines []verify.Engine, bad []petri.Place, reg 
 			Workers:     ro.workers,
 			Proviso:     ro.proviso,
 			Metrics:     reg,
+			Trace:       ro.tracer,
 		}
 		if ro.progress {
 			opts.Progress = &obs.Progress{

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/models"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/petri"
 	"repro/internal/reach"
 	"repro/internal/stubborn"
@@ -94,6 +95,12 @@ type Config struct {
 	Workers int
 	// Progress, if true, prints periodic per-run progress to stderr.
 	Progress bool
+	// Trace, if non-nil, receives flight-recorder events from every engine
+	// run (see OBSERVABILITY.md "Trace events"). One tracer spans the whole
+	// benchmark; the exporter's track names distinguish engines only by
+	// their per-engine track labels, so tracing is most useful with a
+	// single-instance Only filter. Nil costs nothing.
+	Trace *trace.Tracer
 }
 
 func (c Config) maxStates() int {
@@ -249,6 +256,7 @@ func runExhaustive(net *petri.Net, c Config, reg *obs.Registry, prog *obs.Progre
 		Workers:   c.Workers,
 		Metrics:   reg,
 		Progress:  prog,
+		Trace:     c.Trace,
 	})
 	o := outcome{err: err}
 	if errors.Is(err, reach.ErrStateLimit) {
@@ -268,6 +276,7 @@ func runPO(proviso bool) runner {
 			Proviso:   proviso,
 			Metrics:   reg,
 			Progress:  prog,
+			Trace:     c.Trace,
 		})
 		o := outcome{err: err}
 		if errors.Is(err, stubborn.ErrStateLimit) {
@@ -285,6 +294,7 @@ func runSymbolic(net *petri.Net, c Config, reg *obs.Registry, prog *obs.Progress
 		MaxNodes: c.maxNodes(),
 		Metrics:  reg,
 		Progress: prog,
+		Trace:    c.Trace,
 	})
 	o := outcome{err: err}
 	if errors.Is(err, symbolic.ErrNodeLimit) {
@@ -305,6 +315,7 @@ func runGPO(net *petri.Net, c Config, reg *obs.Registry, prog *obs.Progress) out
 		MaxStates: c.maxStates(),
 		Metrics:   reg,
 		Progress:  prog,
+		Trace:     c.Trace,
 	})
 	o := outcome{err: err}
 	if rep != nil {

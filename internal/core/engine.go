@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/petri"
 	"repro/internal/stop"
 )
@@ -56,6 +57,13 @@ type Options struct {
 	Metrics *obs.Registry
 	// Progress, if non-nil, is ticked once per GPN state interned.
 	Progress *obs.Progress
+	// Trace, if non-nil, records flight-recorder events: one state event
+	// per interned GPN state (with |r| as detail), fire/multifire events
+	// per arc, conflict-component events per state, the algebra's table
+	// growth via TraceAttacher, and a terminal abort on cancellation. Nil
+	// costs one branch per event and zero allocations (pinned by
+	// TestAnalyzeDisabledTracerZeroAlloc).
+	Trace *trace.Tracer
 }
 
 // StatsReporter is implemented by family algebras that can export
@@ -63,6 +71,15 @@ type Options struct {
 // registry; Analyze invokes it once when Options.Metrics is set.
 type StatsReporter interface {
 	ReportStats(*obs.Registry)
+}
+
+// TraceAttacher is implemented by family algebras that can stream
+// flight-recorder events (ZDD table growth) onto an engine's trace
+// track; Analyze attaches for the duration of the run when
+// Options.Trace is set and detaches on every exit path.
+type TraceAttacher interface {
+	AttachTrace(*trace.Tracer, *trace.Track)
+	DetachTrace()
 }
 
 // Arc is one edge of the GPN reachability graph: the simultaneous (or
@@ -128,6 +145,11 @@ type Engine[F any] struct {
 	compsBuf  [][]petri.Trans // component slice headers
 	tentBuf   [][]petri.Trans // tentative candidate components
 	keyBuf    []byte          // state-key assembly buffer
+
+	// tk is the flight-recorder track of the Analyze call in progress
+	// (nil when tracing is disabled); a transient like the scratch above,
+	// reset at the start of every Analyze.
+	tk *trace.Track
 }
 
 // NewEngine returns an engine for the net using the given family algebra.
@@ -236,6 +258,17 @@ func (e *Engine[F]) Analyze(opts Options) (*Result, *Graph[F], error) {
 			defer sr.ReportStats(opts.Metrics)
 		}
 	}
+	e.tk = opts.Trace.NewTrack("core")
+	phAnalyze := opts.Trace.Intern("analyze")
+	e.tk.Begin(phAnalyze)
+	if opts.Trace != nil {
+		// Stream the algebra's table-growth events onto this track for the
+		// duration of the run only: the hook must not outlive the tracer.
+		if ta, ok := any(e.Alg).(TraceAttacher); ok {
+			ta.AttachTrace(opts.Trace, e.tk)
+			defer ta.DetachTrace()
+		}
+	}
 	res := &Result{Complete: true}
 	var g *Graph[F]
 	if opts.StoreGraph {
@@ -271,6 +304,7 @@ func (e *Engine[F]) Analyze(opts Options) (*Result, *Graph[F], error) {
 		hValid.Observe(int64(c))
 		gPeakValid.SetMax(int64(c))
 		opts.Progress.Tick(1)
+		e.tk.State(int64(id), int64(c))
 		return id, true
 	}
 
@@ -326,6 +360,7 @@ func (e *Engine[F]) Analyze(opts Options) (*Result, *Graph[F], error) {
 		if err := cancel.Poll(); err != nil {
 			res.States = len(states)
 			res.Complete = false
+			e.tk.Abort(opts.Trace.Intern(err.Error()))
 			return res, g, fmt.Errorf("core: aborted: %w", err)
 		}
 		f := stack[len(stack)-1]
@@ -348,9 +383,16 @@ func (e *Engine[F]) Analyze(opts Options) (*Result, *Graph[F], error) {
 		if sc.multiple {
 			res.MultiFirings++
 			cMulti.Inc()
+			// One multifire event for the step plus one fire per member, so
+			// per-transition firing counts stay accurate in summaries.
+			e.tk.MultiFire(int64(len(sc.fired)), int64(id))
+			for _, t := range sc.fired {
+				e.tk.Fire(int64(t), int64(id))
+			}
 		} else {
 			res.SingleFirings++
 			cSingle.Inc()
+			e.tk.Fire(int64(sc.fired[0]), int64(id))
 		}
 		if g != nil {
 			g.Edges[f.id] = append(g.Edges[f.id], Arc{Fired: sc.fired, To: id, Multiple: sc.multiple})
@@ -376,6 +418,7 @@ func (e *Engine[F]) Analyze(opts Options) (*Result, *Graph[F], error) {
 
 	res.States = len(states)
 	res.Complete = !stop
+	e.tk.End(phAnalyze)
 	return res, g, nil
 }
 
@@ -408,6 +451,7 @@ func (e *Engine[F]) successors(s *State[F], opts Options, sEn []F) ([]succ[F], b
 	}
 
 	comps := e.enabledComponents(singles)
+	e.tk.Conflict(int64(len(comps)), int64(len(singles)))
 
 	if !opts.SingleOnly {
 		if sc, fired, ok := e.tryMultiple(s, comps, isSingle, sEn); ok {

@@ -107,7 +107,9 @@ func (h *Histogram) Mean() float64 {
 
 // Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1): the
 // inclusive upper edge of the power-of-two bucket containing the ⌈q·n⌉-th
-// smallest observation, clamped to the observed maximum. Exact to a
+// smallest observation, clamped to the observed [Min, Max] range. The
+// extremes are exact — q=0 returns Min and q=1 returns Max, since both
+// are tracked precisely — and everything in between is exact to a
 // factor of two by construction.
 func (h *Histogram) Quantile(q float64) int64 {
 	if h == nil {
@@ -116,6 +118,12 @@ func (h *Histogram) Quantile(q float64) int64 {
 	n := h.count.Load()
 	if n == 0 {
 		return 0
+	}
+	if q <= 0 {
+		return h.min.Load()
+	}
+	if q >= 1 {
+		return h.max.Load()
 	}
 	rank := int64(math.Ceil(q * float64(n)))
 	if rank < 1 {
@@ -128,10 +136,13 @@ func (h *Histogram) Quantile(q float64) int64 {
 	for i := 0; i < nbuckets; i++ {
 		seen += h.buckets[i].Load()
 		if seen >= rank {
-			if i == 0 {
-				return 0
+			// Bucket 0 holds every value ≤ 0, so its inclusive upper
+			// edge is 0; clamping to Max keeps an all-negative
+			// histogram honest.
+			upper := int64(0)
+			if i > 0 {
+				upper = int64(1)<<uint(i) - 1
 			}
-			upper := int64(1)<<uint(i) - 1
 			if mx := h.max.Load(); mx < upper {
 				return mx
 			}
@@ -151,10 +162,29 @@ type HistogramSnapshot struct {
 	P50   int64   `json:"p50"`
 	P90   int64   `json:"p90"`
 	P99   int64   `json:"p99"`
+	// Buckets lists the non-empty power-of-two buckets, so the JSON
+	// snapshot carries the same distribution the Prometheus exposition
+	// derives its cumulative _bucket series from.
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// HistogramBucket is one non-empty bucket: Count observations with
+// value ≤ LE (the bucket's inclusive upper edge: 0, 1, 3, 7, …, 2^i−1).
+type HistogramBucket struct {
+	LE    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// bucketUpper is the inclusive upper edge of bucket i.
+func bucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return int64(1)<<uint(i) - 1
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
-	return HistogramSnapshot{
+	s := HistogramSnapshot{
 		Count: h.Count(),
 		Sum:   h.Sum(),
 		Min:   h.Min(),
@@ -164,4 +194,10 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		P90:   h.Quantile(0.90),
 		P99:   h.Quantile(0.99),
 	}
+	for i := 0; i < nbuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, HistogramBucket{LE: bucketUpper(i), Count: n})
+		}
+	}
+	return s
 }

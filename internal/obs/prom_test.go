@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promFixture builds a registry with one of each metric type.
+func promFixture() *Registry {
+	r := New()
+	r.Counter("reach.states").Add(322)
+	r.Gauge("server.queue_depth").Set(3)
+	h := r.Histogram("server.request_wall_ns")
+	for _, v := range []int64{1, 2, 3, 64} {
+		h.Observe(v)
+	}
+	return r
+}
+
+// TestWritePrometheusFormat checks the exposition against the 0.0.4
+// text format: HELP/TYPE lines per family, sanitized names, and
+// cumulative _bucket/_sum/_count series for histograms.
+func TestWritePrometheusFormat(t *testing.T) {
+	var out strings.Builder
+	if err := WritePrometheus(&out, promFixture().Snapshot()); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	got := out.String()
+	want := []string{
+		"# HELP reach_states Counter reach.states.",
+		"# TYPE reach_states counter",
+		"reach_states 322",
+		"# TYPE server_queue_depth gauge",
+		"server_queue_depth 3",
+		"# TYPE server_request_wall_ns histogram",
+		`server_request_wall_ns_bucket{le="1"} 1`,
+		`server_request_wall_ns_bucket{le="3"} 3`,    // cumulative: 1 + (2,3)
+		`server_request_wall_ns_bucket{le="127"} 4`,  // + 64
+		`server_request_wall_ns_bucket{le="+Inf"} 4`, // always closes at count
+		"server_request_wall_ns_sum 70",
+		"server_request_wall_ns_count 4",
+	}
+	for _, line := range want {
+		if !strings.Contains(got, line+"\n") {
+			t.Fatalf("missing line %q in:\n%s", line, got)
+		}
+	}
+	// Every non-comment line is `name value` or `name{labels} value`.
+	for _, line := range strings.Split(strings.TrimSpace(got), "\n") {
+		if strings.HasPrefix(line, "# ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+}
+
+// TestWritePrometheusBucketsCumulative checks ordering invariants: each
+// histogram's bucket counts are non-decreasing and end at _count.
+func TestWritePrometheusBucketsCumulative(t *testing.T) {
+	r := New()
+	h := r.Histogram("zdd.probe_len")
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	var out strings.Builder
+	if err := WritePrometheus(&out, r.Snapshot()); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	last := int64(-1)
+	sawInf := false
+	for _, line := range strings.Split(out.String(), "\n") {
+		if !strings.HasPrefix(line, "zdd_probe_len_bucket") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("bad bucket line %q", line)
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if n < last {
+			t.Fatalf("bucket counts not cumulative at %q (prev %d)", line, last)
+		}
+		last = n
+		if strings.Contains(line, `le="+Inf"`) {
+			sawInf = true
+			if n != 100 {
+				t.Fatalf("+Inf bucket = %d, want 100", n)
+			}
+		}
+	}
+	if !sawInf {
+		t.Fatalf("no +Inf bucket emitted:\n%s", out.String())
+	}
+}
+
+// TestPromName pins the sanitizer.
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"reach.states":    "reach_states",
+		"zdd.unique_hits": "zdd_unique_hits",
+		"a-b c":           "a_b_c",
+		"9lives":          "_9lives",
+		"ok:colon":        "ok:colon",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestSnapshotNamesMatchProm checks the two /metrics views agree:
+// every registered metric name appears in both the JSON snapshot and
+// the Prometheus exposition (as its sanitized form).
+func TestSnapshotNamesMatchProm(t *testing.T) {
+	r := promFixture()
+	snap := r.Snapshot()
+	var out strings.Builder
+	if err := WritePrometheus(&out, snap); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	prom := out.String()
+	check := func(name string) {
+		t.Helper()
+		if !strings.Contains(prom, "\n"+promName(name)+" ") &&
+			!strings.Contains(prom, "\n"+promName(name)+"_count ") &&
+			!strings.HasPrefix(prom, promName(name)+" ") {
+			t.Errorf("metric %q (prom %q) missing from exposition:\n%s", name, promName(name), prom)
+		}
+	}
+	for name := range snap.Counters {
+		check(name)
+	}
+	for name := range snap.Gauges {
+		check(name)
+	}
+	for name := range snap.Histograms {
+		check(name)
+	}
+}

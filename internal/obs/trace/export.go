@@ -1,0 +1,434 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Dump is a tracer frozen for export: the metadata, string table and
+// transition names plus every track's surviving events oldest-first.
+// Both wire formats (Chrome trace JSON and JSONL) serialize a Dump and
+// ReadDump reconstructs one, so the summarizer works on either.
+type Dump struct {
+	Meta    map[string]string `json:"meta,omitempty"`
+	Strings []string          `json:"strings,omitempty"`
+	Trans   []string          `json:"trans,omitempty"`
+	Tracks  []DumpTrack       `json:"tracks"`
+}
+
+// DumpTrack is one exported event lane.
+type DumpTrack struct {
+	Name    string  `json:"name"`
+	Dropped uint64  `json:"dropped,omitempty"`
+	Events  []Event `json:"events"`
+}
+
+// Dump freezes the tracer's current contents. Safe to call once the
+// engines that write its tracks have returned; a nil tracer dumps nil.
+func (t *Tracer) Dump() *Dump {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := &Dump{
+		Meta:    make(map[string]string, len(t.meta)),
+		Strings: append([]string(nil), t.strs...),
+		Trans:   append([]string(nil), t.trans...),
+	}
+	for k, v := range t.meta {
+		d.Meta[k] = v
+	}
+	for _, tk := range t.tracks {
+		d.Tracks = append(d.Tracks, DumpTrack{
+			Name:    tk.name,
+			Dropped: tk.Dropped(),
+			Events:  tk.snapshot(),
+		})
+	}
+	return d
+}
+
+// lookup resolves an interned id in the dump ("" when out of range).
+func (d *Dump) lookup(id int64) string {
+	if id < 0 || id >= int64(len(d.Strings)) {
+		return ""
+	}
+	return d.Strings[id]
+}
+
+// intern adds s to the dump's string table (used when reconstructing a
+// dump from a parsed file).
+func (d *Dump) intern(s string) int64 {
+	if len(d.Strings) == 0 {
+		d.Strings = append(d.Strings, "")
+	}
+	for i, have := range d.Strings {
+		if have == s {
+			return int64(i)
+		}
+	}
+	d.Strings = append(d.Strings, s)
+	return int64(len(d.Strings)) - 1
+}
+
+// transName labels transition id for display ("t<id>" when unnamed).
+func (d *Dump) transName(id int64) string {
+	if id >= 0 && id < int64(len(d.Trans)) && d.Trans[id] != "" {
+		return d.Trans[id]
+	}
+	return fmt.Sprintf("t%d", id)
+}
+
+// internedArg0 reports whether kind k's Arg0 is a string-table id, so
+// exporters resolve it and parsers re-intern it.
+func internedArg0(k Kind) bool {
+	switch k {
+	case KindPhaseBegin, KindPhaseEnd, KindZDDGrow, KindCacheHit, KindCacheMiss, KindAbort:
+		return true
+	}
+	return false
+}
+
+// chromeSidecar is the round-trip payload WriteChrome tucks under the
+// top-level "gpoTrace" key. Chrome/Perfetto ignore unknown top-level
+// keys, and it spares the parser from reconstructing string tables out
+// of display names.
+type chromeSidecar struct {
+	Meta    map[string]string `json:"meta,omitempty"`
+	Strings []string          `json:"strings,omitempty"`
+	Trans   []string          `json:"trans,omitempty"`
+	Dropped []uint64          `json:"dropped,omitempty"`
+}
+
+// chromeEvent is one element of traceEvents, covering the phases we
+// emit: M (metadata), B/E (phase spans), i (instants).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the whole trace.json object.
+type chromeFile struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit,omitempty"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+	Sidecar         *chromeSidecar `json:"gpoTrace,omitempty"`
+}
+
+// WriteChrome writes the dump in Chrome trace-event JSON, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Each track becomes a
+// thread lane (tid = track index + 1); phase events become B/E spans
+// and everything else an instant with {kind,a0,a1} args.
+func WriteChrome(w io.Writer, d *Dump) error {
+	f := chromeFile{
+		DisplayTimeUnit: "ns",
+		OtherData:       map[string]any{},
+		Sidecar: &chromeSidecar{
+			Meta:    d.Meta,
+			Strings: d.Strings,
+			Trans:   d.Trans,
+		},
+	}
+	for k, v := range d.Meta {
+		f.OtherData[k] = v
+	}
+	f.TraceEvents = append(f.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", PID: 1, TID: 0,
+		Args: map[string]any{"name": "gpo"},
+	})
+	for i, tk := range d.Tracks {
+		f.Sidecar.Dropped = append(f.Sidecar.Dropped, tk.Dropped)
+		tid := i + 1
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": tk.Name},
+		})
+		for _, ev := range tk.Events {
+			ce := chromeEvent{
+				TS:  float64(ev.TS) / 1e3,
+				PID: 1,
+				TID: tid,
+			}
+			switch ev.Kind {
+			case KindPhaseBegin:
+				ce.Ph, ce.Name = "B", d.lookup(ev.Arg0)
+			case KindPhaseEnd:
+				ce.Ph, ce.Name = "E", d.lookup(ev.Arg0)
+			default:
+				ce.Ph, ce.S = "i", "t"
+				ce.Name = ev.Kind.String()
+				ce.Args = map[string]any{
+					"kind": ev.Kind.String(),
+					"a0":   ev.Arg0,
+					"a1":   ev.Arg1,
+				}
+				if internedArg0(ev.Kind) {
+					ce.Args["name"] = d.lookup(ev.Arg0)
+				}
+				if ev.Kind == KindFire {
+					ce.Args["t"] = d.transName(ev.Arg0)
+				}
+			}
+			f.TraceEvents = append(f.TraceEvents, ce)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}
+
+// jsonlMeta is the first line of a JSONL dump.
+type jsonlMeta struct {
+	Type    string            `json:"type"` // "meta"
+	Meta    map[string]string `json:"meta,omitempty"`
+	Strings []string          `json:"strings,omitempty"`
+	Trans   []string          `json:"trans,omitempty"`
+	Tracks  []string          `json:"tracks"`
+	Dropped []uint64          `json:"dropped,omitempty"`
+}
+
+// jsonlEvent is one event line of a JSONL dump.
+type jsonlEvent struct {
+	Type  string `json:"type"` // "event"
+	Track int    `json:"track"`
+	TS    int64  `json:"ts"`
+	Kind  string `json:"kind"`
+	A0    int64  `json:"a0"`
+	A1    int64  `json:"a1"`
+}
+
+// WriteJSONL writes the compact line-delimited format: one meta header
+// line, then one line per event in track order. This is the format
+// gpod dumps on aborted requests — cheap to produce and to tail.
+func WriteJSONL(w io.Writer, d *Dump) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	head := jsonlMeta{Type: "meta", Meta: d.Meta, Strings: d.Strings, Trans: d.Trans}
+	for _, tk := range d.Tracks {
+		head.Tracks = append(head.Tracks, tk.Name)
+		head.Dropped = append(head.Dropped, tk.Dropped)
+	}
+	if err := enc.Encode(&head); err != nil {
+		return err
+	}
+	for i, tk := range d.Tracks {
+		for _, ev := range tk.Events {
+			line := jsonlEvent{
+				Type:  "event",
+				Track: i,
+				TS:    ev.TS,
+				Kind:  ev.Kind.String(),
+				A0:    ev.Arg0,
+				A1:    ev.Arg1,
+			}
+			if err := enc.Encode(&line); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the dump to path, choosing the format by extension:
+// ".jsonl" (or ".ndjson") writes JSONL, anything else Chrome trace
+// JSON.
+func WriteFile(path string, d *Dump) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if strings.HasSuffix(path, ".jsonl") || strings.HasSuffix(path, ".ndjson") {
+		werr = WriteJSONL(f, d)
+	} else {
+		werr = WriteChrome(f, d)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// ReadDump parses either wire format back into a Dump, auto-detecting:
+// a JSONL stream starts with a {"type":"meta",...} line; anything else
+// must be a Chrome trace JSON object with a traceEvents array.
+func ReadDump(r io.Reader) (*Dump, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	first := trimmed
+	if i := bytes.IndexByte(trimmed, '\n'); i >= 0 {
+		first = trimmed[:i]
+	}
+	var probe struct {
+		Type string `json:"type"`
+	}
+	if json.Unmarshal(first, &probe) == nil && probe.Type == "meta" {
+		return readJSONL(trimmed)
+	}
+	return readChrome(trimmed)
+}
+
+// ReadFile parses a trace file written by WriteFile (either format).
+func ReadFile(path string) (*Dump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDump(f)
+}
+
+func readJSONL(data []byte) (*Dump, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: missing jsonl meta line")
+	}
+	var head jsonlMeta
+	if err := json.Unmarshal(sc.Bytes(), &head); err != nil || head.Type != "meta" {
+		return nil, fmt.Errorf("trace: bad jsonl meta line")
+	}
+	d := &Dump{Meta: head.Meta, Strings: head.Strings, Trans: head.Trans}
+	for i, name := range head.Tracks {
+		tk := DumpTrack{Name: name}
+		if i < len(head.Dropped) {
+			tk.Dropped = head.Dropped[i]
+		}
+		d.Tracks = append(d.Tracks, tk)
+	}
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var line jsonlEvent
+		if err := json.Unmarshal(raw, &line); err != nil {
+			return nil, fmt.Errorf("trace: jsonl line %d: %v", lineNo, err)
+		}
+		if line.Type != "event" {
+			continue
+		}
+		if line.Track < 0 || line.Track >= len(d.Tracks) {
+			return nil, fmt.Errorf("trace: jsonl line %d: track %d out of range", lineNo, line.Track)
+		}
+		k := kindByName(line.Kind)
+		if k == KindNone {
+			return nil, fmt.Errorf("trace: jsonl line %d: unknown kind %q", lineNo, line.Kind)
+		}
+		d.Tracks[line.Track].Events = append(d.Tracks[line.Track].Events, Event{
+			TS: line.TS, Kind: k, Arg0: line.A0, Arg1: line.A1,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func readChrome(data []byte) (*Dump, error) {
+	var f chromeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("trace: not chrome trace json: %v", err)
+	}
+	if f.TraceEvents == nil {
+		return nil, fmt.Errorf("trace: chrome trace json has no traceEvents")
+	}
+	d := &Dump{}
+	if f.Sidecar != nil {
+		d.Meta = f.Sidecar.Meta
+		d.Strings = f.Sidecar.Strings
+		d.Trans = f.Sidecar.Trans
+	}
+	// tid → track index, discovered from thread_name metadata and any
+	// event tids we see, in first-appearance order.
+	trackOf := map[int]int{}
+	track := func(tid int, name string) int {
+		if i, ok := trackOf[tid]; ok {
+			if name != "" && d.Tracks[i].Name == "" {
+				d.Tracks[i].Name = name
+			}
+			return i
+		}
+		i := len(d.Tracks)
+		trackOf[tid] = i
+		d.Tracks = append(d.Tracks, DumpTrack{Name: name})
+		return i
+	}
+	for _, ce := range f.TraceEvents {
+		switch ce.Ph {
+		case "M":
+			if ce.Name == "thread_name" && ce.TID != 0 {
+				name, _ := ce.Args["name"].(string)
+				ti := track(ce.TID, name)
+				if f.Sidecar != nil && ti < len(f.Sidecar.Dropped) {
+					d.Tracks[ti].Dropped = f.Sidecar.Dropped[ti]
+				}
+			}
+		case "B", "E":
+			ti := track(ce.TID, "")
+			k := KindPhaseBegin
+			if ce.Ph == "E" {
+				k = KindPhaseEnd
+			}
+			d.Tracks[ti].Events = append(d.Tracks[ti].Events, Event{
+				TS: nsOfMicros(ce.TS), Kind: k, Arg0: d.intern(ce.Name),
+			})
+		case "i", "I":
+			ti := track(ce.TID, "")
+			kindName := ce.Name
+			if s, ok := ce.Args["kind"].(string); ok {
+				kindName = s
+			}
+			k := kindByName(kindName)
+			if k == KindNone {
+				continue // foreign instant; not ours
+			}
+			ev := Event{TS: nsOfMicros(ce.TS), Kind: k}
+			if v, ok := ce.Args["a0"].(float64); ok {
+				ev.Arg0 = int64(v)
+			}
+			if v, ok := ce.Args["a1"].(float64); ok {
+				ev.Arg1 = int64(v)
+			}
+			if internedArg0(k) {
+				if s, ok := ce.Args["name"].(string); ok {
+					ev.Arg0 = d.intern(s)
+				}
+			}
+			d.Tracks[ti].Events = append(d.Tracks[ti].Events, ev)
+		}
+	}
+	return d, nil
+}
+
+// nsOfMicros undoes the microsecond scaling of Chrome trace timestamps
+// (rounded, so ns-precision events survive the float trip).
+func nsOfMicros(us float64) int64 {
+	return int64(math.Round(us * 1e3))
+}
+
+// sortTracksStable keeps summaries deterministic regardless of track
+// discovery order in a parsed Chrome file.
+func (d *Dump) sortTracksStable() {
+	sort.SliceStable(d.Tracks, func(i, j int) bool { return d.Tracks[i].Name < d.Tracks[j].Name })
+}

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs/trace"
 	"repro/internal/petri"
 )
 
@@ -106,6 +107,26 @@ func exploreParallel(n *petri.Net, opts Options) (*Result, error) {
 			reg.Counter("reach.shard_contention").Add(contention)
 		}()
 	}
+	// The merge loop owns the "reach" track; each worker index owns its
+	// own lane, so ring writes stay single-goroutine (the WaitGroup
+	// barrier orders a worker's level-k writes before its level-k+1
+	// goroutine reuses the track).
+	tk := opts.Trace.NewTrack("reach")
+	phExplore := opts.Trace.Intern("explore")
+	tk.Begin(phExplore)
+	var wtks []*trace.Track
+	if opts.Trace != nil {
+		wtks = make([]*trace.Track, opts.Workers)
+		for wi := range wtks {
+			wtks[wi] = opts.Trace.NewTrack(fmt.Sprintf("reach-w%d", wi))
+		}
+	}
+	wtrack := func(wi int) *trace.Track {
+		if wtks == nil {
+			return nil
+		}
+		return wtks[wi]
+	}
 	var g *Graph
 	if opts.StoreGraph {
 		g = &Graph{Net: n}
@@ -127,6 +148,7 @@ func exploreParallel(n *petri.Net, opts Options) (*Result, error) {
 		g.Edges = append(g.Edges, nil)
 	}
 	opts.Progress.Tick(1)
+	tk.State(0, 0)
 
 	nt := n.NumTrans()
 	level := []int{0}
@@ -146,6 +168,7 @@ func exploreParallel(n *petri.Net, opts Options) (*Result, error) {
 		if opts.StoreGraph {
 			g.States = states
 		}
+		tk.Abort(opts.Trace.Intern(opts.Ctx.Err().Error()))
 		return res, fmt.Errorf("reach: aborted: %w", opts.Ctx.Err())
 	}
 
@@ -189,6 +212,7 @@ func exploreParallel(n *petri.Net, opts Options) (*Result, error) {
 			wg.Add(1)
 			go func(wi int) {
 				defer wg.Done()
+				wt := wtrack(wi)
 				var local []*discovery
 				var vio *violation
 				var cont int64
@@ -245,6 +269,10 @@ func exploreParallel(n *petri.Net, opts Options) (*Result, error) {
 								local = append(local, d)
 								out = append(out, succRef{t: t, id: -1, disc: d})
 							}
+							// Target id is -1 for markings still pending the
+							// level merge; the merge's state events carry the
+							// definitive ids.
+							wt.Fire(int64(t), int64(out[len(out)-1].id))
 						}
 						succs[pos] = out
 						if enabled == 0 {
@@ -329,6 +357,7 @@ func exploreParallel(n *petri.Net, opts Options) (*Result, error) {
 				g.Edges = append(g.Edges, nil)
 			}
 			opts.Progress.Tick(1)
+			tk.State(int64(d.id), 0)
 			nextLevel = append(nextLevel, d.id)
 		}
 		for i := range shards {
@@ -382,5 +411,6 @@ func exploreParallel(n *petri.Net, opts Options) (*Result, error) {
 	if opts.StoreGraph {
 		g.States = states
 	}
+	tk.End(phExplore)
 	return res, nil
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/petri"
 	"repro/internal/stop"
 )
@@ -67,6 +68,12 @@ type Options struct {
 	Metrics *obs.Registry
 	// Progress, if non-nil, is ticked once per distinct state found.
 	Progress *obs.Progress
+	// Trace, if non-nil, records flight-recorder events: one state event
+	// per interned marking, one fire event per explored arc, phase
+	// brackets, and a terminal abort event on cancellation. The parallel
+	// explorer records firings on one track per worker. Nil costs one
+	// branch per event.
+	Trace *trace.Tracer
 }
 
 // Edge is one arc of the reachability graph: firing T from the source
@@ -126,6 +133,9 @@ func exploreSeq(n *petri.Net, opts Options) (*Result, error) {
 			reg.Gauge("reach.queue_peak").SetMax(int64(qPeak))
 		}()
 	}
+	tk := opts.Trace.NewTrack("reach")
+	phExplore := opts.Trace.Intern("explore")
+	tk.Begin(phExplore)
 	var g *Graph
 	if opts.StoreGraph {
 		g = &Graph{Net: n}
@@ -152,6 +162,7 @@ func exploreSeq(n *petri.Net, opts Options) (*Result, error) {
 			g.Edges = append(g.Edges, nil)
 		}
 		opts.Progress.Tick(1)
+		tk.State(int64(id), 0)
 		return id, true
 	}
 
@@ -196,6 +207,7 @@ func exploreSeq(n *petri.Net, opts Options) (*Result, error) {
 			if opts.StoreGraph {
 				g.States = states
 			}
+			tk.Abort(opts.Trace.Intern(err.Error()))
 			return res, fmt.Errorf("reach: aborted: %w", err)
 		}
 		id := queue.pop()
@@ -219,6 +231,7 @@ func exploreSeq(n *petri.Net, opts Options) (*Result, error) {
 				return res, ErrStateLimit
 			}
 			res.Arcs++
+			tk.Fire(int64(t), int64(nid))
 			if opts.StoreGraph {
 				g.Edges[id] = append(g.Edges[id], Edge{T: t, To: nid})
 			}
@@ -243,6 +256,7 @@ func exploreSeq(n *petri.Net, opts Options) (*Result, error) {
 	if opts.StoreGraph {
 		g.States = states
 	}
+	tk.End(phExplore)
 	return res, nil
 }
 

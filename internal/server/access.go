@@ -1,0 +1,92 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// requestIDHeader is the header a client may use to name its request;
+// the server echoes it (or a generated ID) on every /v1/verify response
+// so one identifier joins the HTTP exchange, the access log line and
+// any abort trace dump.
+const requestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen bounds accepted client-chosen IDs; longer (or
+// unprintable) values are replaced with a generated ID rather than
+// rejected, because the ID is diagnostic, not semantic.
+const maxRequestIDLen = 64
+
+// validRequestID accepts printable ASCII without spaces, quotes or
+// backslashes — safe to embed in JSON logs and file names.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > maxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '\\' || c == '/' {
+			return false
+		}
+	}
+	return true
+}
+
+// requestID returns the client's ID when acceptable, else a fresh
+// server-generated one ("r<start-base36>-<seq>", unique per process).
+func (s *Server) requestID(client string) string {
+	if validRequestID(client) {
+		return client
+	}
+	return "r" + s.idBase + "-" + strconv.FormatUint(s.idSeq.Add(1), 10)
+}
+
+// accessEntry is one structured access-log line: who asked for what,
+// what it cost, and how it ended. Engine statistics are zero for
+// requests rejected before an engine ran.
+type accessEntry struct {
+	TS        string `json:"ts"` // RFC3339Nano, UTC
+	RequestID string `json:"request_id"`
+	Code      int    `json:"code"` // HTTP status
+	Engine    string `json:"engine,omitempty"`
+	Net       string `json:"net,omitempty"`
+	Check     string `json:"check,omitempty"`
+	States    int    `json:"states,omitempty"`
+	WallNS    int64  `json:"wall_ns"`
+	// Outcome is "ok", "aborted", "cached", "shed", "bad_request",
+	// "error", "draining" or "method".
+	Outcome  string `json:"outcome"`
+	CacheHit bool   `json:"cache_hit,omitempty"`
+}
+
+// accessLogger serializes JSON-lines access entries onto one writer.
+// Handlers run concurrently, so every write takes the mutex; a nil
+// logger (logging disabled) makes log a no-op.
+type accessLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func newAccessLogger(w io.Writer) *accessLogger {
+	if w == nil {
+		return nil
+	}
+	return &accessLogger{w: w}
+}
+
+func (l *accessLogger) log(e *accessEntry) {
+	if l == nil {
+		return
+	}
+	e.TS = time.Now().UTC().Format(time.RFC3339Nano)
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	_, _ = l.w.Write(b)
+	l.mu.Unlock()
+}

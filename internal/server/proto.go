@@ -94,8 +94,19 @@ const maxRequestBytes = 8 << 20
 // channel its worker answers on.
 type job struct {
 	ctx  context.Context
+	id   string // request ID (echoed header, access log, trace meta)
 	req  *parsedRequest
 	done chan jobResult
+}
+
+// transNames lists a net's transition names in index order, the table a
+// per-request tracer needs to render fire events readably.
+func transNames(n *petri.Net) []string {
+	names := make([]string, n.NumTrans())
+	for t := range names {
+		names[t] = n.TransName(petri.Trans(t))
+	}
+	return names
 }
 
 type jobResult struct {

@@ -14,13 +14,16 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/verify"
 )
 
@@ -48,6 +51,21 @@ type Config struct {
 	// Metrics receives the server.* and engine metrics (default: a
 	// fresh registry, available via Metrics()).
 	Metrics *obs.Registry
+	// AccessLog, if non-nil, receives one JSON line per /v1/verify
+	// request: request ID, HTTP code, engine, net, check, states
+	// explored, wall time and outcome. Writes are serialized
+	// internally, so any io.Writer works. Nil disables access logging.
+	AccessLog io.Writer
+	// TraceSink, if non-nil, enables per-request flight recording:
+	// every admitted verification runs under its own tracer (ring
+	// capacity TraceEvents) and, when the request deadline or a client
+	// disconnect aborts the run, the sink receives the request ID and
+	// the recorded event tail. Completed runs are not dumped. Called
+	// from worker goroutines; must be safe for concurrent use.
+	TraceSink func(id string, d *trace.Dump)
+	// TraceEvents is the per-track ring capacity of per-request tracers
+	// (0 = trace.DefaultCap). Only read when TraceSink is set.
+	TraceEvents int
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +104,10 @@ type Server struct {
 	qmu      sync.RWMutex // guards closed vs. sends on queue
 	closed   bool
 
+	alog   *accessLogger
+	idBase string // per-process prefix of generated request IDs
+	idSeq  atomic.Uint64
+
 	requests, shed, aborts, failures, completed *obs.Counter
 	queueDepth, inflight                        *obs.Gauge
 }
@@ -97,6 +119,8 @@ func New(cfg Config) *Server {
 		cfg:        cfg,
 		reg:        cfg.Metrics,
 		queue:      make(chan *job, cfg.QueueDepth),
+		alog:       newAccessLogger(cfg.AccessLog),
+		idBase:     strconv.FormatInt(time.Now().UnixNano(), 36),
 		requests:   cfg.Metrics.Counter("server.requests"),
 		shed:       cfg.Metrics.Counter("server.shed"),
 		aborts:     cfg.Metrics.Counter("server.aborted"),
@@ -180,6 +204,16 @@ func (s *Server) runJob(j *job) {
 	opts := j.req.opts
 	opts.Ctx = ctx
 	opts.Metrics = s.reg
+	var tr *trace.Tracer
+	if s.cfg.TraceSink != nil {
+		tr = trace.New(trace.Options{Cap: s.cfg.TraceEvents})
+		tr.SetMeta("request_id", j.id)
+		tr.SetMeta("engine", opts.Engine.String())
+		tr.SetMeta("net", j.req.net.Name())
+		tr.SetMeta("check", j.req.check)
+		tr.SetTransNames(transNames(j.req.net))
+		opts.Trace = tr
+	}
 
 	var (
 		rep *verify.Report
@@ -198,6 +232,11 @@ func (s *Server) runJob(j *job) {
 	resp := responseOf(j.req, rep)
 	if resp.Status == StatusAborted {
 		s.aborts.Inc()
+		// A deadline or disconnect killed the run mid-flight: dump the
+		// flight recorder so the abort is diagnosable after the fact.
+		if tr != nil {
+			s.cfg.TraceSink(j.id, tr.Dump())
+		}
 	} else if resp.Complete {
 		// Only complete, uncancelled results are cacheable: partial
 		// statistics depend on where the deadline happened to land.
@@ -208,40 +247,58 @@ func (s *Server) runJob(j *job) {
 
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
+	start := time.Now()
+	id := s.requestID(r.Header.Get(requestIDHeader))
+	w.Header().Set(requestIDHeader, id)
+	entry := &accessEntry{RequestID: id}
+	defer func() {
+		entry.WallNS = time.Since(start).Nanoseconds()
+		s.alog.log(entry)
+	}()
+	fail := func(code int, outcome, msg string) {
+		entry.Code, entry.Outcome = code, outcome
+		writeJSON(w, code, errorBody{Error: msg})
+	}
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		fail(http.StatusMethodNotAllowed, "method", "POST only")
 		return
 	}
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
+		fail(http.StatusServiceUnavailable, "draining", "draining")
 		return
 	}
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		fail(http.StatusBadRequest, "bad_request", "bad request body: "+err.Error())
 		return
 	}
 	pr, err := s.parseRequest(&req)
 	if err != nil {
 		var bre *badRequestError
 		if errors.As(err, &bre) {
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: bre.msg})
+			fail(http.StatusBadRequest, "bad_request", bre.msg)
 		} else {
-			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+			fail(http.StatusInternalServerError, "error", err.Error())
 		}
 		return
 	}
+	entry.Engine = pr.opts.Engine.String()
+	entry.Net = pr.net.Name()
+	entry.Check = pr.check
 	if resp, ok := s.cache.get(pr.key); ok {
+		entry.Code, entry.Outcome = http.StatusOK, "cached"
+		entry.CacheHit = true
+		entry.States = resp.States
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	j := &job{ctx: r.Context(), req: pr, done: make(chan jobResult, 1)}
+	j := &job{ctx: r.Context(), id: id, req: pr, done: make(chan jobResult, 1)}
 	if !s.enqueue(j) {
 		s.shed.Inc()
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "over capacity, retry later"})
+		fail(http.StatusTooManyRequests, "shed", "over capacity, retry later")
 		return
 	}
 	// The worker always answers, even for a disconnected client (the
@@ -249,9 +306,11 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	// so a plain receive cannot leak.
 	res := <-j.done
 	if res.err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: res.err.Error()})
+		fail(http.StatusUnprocessableEntity, "error", res.err.Error())
 		return
 	}
+	entry.Code, entry.Outcome = http.StatusOK, res.resp.Status
+	entry.States = res.resp.States
 	writeJSON(w, http.StatusOK, res.resp)
 }
 
@@ -266,6 +325,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.WritePrometheus(w, s.reg.Snapshot())
+		return
+	}
 	writeJSON(w, http.StatusOK, s.reg.Snapshot())
 }
 

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/petri"
 	"repro/internal/stop"
 )
@@ -62,6 +63,10 @@ type Options struct {
 	Metrics *obs.Registry
 	// Progress, if non-nil, is ticked once per distinct state found.
 	Progress *obs.Progress
+	// Trace, if non-nil, records flight-recorder events: states, firings,
+	// one stubborn event per set computation (set size vs enabled count),
+	// and a terminal abort event on cancellation.
+	Trace *trace.Tracer
 }
 
 // Result summarizes a reduced exploration.
@@ -168,6 +173,9 @@ func Explore(n *petri.Net, opts Options) (*Result, error) {
 		hSetSize = opts.Metrics.Histogram("stubborn.set_size")
 	)
 	res := &Result{Complete: true}
+	tk := opts.Trace.NewTrack("stubborn")
+	phExplore := opts.Trace.Intern("explore")
+	tk.Begin(phExplore)
 	index := make(map[string]int)
 	var states []petri.Marking
 	onStack := make(map[int]bool)
@@ -182,6 +190,7 @@ func Explore(n *petri.Net, opts Options) (*Result, error) {
 		states = append(states, m)
 		cStates.Inc()
 		opts.Progress.Tick(1)
+		tk.State(int64(id), 0)
 		return id, true
 	}
 
@@ -199,6 +208,7 @@ func Explore(n *petri.Net, opts Options) (*Result, error) {
 		m := states[id]
 		fire := StubbornEnabled(n, m, opts.Seed)
 		enabledCount := len(n.EnabledTrans(m))
+		tk.Stubborn(int64(len(fire)), int64(enabledCount))
 		if len(fire) > 0 {
 			hSetSize.Observe(int64(len(fire)))
 			if len(fire) == 1 {
@@ -224,6 +234,7 @@ func Explore(n *petri.Net, opts Options) (*Result, error) {
 		if err := cancel.Poll(); err != nil {
 			res.States = len(states)
 			res.Complete = false
+			tk.Abort(opts.Trace.Intern(err.Error()))
 			return res, fmt.Errorf("stubborn: aborted: %w", err)
 		}
 		f := stack[len(stack)-1]
@@ -243,6 +254,7 @@ func Explore(n *petri.Net, opts Options) (*Result, error) {
 		res.Arcs++
 		cArcs.Inc()
 		nid, fresh := add(next)
+		tk.Fire(int64(t), int64(nid))
 		if fresh {
 			if opts.MaxStates > 0 && len(states) > opts.MaxStates {
 				res.States = len(states)
@@ -273,5 +285,6 @@ func Explore(n *petri.Net, opts Options) (*Result, error) {
 		}
 	}
 	res.States = len(states)
+	tk.End(phExplore)
 	return res, nil
 }

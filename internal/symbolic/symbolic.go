@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/bdd"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/petri"
 	"repro/internal/stop"
 )
@@ -54,6 +55,10 @@ type Options struct {
 	Metrics *obs.Registry
 	// Progress, if non-nil, is ticked once per image iteration.
 	Progress *obs.Progress
+	// Trace, if non-nil, records flight-recorder events: phase brackets
+	// for relation building and the fixpoint, one iter event per image
+	// step (with the manager size), and a terminal abort on cancellation.
+	Trace *trace.Tracer
 }
 
 // Result summarizes a symbolic reachability analysis.
@@ -161,14 +166,19 @@ func Analyze(n *petri.Net, opts Options) (*Result, error) {
 		}()
 	}
 	cIter := opts.Metrics.Counter("symbolic.iterations")
+	tk := opts.Trace.NewTrack("symbolic")
+	phRel := opts.Trace.Intern("relations")
+	phFix := opts.Trace.Intern("fixpoint")
 
 	iterations := 0
 	cancel := stop.Every(opts.Ctx, 1)
 	abort := func(err error) (*Result, error) {
+		tk.Abort(opts.Trace.Intern(err.Error()))
 		return &Result{PeakNodes: m.Peak(), Iterations: iterations},
 			fmt.Errorf("symbolic: aborted: %w", err)
 	}
 
+	tk.Begin(phRel)
 	rels := make([]bdd.Node, n.NumTrans())
 	for t := petri.Trans(0); int(t) < n.NumTrans(); t++ {
 		if err := cancel.Poll(); err != nil {
@@ -179,6 +189,7 @@ func Analyze(n *petri.Net, opts Options) (*Result, error) {
 			return nil, ErrNodeLimit
 		}
 	}
+	tk.End(phRel)
 
 	// Initial state.
 	init := bdd.True
@@ -196,6 +207,7 @@ func Analyze(n *petri.Net, opts Options) (*Result, error) {
 
 	reached := init
 	frontier := init
+	tk.Begin(phFix)
 	for frontier != bdd.False {
 		iterations++
 		cIter.Inc()
@@ -213,7 +225,9 @@ func Analyze(n *petri.Net, opts Options) (*Result, error) {
 		}
 		frontier = m.And(img, m.Not(reached))
 		reached = m.Or(reached, img)
+		tk.Iter(int64(iterations), int64(m.Size()))
 	}
+	tk.End(phFix)
 
 	// Deadlock: reached ∧ no transition enabled.
 	someEnabled := bdd.False

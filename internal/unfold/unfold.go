@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/petri"
 	"repro/internal/stop"
 )
@@ -128,6 +129,10 @@ type Options struct {
 	Metrics *obs.Registry
 	// Progress, if non-nil, is ticked once per inserted event.
 	Progress *obs.Progress
+	// Trace, if non-nil, records flight-recorder events: one state event
+	// per inserted unfolding event, cutoff events, phase brackets, and a
+	// terminal abort on cancellation.
+	Trace *trace.Tracer
 }
 
 // Build constructs the complete finite prefix: events are inserted in
@@ -145,7 +150,10 @@ func Build(n *petri.Net, opts Options) (*Prefix, error) {
 		cConds:   opts.Metrics.Counter("unfold.conds"),
 		gPQ:      opts.Metrics.Gauge("unfold.pq_peak"),
 		progress: opts.Progress,
+		tk:       opts.Trace.NewTrack("unfold"),
 	}
+	phBuild := opts.Trace.Intern("build")
+	u.tk.Begin(phBuild)
 	for _, p := range n.InitialPlaces() {
 		c := u.newCond(p, nil)
 		u.prefix.InitialCut = append(u.prefix.InitialCut, c)
@@ -158,6 +166,7 @@ func Build(n *petri.Net, opts Options) (*Prefix, error) {
 	cancel := stop.Every(opts.Ctx, 16)
 	for u.pq.Len() > 0 {
 		if err := cancel.Poll(); err != nil {
+			u.tk.Abort(opts.Trace.Intern(err.Error()))
 			return u.prefix, fmt.Errorf("unfold: aborted: %w", err)
 		}
 		cand := heap.Pop(&u.pq).(*Event)
@@ -169,6 +178,7 @@ func Build(n *petri.Net, opts Options) (*Prefix, error) {
 		}
 		u.insert(cand)
 	}
+	u.tk.End(phBuild)
 	return u.prefix, nil
 }
 
@@ -189,6 +199,7 @@ type unfolder struct {
 	cConds   *obs.Counter
 	gPQ      *obs.Gauge
 	progress *obs.Progress
+	tk       *trace.Track
 }
 
 func (u *unfolder) newCond(p petri.Place, producer *Event) *Cond {
@@ -225,19 +236,21 @@ func (u *unfolder) dupe(e *Event) bool {
 	return false
 }
 
-// insert finalizes a candidate event: decides cutoff, and if not cutoff,
+// / insert finalizes a candidate event: decides cutoff, and if not cutoff,
 // adds its postset conditions and the extensions they enable.
 func (u *unfolder) insert(e *Event) {
 	e.ID = len(u.prefix.Events)
 	u.prefix.Events = append(u.prefix.Events, e)
 	u.cEvents.Inc()
 	u.progress.Tick(1)
+	u.tk.State(int64(e.ID), 0)
 
 	key := e.mark.Key()
 	if best, ok := u.marks[key]; ok && best < e.Size() {
 		e.Cutoff = true
 		u.prefix.CutoffCnt++
 		u.cCutoffs.Inc()
+		u.tk.Cutoff(int64(e.ID))
 		return
 	}
 	if best, ok := u.marks[key]; !ok || e.Size() < best {

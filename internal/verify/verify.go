@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/family"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/petri"
 	"repro/internal/reach"
 	"repro/internal/stubborn"
@@ -104,6 +105,10 @@ type Options struct {
 	// Progress, if non-nil, is ticked by the selected engine once per
 	// unit of work (state, event or iteration).
 	Progress *obs.Progress
+	// Trace, if non-nil, is handed to the selected engine, which records
+	// flight-recorder events on it (states, firings, phase brackets,
+	// aborts; see OBSERVABILITY.md "Trace events"). Nil costs nothing.
+	Trace *trace.Tracer
 }
 
 // Report is the engine-comparable outcome of a check.
@@ -179,6 +184,7 @@ func CheckDeadlock(n *petri.Net, opts Options) (*Report, error) {
 			StopAtDeadlock: opts.StopAtFirst,
 			Metrics:        opts.Metrics,
 			Progress:       opts.Progress,
+			Trace:          opts.Trace,
 		})
 		if err != nil && !(aborted(err) && res != nil) {
 			return nil, err
@@ -198,6 +204,7 @@ func CheckDeadlock(n *petri.Net, opts Options) (*Report, error) {
 			Proviso:        opts.Proviso,
 			Metrics:        opts.Metrics,
 			Progress:       opts.Progress,
+			Trace:          opts.Trace,
 		})
 		if err != nil && !(aborted(err) && res != nil) {
 			return nil, err
@@ -215,6 +222,7 @@ func CheckDeadlock(n *petri.Net, opts Options) (*Report, error) {
 			MaxNodes: opts.MaxNodes,
 			Metrics:  opts.Metrics,
 			Progress: opts.Progress,
+			Trace:    opts.Trace,
 		})
 		if err != nil && !(aborted(err) && res != nil) {
 			return nil, err
@@ -236,6 +244,7 @@ func CheckDeadlock(n *petri.Net, opts Options) (*Report, error) {
 			StopAtDeadlock: opts.StopAtFirst,
 			Metrics:        opts.Metrics,
 			Progress:       opts.Progress,
+			Trace:          opts.Trace,
 		})
 		if err != nil && !(aborted(err) && res != nil) {
 			return nil, err
@@ -253,6 +262,7 @@ func CheckDeadlock(n *petri.Net, opts Options) (*Report, error) {
 			StopAtDeadlock: opts.StopAtFirst,
 			Metrics:        opts.Metrics,
 			Progress:       opts.Progress,
+			Trace:          opts.Trace,
 		})
 		if err != nil && !(aborted(err) && res != nil) {
 			return nil, err
@@ -265,6 +275,7 @@ func CheckDeadlock(n *petri.Net, opts Options) (*Report, error) {
 			MaxEvents: opts.MaxStates,
 			Metrics:   opts.Metrics,
 			Progress:  opts.Progress,
+			Trace:     opts.Trace,
 		})
 		if err != nil && !(aborted(err) && px != nil) {
 			return nil, err
@@ -327,6 +338,7 @@ func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error)
 			StopAtBad: opts.StopAtFirst,
 			Metrics:   opts.Metrics,
 			Progress:  opts.Progress,
+			Trace:     opts.Trace,
 		})
 		if err != nil && !(aborted(err) && res != nil) {
 			return nil, err
@@ -345,6 +357,7 @@ func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error)
 			Bad:      bad,
 			Metrics:  opts.Metrics,
 			Progress: opts.Progress,
+			Trace:    opts.Trace,
 		})
 		if err != nil && !(aborted(err) && res != nil) {
 			return nil, err
@@ -369,6 +382,7 @@ func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error)
 			Proviso:   opts.Proviso,
 			Metrics:   opts.Metrics,
 			Progress:  opts.Progress,
+			Trace:     opts.Trace,
 		})
 		if err != nil && !(aborted(err) && res != nil) {
 			return nil, err
@@ -393,6 +407,7 @@ func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error)
 			MaxEvents: opts.MaxStates,
 			Metrics:   opts.Metrics,
 			Progress:  opts.Progress,
+			Trace:     opts.Trace,
 		})
 		if err != nil && !(aborted(err) && px != nil) {
 			return nil, err
@@ -423,6 +438,7 @@ func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error)
 			TrapPlace:      trap,
 			Metrics:        opts.Metrics,
 			Progress:       opts.Progress,
+			Trace:          opts.Trace,
 		}
 		var res *core.Result
 		if opts.Engine == GPO {

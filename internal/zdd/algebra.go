@@ -2,6 +2,7 @@ package zdd
 
 import (
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/tset"
 )
 
@@ -94,3 +95,18 @@ func (a *Alg) ReportStats(r *obs.Registry) {
 		r.Gauge("zdd.memo_load_pct").Set(int64(100 * st.MemoEntries / st.MemoSlots))
 	}
 }
+
+// AttachTrace streams the manager's table doublings onto the given
+// flight-recorder track as zdd_grow events (the core engine's
+// TraceAttacher hook). Growth is amortized-rare, so interning the table
+// name per event stays off the hot path.
+func (a *Alg) AttachTrace(tr *trace.Tracer, tk *trace.Track) {
+	a.m.GrowHook = func(table string, slots int) {
+		tk.ZDDGrow(tr.Intern(table), int64(slots))
+	}
+}
+
+// DetachTrace removes the hook installed by AttachTrace; the core
+// engine detaches on every Analyze exit path so the hook never outlives
+// its tracer.
+func (a *Alg) DetachTrace() { a.m.GrowHook = nil }

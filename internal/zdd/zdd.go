@@ -97,6 +97,12 @@ type Manager struct {
 	memoProbes   int64
 	countHits    int64
 	countMisses  int64
+
+	// GrowHook, if non-nil, is called after each table doubling with the
+	// table's name ("unique" or "memo") and its new slot count. Growth is
+	// amortized-rare, so the hook is off the hot path; it must not call
+	// back into the manager.
+	GrowHook func(table string, slots int)
 }
 
 // Stats is a snapshot of the manager's internal counters: unique-table
@@ -244,6 +250,9 @@ func (m *Manager) growUnique() {
 		next[i] = Node(idx)
 	}
 	m.unique = next
+	if m.GrowHook != nil {
+		m.GrowHook("unique", len(next))
+	}
 }
 
 // memoGet looks up a memoized binary-op result. It reports the probe
@@ -311,6 +320,9 @@ func (m *Manager) growMemo() {
 		next[i] = e
 	}
 	m.memo = next
+	if m.GrowHook != nil {
+		m.GrowHook("memo", len(next))
+	}
 }
 
 // Single returns the family {s} holding exactly the given set.

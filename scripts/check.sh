@@ -12,6 +12,20 @@ go test -race ./...
 # breaks a bench harness (or reintroduces per-op allocation panics) is
 # caught here and not at artifact-regeneration time.
 go test -run '^$' -bench . -benchtime 1x ./...
+# Disabled-tracer allocation gate: the flight-recorder instrumentation
+# on the analysis hot path must stay free when no tracer is attached.
+# The benchmark measures exactly the per-state emit mix on a nil track;
+# anything but "0 allocs/op" fails the gate.
+go test -run '^$' -bench BenchmarkDisabledTraceHotPath -benchtime=1x ./internal/core |
+	tee /dev/stderr | grep -q 'BenchmarkDisabledTraceHotPath.* 0 allocs/op'
+# Trace round-trip smoke: record a run, summarize the Chrome JSON and
+# the JSONL dump with gpotrace, and check both formats parse back.
+TRACE_TMP=$(mktemp -d)
+trap 'rm -rf "$TRACE_TMP"' EXIT
+go run ./cmd/gpoverify -model nsdp -size 5 -trace "$TRACE_TMP/t.json" >/dev/null
+go run ./cmd/gpoverify -model nsdp -size 5 -trace "$TRACE_TMP/t.jsonl" >/dev/null
+go run ./cmd/gpotrace "$TRACE_TMP/t.json" | grep -q 'states:'
+go run ./cmd/gpotrace "$TRACE_TMP/t.jsonl" | grep -q 'states:'
 # Fuzz smoke: 5 seconds of FuzzParse against the hardened pnio parser.
 go test -fuzz=FuzzParse -fuzztime=5s -run '^$' ./internal/pnio
 # Service smoke: boot gpod on a random port, push one verification over
