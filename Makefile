@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the tier-1+ gate (see ROADMAP.md).
 
-.PHONY: check test serve bench-micro bench-artifact benchdiff
+.PHONY: check test serve watch bench-micro bench-artifact benchdiff
 
 check:
 	./scripts/check.sh
@@ -10,8 +10,14 @@ test:
 
 # Run the verification daemon (see `go run ./cmd/gpod -h` for the
 # capacity knobs: -workers, -queue, -max-states, -timeout, -cache-bytes).
+# The ledger backs GET /v1/runs history; watch with `make watch`.
 serve:
-	go run ./cmd/gpod -addr :8722
+	go run ./cmd/gpod -addr :8722 -ledger runs.jsonl
+
+# Live fleet view of the daemon started by `make serve`: in-flight runs,
+# completed runs with verdicts, outlier flags against ledger history.
+watch:
+	go run ./cmd/gpostat -follow -addr http://localhost:8722 -ledger runs.jsonl
 
 # Microbenchmarks of the GPO hot path: ZDD primitive ops and full
 # Analyze runs, with allocation counts (b.ReportAllocs).

@@ -8,9 +8,13 @@
 //
 //	benchdiff BENCH_old.json BENCH_new.json
 //	benchdiff -threshold 0.05 -json old.json new.json
+//	benchdiff -strict old.json new.json      # coverage loss also fails
 //
-// Exit status: 0 when clean, 1 when regressions or mismatches were
-// flagged, 2 on usage or read errors.
+// Exit status: 0 when clean, 1 when regressions or state-count
+// mismatches were flagged (with -strict, also when entries are only in
+// the base artifact or incomparable — i.e. coverage silently shrank),
+// 2 on usage or read errors. CI gates on the exit code; see
+// EXPERIMENTS.md for the contract.
 package main
 
 import (
@@ -27,6 +31,7 @@ func main() {
 		threshold = flag.Float64("threshold", obs.DefaultRegressionThreshold,
 			"relative wall-clock slowdown to flag (0.10 = >10% slower)")
 		jsonOut = flag.Bool("json", false, "emit the diff as JSON instead of a table")
+		strict  = flag.Bool("strict", false, "also fail (exit 1) on entries only in the base artifact or incomparable (skipped/errored on one side)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold F] [-json] <base.json> <new.json>")
@@ -56,6 +61,11 @@ func main() {
 		fatal(err)
 	}
 	if !diff.Clean() {
+		os.Exit(1)
+	}
+	if *strict && (len(diff.OnlyInBase) > 0 || len(diff.Incomparable) > 0) {
+		fmt.Fprintf(os.Stderr, "benchdiff: strict: %d only-in-base, %d incomparable\n",
+			len(diff.OnlyInBase), len(diff.Incomparable))
 		os.Exit(1)
 	}
 }

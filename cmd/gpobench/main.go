@@ -17,7 +17,9 @@
 // artifact so runs stay comparable.
 //
 // Observability flags (see OBSERVABILITY.md): -json [-out file] writes
-// the structured benchmark artifact, -metrics dumps the program's metric
+// the structured benchmark artifact, -ledger journals every measured
+// engine run to a ledger/v1 JSONL file under its content-addressed run
+// ID (browse with gpostat -history), -metrics dumps the program's metric
 // registry, -trace records a flight-recorder trace of the engine runs
 // (most useful with a single -only instance; summarize with gpotrace),
 // -cpuprofile/-memprofile write pprof profiles, -pprof serves
@@ -38,6 +40,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/models"
 	"repro/internal/obs"
+	"repro/internal/obs/ledger"
 	"repro/internal/obs/trace"
 	"repro/internal/reach"
 	"repro/internal/stubborn"
@@ -57,6 +60,7 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "run Table 1 and write the machine-readable artifact")
 		outFile    = flag.String("out", "", "artifact path for -json ('-' = stdout; default BENCH_<date>.json)")
 		metricsOut = flag.String("metrics", "", "write the program's metric registry as JSON to this file ('-' = stderr)")
+		ledgerOut  = flag.String("ledger", "", "append one ledger/v1 JSONL entry per measured engine run to this file (browse with gpostat -history)")
 		traceOut   = flag.String("trace", "", "record a flight-recorder trace to this file (.jsonl/.ndjson = JSON lines, else Chrome/Perfetto trace JSON)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
@@ -97,6 +101,14 @@ func main() {
 		Workers:  *workers,
 		Progress: *progress,
 		Trace:    tracer,
+	}
+	if *ledgerOut != "" {
+		l, err := ledger.Open(*ledgerOut, 0)
+		if err != nil {
+			fatal(err)
+		}
+		defer l.Close()
+		cfg.Ledger = l
 	}
 	figMax := *maxN
 	if figMax <= 0 {

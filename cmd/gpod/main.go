@@ -10,12 +10,16 @@
 //
 // Endpoints: POST /v1/verify, GET /healthz, GET /metrics (JSON dump of
 // the metric registry, or Prometheus text with ?format=prom; see
-// OBSERVABILITY.md for the server.* names).
+// OBSERVABILITY.md for the server.* names), GET /v1/runs (live and
+// recently completed runs), GET /v1/runs/{id}, and GET
+// /v1/runs/{id}/events (SSE progress stream; watch with gpostat).
 //
 // Every /v1/verify response carries an X-Request-ID header (echoing the
 // client's, if it sent a well-formed one). With -access-log each request
-// becomes one JSON line under that ID; with -trace-dump each run that a
-// deadline or disconnect aborts leaves <dir>/<id>.trace.jsonl holding
+// becomes one JSON line under that ID; with -ledger every executed
+// verification appends one ledger/v1 entry under its content-addressed
+// run ID (browse with gpostat -history); with -trace-dump each run that
+// a deadline or disconnect aborts leaves <dir>/<id>.trace.jsonl holding
 // the flight recorder's last events (summarize with gpotrace).
 //
 // On SIGINT/SIGTERM the daemon drains: health flips to "draining", new
@@ -24,7 +28,9 @@
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -33,9 +39,11 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/obs/ledger"
 	"repro/internal/obs/trace"
 	"repro/internal/server"
 	"repro/internal/server/client"
@@ -51,6 +59,7 @@ func main() {
 		maxTimeout = flag.Duration("max-timeout", 60*time.Second, "largest per-request budget a client may ask for")
 		cacheBytes = flag.Int64("cache-bytes", 16<<20, "result cache budget in bytes (negative disables)")
 		accessLog  = flag.String("access-log", "", "append JSON-lines access logs to this file ('-' = stderr)")
+		ledgerPath = flag.String("ledger", "", "append one ledger/v1 JSONL entry per executed verification to this file (backs GET /v1/runs history)")
 		traceDump  = flag.String("trace-dump", "", "write aborted requests' flight-recorder tails to <dir>/<request-id>.trace.jsonl")
 		traceCap   = flag.Int("trace-events", 0, "per-track ring capacity of per-request traces (0 = default)")
 		smoke      = flag.Bool("smoke", false, "start on a random port, run one self-check request, shut down")
@@ -78,11 +87,24 @@ func main() {
 			cfg.AccessLog = f
 		}
 	}
+	if *ledgerPath != "" {
+		l, err := ledger.Open(*ledgerPath, 0)
+		if err != nil {
+			fatal(err)
+		}
+		defer l.Close()
+		cfg.Ledger = l
+	}
 	if *traceDump != "" {
 		if err := os.MkdirAll(*traceDump, 0o755); err != nil {
 			fatal(err)
 		}
 		cfg.TraceSink = dirTraceSink(*traceDump)
+		// Let aborted runs' ledger entries point at their dump.
+		dir := *traceDump
+		cfg.TracePath = func(id string) string {
+			return filepath.Join(dir, id+".trace.jsonl")
+		}
 	}
 
 	if *smoke {
@@ -170,6 +192,11 @@ func runSmoke(cfg server.Config) error {
 	if snap.Counters["server.done"] != 1 {
 		return fmt.Errorf("metrics: server.done = %d, want 1", snap.Counters["server.done"])
 	}
+	if cfg.Ledger != nil {
+		if err := smokeRuns(ctx, "http://"+ln.Addr().String(), resp); err != nil {
+			return err
+		}
+	}
 
 	svc.Drain()
 	if status, err := c.Healthz(ctx); err != nil || status != "draining" {
@@ -179,6 +206,90 @@ func runSmoke(cfg server.Config) error {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	svc.Close()
+	return nil
+}
+
+// smokeRuns checks the run-introspection surface against the smoke
+// run's known result: the ledger-backed GET /v1/runs history lists the
+// run, GET /v1/runs/{id} reconstructs it, and the SSE event stream
+// terminates with a "done" event whose state count matches the
+// response that came back over /v1/verify.
+func smokeRuns(ctx context.Context, base string, resp *server.Response) error {
+	get := func(path string) (*http.Response, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+		if err != nil {
+			return nil, err
+		}
+		return http.DefaultClient.Do(req)
+	}
+
+	hr, err := get("/v1/runs")
+	if err != nil {
+		return fmt.Errorf("runs: %w", err)
+	}
+	var list struct {
+		Completed []ledger.Entry `json:"completed"`
+	}
+	err = json.NewDecoder(hr.Body).Decode(&list)
+	hr.Body.Close()
+	if err != nil || hr.StatusCode != http.StatusOK {
+		return fmt.Errorf("runs: code=%d err=%v", hr.StatusCode, err)
+	}
+	var e *ledger.Entry
+	for i := range list.Completed {
+		if list.Completed[i].Net == resp.Net {
+			e = &list.Completed[i]
+			break
+		}
+	}
+	if e == nil {
+		return fmt.Errorf("runs: %s missing from completed history", resp.Net)
+	}
+	if e.Verdict() != "deadlock" || e.States != int64(resp.States) {
+		return fmt.Errorf("runs: ledger entry verdict=%s states=%d, want deadlock/%d",
+			e.Verdict(), e.States, resp.States)
+	}
+
+	hr, err = get("/v1/runs/" + e.RunID)
+	if err != nil {
+		return fmt.Errorf("run %s: %w", e.RunID, err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		return fmt.Errorf("run %s: code=%d", e.RunID, hr.StatusCode)
+	}
+
+	hr, err = get("/v1/runs/" + e.RunID + "/events")
+	if err != nil {
+		return fmt.Errorf("run events: %w", err)
+	}
+	defer hr.Body.Close()
+	var event string
+	var done struct {
+		States   int64 `json:"states"`
+		Deadlock bool  `json:"deadlock"`
+	}
+	sawDone := false
+	sc := bufio.NewScanner(hr.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: ") && event == "done":
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &done); err != nil {
+				return fmt.Errorf("run events: bad done payload: %w", err)
+			}
+			sawDone = true
+		}
+	}
+	if !sawDone {
+		return fmt.Errorf("run events: stream ended without a done event")
+	}
+	if done.States != int64(resp.States) || !done.Deadlock {
+		return fmt.Errorf("run events: done states=%d deadlock=%v, want %d/true",
+			done.States, done.Deadlock, resp.States)
+	}
 	return nil
 }
 

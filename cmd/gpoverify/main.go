@@ -13,7 +13,9 @@
 // tabulated.
 //
 // Observability flags (see OBSERVABILITY.md): -metrics dumps the engine's
-// metric registry as JSON, -trace records a flight-recorder trace
+// metric registry as JSON, -ledger journals every engine run to a
+// ledger/v1 JSONL file under its content-addressed run ID (browse with
+// gpostat -history), -trace records a flight-recorder trace
 // (.json opens in Perfetto / chrome://tracing, .jsonl is line-oriented;
 // summarize either with gpotrace), -progress reports long runs on
 // stderr, -cpuprofile/-memprofile write pprof profiles, -pprof serves
@@ -34,6 +36,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/models"
 	"repro/internal/obs"
+	"repro/internal/obs/ledger"
 	"repro/internal/obs/trace"
 	"repro/internal/petri"
 	"repro/internal/pnio"
@@ -60,6 +63,7 @@ func main() {
 		explain   = flag.Bool("explain", true, "explain deadlock witnesses structurally (empty siphon)")
 
 		metricsOut = flag.String("metrics", "", "write the engine's metric registry as JSON to this file ('-' = stderr)")
+		ledgerOut  = flag.String("ledger", "", "append one ledger/v1 JSONL entry per engine run to this file (browse with gpostat -history)")
 		traceOut   = flag.String("trace", "", "record a flight-recorder trace to this file (.jsonl/.ndjson = JSON lines, else Chrome/Perfetto trace JSON)")
 		progress   = flag.Bool("progress", false, "report long engine runs periodically on stderr")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -134,6 +138,14 @@ func main() {
 	if *traceOut != "" {
 		tracer = trace.New(trace.Options{})
 	}
+	var ldg *ledger.Log
+	if *ledgerOut != "" {
+		var err error
+		if ldg, err = ledger.Open(*ledgerOut, 0); err != nil {
+			fatal(err)
+		}
+		defer ldg.Close()
+	}
 
 	for _, net := range nets {
 		fmt.Printf("net %s: %d places, %d transitions, %d conflict clusters\n",
@@ -166,7 +178,7 @@ func main() {
 		runEngines(net, engines, bad, reg, runOpts{
 			stop: *stop, maxStates: *maxStates, maxNodes: *maxNodes,
 			workers: *workers, proviso: *proviso, progress: *progress,
-			explain: *explain, tracer: tracer,
+			explain: *explain, tracer: tracer, ledger: ldg,
 		})
 	}
 
@@ -203,6 +215,7 @@ type runOpts struct {
 	progress  bool
 	explain   bool
 	tracer    *trace.Tracer
+	ledger    *ledger.Log
 }
 
 // runEngines verifies one net with each selected engine and prints the
@@ -228,11 +241,13 @@ func runEngines(net *petri.Net, engines []verify.Engine, bad []petri.Place, reg 
 		}
 		var rep *verify.Report
 		var err error
+		startNS := time.Now().UnixNano()
 		if len(bad) > 0 {
 			rep, err = verify.CheckSafety(net, bad, opts)
 		} else {
 			rep, err = verify.CheckDeadlock(net, opts)
 		}
+		journal(ro.ledger, net, bad, opts, rep, err, startNS, time.Now().UnixNano())
 		if err != nil {
 			fmt.Printf("%-14s error: %v\n", eng, err)
 			continue
@@ -261,6 +276,54 @@ func runEngines(net *petri.Net, engines []verify.Engine, bad []petri.Place, reg 
 		if opts.Progress != nil {
 			opts.Progress.Done()
 		}
+	}
+}
+
+// journal appends one ledger entry for a finished engine run, under the
+// same content-addressed run ID the daemon would give the identical
+// request — so CLI and daemon history of one configuration line up.
+func journal(l *ledger.Log, net *petri.Net, bad []petri.Place, opts verify.Options, rep *verify.Report, runErr error, startNS, endNS int64) {
+	if l == nil {
+		return
+	}
+	check := "deadlock"
+	if len(bad) > 0 {
+		check = "safety"
+	}
+	e := ledger.Entry{
+		RunID:       verify.RunID(net, check, bad, opts),
+		Source:      "gpoverify",
+		Net:         net.Name(),
+		Engine:      opts.Engine.String(),
+		Check:       check,
+		StopAtFirst: opts.StopAtFirst,
+		Proviso:     opts.Proviso,
+		MaxStates:   opts.MaxStates,
+		MaxNodes:    opts.MaxNodes,
+		Workers:     opts.Workers,
+		StartUnixNS: startNS,
+		EndUnixNS:   endNS,
+		WallNS:      endNS - startNS,
+	}
+	switch {
+	case runErr != nil:
+		e.Status = "error"
+		e.AbortReason = runErr.Error()
+	case rep.Aborted:
+		e.Status = "aborted"
+		e.States = int64(rep.States)
+		e.PeakBDD = int64(rep.PeakBDD)
+		e.PeakSets = int64(rep.PeakSets)
+	default:
+		e.Status = "ok"
+		e.Deadlock = rep.Deadlock
+		e.States = int64(rep.States)
+		e.PeakBDD = int64(rep.PeakBDD)
+		e.PeakSets = int64(rep.PeakSets)
+		e.Complete = rep.Complete
+	}
+	if err := l.Append(e); err != nil {
+		fmt.Fprintln(os.Stderr, "gpoverify: ledger:", err)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/models"
 	"repro/internal/obs"
+	"repro/internal/obs/ledger"
 	"repro/internal/obs/trace"
 	"repro/internal/petri"
 	"repro/internal/reach"
@@ -101,6 +102,11 @@ type Config struct {
 	// their per-engine track labels, so tracing is most useful with a
 	// single-instance Only filter. Nil costs nothing.
 	Trace *trace.Tracer
+	// Ledger, if non-nil, journals every measured engine run as one
+	// ledger/v1 entry under the same content-addressed run ID the daemon
+	// would give the equivalent request, so benchmark history joins CLI
+	// and daemon history (gpostat -history). Nil costs nothing.
+	Ledger *ledger.Log
 }
 
 func (c Config) maxStates() int {
@@ -193,10 +199,11 @@ func RunRow(net *petri.Net, r Row, c Config) []obs.BenchEntry {
 
 // outcome is what one engine run reports back to measure.
 type outcome struct {
-	states int64
-	peak   int64 // peak decision-diagram nodes, 0 for explicit engines
-	capped bool  // aborted at a state/node cap
-	err    error
+	states   int64
+	peak     int64 // peak decision-diagram nodes, 0 for explicit engines
+	deadlock bool  // a reachable marking enables no transition
+	capped   bool  // aborted at a state/node cap
+	err      error
 }
 
 type runner func(net *petri.Net, c Config, reg *obs.Registry, prog *obs.Progress) outcome
@@ -210,6 +217,8 @@ func (c Config) measure(net *petri.Net, r Row, engine string, skip bool, run run
 		e.Skipped = true
 		return e
 	}
+	opts := c.engineOptions(engine)
+	e.RunID = verify.RunID(net, "deadlock", nil, opts)
 	reg := obs.New()
 	var prog *obs.Progress
 	if c.Progress {
@@ -220,9 +229,11 @@ func (c Config) measure(net *petri.Net, r Row, engine string, skip bool, run run
 		}
 		defer prog.Done()
 	}
+	startNS := time.Now().UnixNano()
 	sp := reg.StartSpan("bench.run")
 	out := run(net, c, reg, prog)
 	sp.End()
+	endNS := time.Now().UnixNano()
 
 	snap := reg.Snapshot()
 	for _, rec := range snap.Spans {
@@ -247,7 +258,69 @@ func (c Config) measure(net *petri.Net, r Row, engine string, skip bool, run run
 	if out.err != nil && !out.capped {
 		e.Error = out.err.Error()
 	}
+	c.journal(net, e, opts, out, startNS, endNS)
 	return e
+}
+
+// engineOptions reconstructs the verify.Options the measured run is
+// equivalent to, for content addressing: the mapping mirrors the
+// runners below (the stubborn engine is verify.PartialOrder with or
+// without the proviso; explicit engines share the MaxStates cap).
+func (c Config) engineOptions(engine string) verify.Options {
+	switch engine {
+	case EngineExhaustive:
+		return verify.Options{Engine: verify.Exhaustive, MaxStates: c.maxStates(), Workers: c.Workers}
+	case EnginePO:
+		return verify.Options{Engine: verify.PartialOrder, MaxStates: c.maxStates()}
+	case EnginePOProviso:
+		return verify.Options{Engine: verify.PartialOrder, Proviso: true, MaxStates: c.maxStates()}
+	case EngineSymbolic:
+		return verify.Options{Engine: verify.Symbolic, MaxNodes: c.maxNodes()}
+	default:
+		return verify.Options{Engine: verify.GPO, MaxStates: c.maxStates()}
+	}
+}
+
+// journal appends the run's ledger entry (no-op without a Ledger). The
+// entry keeps the bench engine label (so "partial-order+proviso" stays
+// distinguishable in history listings) but shares the daemon's content
+// address, options and verdict encoding.
+func (c Config) journal(net *petri.Net, e obs.BenchEntry, opts verify.Options, out outcome, startNS, endNS int64) {
+	if c.Ledger == nil {
+		return
+	}
+	le := ledger.Entry{
+		RunID:       e.RunID,
+		Source:      "gpobench",
+		Net:         net.Name(),
+		Engine:      e.Engine,
+		Check:       "deadlock",
+		Proviso:     opts.Proviso,
+		MaxStates:   opts.MaxStates,
+		MaxNodes:    opts.MaxNodes,
+		Workers:     opts.Workers,
+		StartUnixNS: startNS,
+		EndUnixNS:   endNS,
+		WallNS:      endNS - startNS,
+	}
+	switch {
+	case e.Error != "":
+		le.Status = "error"
+		le.AbortReason = e.Error
+	case e.Capped:
+		le.Status = "aborted"
+		le.AbortReason = "capped"
+		le.States = e.States
+		le.PeakBDD = e.PeakNodes
+	default:
+		le.Status = "ok"
+		le.Deadlock = out.deadlock
+		le.States = e.States
+		le.PeakBDD = e.PeakNodes
+		le.Complete = true
+	}
+	le.Metrics = e.Counters
+	_ = c.Ledger.Append(le) // best-effort: a full disk must not fail the benchmark
 }
 
 func runExhaustive(net *petri.Net, c Config, reg *obs.Registry, prog *obs.Progress) outcome {
@@ -264,6 +337,7 @@ func runExhaustive(net *petri.Net, c Config, reg *obs.Registry, prog *obs.Progre
 	}
 	if res != nil {
 		o.states = int64(res.States)
+		o.deadlock = res.Deadlock
 	}
 	return o
 }
@@ -284,6 +358,7 @@ func runPO(proviso bool) runner {
 		}
 		if res != nil {
 			o.states = int64(res.States)
+			o.deadlock = res.Deadlock
 		}
 		return o
 	}
@@ -305,6 +380,7 @@ func runSymbolic(net *petri.Net, c Config, reg *obs.Registry, prog *obs.Progress
 	if res != nil {
 		o.states = int64(res.States)
 		o.peak = int64(res.PeakNodes)
+		o.deadlock = res.Deadlock
 	}
 	return o
 }
@@ -321,6 +397,7 @@ func runGPO(net *petri.Net, c Config, reg *obs.Registry, prog *obs.Progress) out
 	if rep != nil {
 		o.states = int64(rep.States)
 		o.peak = reg.Gauge("zdd.peak_nodes").Value()
+		o.deadlock = rep.Deadlock
 	}
 	return o
 }

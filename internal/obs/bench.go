@@ -35,6 +35,11 @@ type BenchEntry struct {
 	Family string `json:"family"`
 	Size   int    `json:"size"`
 	Engine string `json:"engine"`
+	// RunID is the content address of the run (verify.RunKey rendered as
+	// "r"+hex) — the join key into ledger entries, gpod access logs and
+	// trace dumps for the same configuration. Empty for skipped entries
+	// and for artifacts predating the field.
+	RunID string `json:"run_id,omitempty"`
 	// States is states explored (GPN states for gpo, events for
 	// unfolding, |reachable| for symbolic).
 	States int64 `json:"states"`

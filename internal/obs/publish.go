@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Publisher fans one run's progress updates out to any number of live
+// subscribers — the seam between an engine's Progress hook and the
+// daemon's SSE streams. The design rules match the rest of the package:
+//
+//   - Nil is a no-op everywhere: a nil *Publisher publishes into the
+//     void, so callers thread it unconditionally.
+//   - Publishing never blocks and never perturbs the engine. Each
+//     subscriber owns a bounded buffer with drop-oldest semantics: a
+//     slow SSE client loses intermediate updates (they are throttled
+//     snapshots, not a log), while the engine's goroutine proceeds at
+//     full speed.
+//   - Zero allocations with no subscribers. Publish checks an atomic
+//     subscriber count before touching anything else, so a run that
+//     nobody watches pays one atomic load per throttled update
+//     (pinned by BenchmarkProgressPublishNoSubscribers).
+//
+// Wire it by setting Progress.Report = pub.Publish: engines already
+// tick Progress once per unit of work, so no engine grows any new
+// surface to become streamable.
+type Publisher struct {
+	nsubs atomic.Int32 // fast-path count, mirrors len(subs)
+	drops atomic.Int64 // updates dropped on full subscriber buffers
+
+	mu     sync.Mutex
+	subs   map[int]chan Update
+	nextID int
+	closed bool
+	last   Update // last published update, replayed to late subscribers
+	seen   bool   // last is valid
+}
+
+// NewPublisher returns an empty publisher.
+func NewPublisher() *Publisher {
+	return &Publisher{subs: make(map[int]chan Update)}
+}
+
+// Subscribe registers a subscriber and returns its update channel plus
+// a cancel function. buf is the subscriber's buffer depth (minimum 1);
+// when the buffer is full the oldest buffered update is dropped to make
+// room, so a stalled consumer never blocks Publish. If the publisher
+// already saw updates, the most recent one is pre-buffered so a late
+// subscriber starts from the current state instead of silence. The
+// channel is closed by Close (or immediately, when the publisher is
+// already closed); cancel is idempotent and safe after Close.
+func (p *Publisher) Subscribe(buf int) (<-chan Update, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan Update, buf)
+	if p == nil {
+		close(ch)
+		return ch, func() {}
+	}
+	p.mu.Lock()
+	if p.closed {
+		if p.seen {
+			ch <- p.last
+		}
+		close(ch)
+		p.mu.Unlock()
+		return ch, func() {}
+	}
+	id := p.nextID
+	p.nextID++
+	p.subs[id] = ch
+	if p.seen {
+		ch <- p.last
+	}
+	p.nsubs.Store(int32(len(p.subs)))
+	p.mu.Unlock()
+
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			p.mu.Lock()
+			if ch, ok := p.subs[id]; ok {
+				delete(p.subs, id)
+				p.nsubs.Store(int32(len(p.subs)))
+				close(ch)
+			}
+			p.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+// Publish fans u out to every subscriber without blocking. With no
+// subscribers it is one atomic load and returns — safe to call from an
+// engine's Progress.Report at full tick rate. A full subscriber buffer
+// drops its oldest update (counted in Dropped) to admit the new one;
+// if a concurrent receive races the drop, the new update is discarded
+// instead — either way the newest-or-nearly-newest state is what a
+// consumer sees next.
+func (p *Publisher) Publish(u Update) {
+	if p == nil || p.nsubs.Load() == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.last, p.seen = u, true
+	for _, ch := range p.subs {
+		select {
+		case ch <- u:
+		default:
+			select {
+			case <-ch:
+				p.drops.Add(1)
+			default:
+			}
+			select {
+			case ch <- u:
+			default:
+				p.drops.Add(1)
+			}
+		}
+	}
+}
+
+// Close publishes nothing further and closes every subscriber channel,
+// ending their range loops. Idempotent; nil-safe. Publish after Close
+// is a no-op, so a racing engine tick cannot send on a closed channel.
+func (p *Publisher) Close() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for id, ch := range p.subs {
+		delete(p.subs, id)
+		close(ch)
+	}
+	p.nsubs.Store(0)
+}
+
+// Subscribers returns the current subscriber count (0 on nil).
+func (p *Publisher) Subscribers() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.nsubs.Load())
+}
+
+// Dropped returns how many updates were discarded against full
+// subscriber buffers (0 on nil).
+func (p *Publisher) Dropped() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.drops.Load()
+}
+
+// Last returns the most recent published update and whether one exists —
+// how the daemon answers a status probe without waiting for the next
+// throttled tick.
+func (p *Publisher) Last() (Update, bool) {
+	if p == nil {
+		return Update{}, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.last, p.seen
+}

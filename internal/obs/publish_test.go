@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func drain(ch <-chan Update) []Update {
+	var out []Update
+	for {
+		select {
+		case u, ok := <-ch:
+			if !ok {
+				return out
+			}
+			out = append(out, u)
+		default:
+			return out
+		}
+	}
+}
+
+func TestPublisherFanOut(t *testing.T) {
+	pub := NewPublisher()
+	a, cancelA := pub.Subscribe(8)
+	b, cancelB := pub.Subscribe(8)
+	defer cancelA()
+	defer cancelB()
+	if got := pub.Subscribers(); got != 2 {
+		t.Fatalf("Subscribers() = %d, want 2", got)
+	}
+	for i := int64(1); i <= 3; i++ {
+		pub.Publish(Update{Count: i})
+	}
+	for name, ch := range map[string]<-chan Update{"a": a, "b": b} {
+		got := drain(ch)
+		if len(got) != 3 {
+			t.Fatalf("subscriber %s got %d updates, want 3: %v", name, len(got), got)
+		}
+		for i, u := range got {
+			if u.Count != int64(i+1) {
+				t.Errorf("subscriber %s update %d has Count=%d, want %d", name, i, u.Count, i+1)
+			}
+		}
+	}
+	if pub.Dropped() != 0 {
+		t.Errorf("Dropped() = %d, want 0", pub.Dropped())
+	}
+}
+
+func TestPublisherLateSubscriberSeesLast(t *testing.T) {
+	pub := NewPublisher()
+	// With no subscribers Publish is a no-op, so Last is unset...
+	pub.Publish(Update{Count: 1})
+	if _, ok := pub.Last(); ok {
+		t.Fatal("Last() set with zero subscribers; fast path should have skipped it")
+	}
+	// ...but once anyone listens, later subscribers are primed with the
+	// most recent update instead of waiting for the next throttled tick.
+	_, cancelA := pub.Subscribe(1)
+	defer cancelA()
+	pub.Publish(Update{Count: 42})
+	late, cancelB := pub.Subscribe(4)
+	defer cancelB()
+	select {
+	case u := <-late:
+		if u.Count != 42 {
+			t.Fatalf("late subscriber primed with Count=%d, want 42", u.Count)
+		}
+	default:
+		t.Fatal("late subscriber not primed with last update")
+	}
+	if u, ok := pub.Last(); !ok || u.Count != 42 {
+		t.Fatalf("Last() = %+v, %v; want Count=42, true", u, ok)
+	}
+}
+
+func TestPublisherDropOldest(t *testing.T) {
+	pub := NewPublisher()
+	ch, cancel := pub.Subscribe(2)
+	defer cancel()
+	for i := int64(1); i <= 5; i++ {
+		pub.Publish(Update{Count: i}) // never blocks, buffer is 2
+	}
+	got := drain(ch)
+	if len(got) != 2 {
+		t.Fatalf("got %d buffered updates, want 2: %v", len(got), got)
+	}
+	// Oldest dropped: the buffer holds the newest two.
+	if got[0].Count != 4 || got[1].Count != 5 {
+		t.Errorf("buffer = [%d %d], want [4 5]", got[0].Count, got[1].Count)
+	}
+	if pub.Dropped() != 3 {
+		t.Errorf("Dropped() = %d, want 3", pub.Dropped())
+	}
+}
+
+func TestPublisherDetachMidStream(t *testing.T) {
+	pub := NewPublisher()
+	a, cancelA := pub.Subscribe(8)
+	b, cancelB := pub.Subscribe(8)
+	defer cancelB()
+	pub.Publish(Update{Count: 1})
+	cancelA()
+	cancelA() // idempotent
+	if _, ok := <-a; len(drain(a)) != 0 && ok {
+		t.Fatal("cancelled subscriber channel not drained+closed")
+	}
+	pub.Publish(Update{Count: 2})
+	if got := drain(b); len(got) != 2 {
+		t.Fatalf("remaining subscriber got %d updates, want 2", len(got))
+	}
+	if got := pub.Subscribers(); got != 1 {
+		t.Fatalf("Subscribers() after detach = %d, want 1", got)
+	}
+}
+
+func TestPublisherClose(t *testing.T) {
+	pub := NewPublisher()
+	ch, cancel := pub.Subscribe(4)
+	pub.Publish(Update{Count: 7})
+	pub.Close()
+	pub.Close()                   // idempotent
+	pub.Publish(Update{Count: 8}) // no-op after Close
+	var got []Update
+	for u := range ch { // terminates: Close closed the channel
+		got = append(got, u)
+	}
+	if len(got) != 1 || got[0].Count != 7 {
+		t.Fatalf("drained %v after Close, want just Count=7", got)
+	}
+	cancel() // safe after Close
+	// Subscribing to a closed publisher yields the last update, then EOF.
+	late, _ := pub.Subscribe(1)
+	u, ok := <-late
+	if !ok || u.Count != 7 {
+		t.Fatalf("post-Close subscriber got (%+v, %v), want (Count=7, true)", u, ok)
+	}
+	if _, ok := <-late; ok {
+		t.Fatal("post-Close subscriber channel not closed after replay")
+	}
+}
+
+func TestPublisherNilSafe(t *testing.T) {
+	var pub *Publisher
+	pub.Publish(Update{Count: 1})
+	pub.Close()
+	if pub.Subscribers() != 0 || pub.Dropped() != 0 {
+		t.Fatal("nil publisher reported nonzero state")
+	}
+	if _, ok := pub.Last(); ok {
+		t.Fatal("nil publisher has a last update")
+	}
+	ch, cancel := pub.Subscribe(4)
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Fatal("nil publisher's subscriber channel not closed")
+	}
+}
+
+// TestPublisherSlowSubscriberNeverBlocksEngine is the drop-oldest pin
+// from the engine's point of view: a subscriber that never receives must
+// not slow a Progress-ticking exploration loop down. Run under -race
+// this also exercises the Publish/Subscribe/cancel interleavings.
+func TestPublisherSlowSubscriberNeverBlocksEngine(t *testing.T) {
+	pub := NewPublisher()
+	slow, cancelSlow := pub.Subscribe(1)
+	defer cancelSlow()
+	_ = slow // deliberately never received from
+
+	prog := &Progress{Label: "test", Every: 1, Report: pub.Publish}
+	const ticks = 50_000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < ticks; i++ {
+			prog.Tick(1)
+		}
+		prog.Done()
+	}()
+
+	// Churn subscribers while the engine runs: attach, read a little,
+	// detach — mid-exploration attach/detach must be safe.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				ch, cancel := pub.Subscribe(4)
+				select {
+				case <-ch:
+				default:
+				}
+				cancel()
+			}
+		}()
+	}
+
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("engine loop blocked behind a slow subscriber")
+	}
+	wg.Wait()
+	if prog.Count() != ticks {
+		t.Fatalf("Progress.Count() = %d, want %d", prog.Count(), ticks)
+	}
+	if pub.Dropped() == 0 {
+		t.Error("expected drops against the stalled subscriber, got none")
+	}
+}
+
+func TestRegistryMerge(t *testing.T) {
+	proc := New()
+	proc.Counter("reach.states").Add(100)
+	proc.Gauge("reach.queue_peak").Set(10)
+	proc.Histogram("por.stubborn_size").Observe(4)
+	s := proc.StartSpan("warmup")
+	s.End()
+
+	run := New()
+	run.Counter("reach.states").Add(322)
+	run.Counter("reach.edges").Add(7)
+	run.Gauge("reach.queue_peak").Set(5) // below process peak: must not lower it
+	run.Gauge("zdd.nodes_peak").Set(99)
+	run.Histogram("por.stubborn_size").Observe(2)
+	run.Histogram("por.stubborn_size").Observe(16)
+	rs := run.StartSpan("verify.run")
+	rs.End()
+
+	proc.Merge(run)
+
+	if got := proc.Counter("reach.states").Value(); got != 422 {
+		t.Errorf("merged reach.states = %d, want 422", got)
+	}
+	if got := proc.Counter("reach.edges").Value(); got != 7 {
+		t.Errorf("merged reach.edges = %d, want 7", got)
+	}
+	if got := proc.Gauge("reach.queue_peak").Value(); got != 10 {
+		t.Errorf("merged reach.queue_peak = %d, want 10 (max fold)", got)
+	}
+	if got := proc.Gauge("zdd.nodes_peak").Value(); got != 99 {
+		t.Errorf("merged zdd.nodes_peak = %d, want 99", got)
+	}
+	h := proc.Histogram("por.stubborn_size")
+	if h.Count() != 3 || h.Sum() != 22 || h.Min() != 2 || h.Max() != 16 {
+		t.Errorf("merged histogram count/sum/min/max = %d/%d/%d/%d, want 3/22/2/16",
+			h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	spans := proc.Spans()
+	if len(spans) != 2 || spans[0].Name != "warmup" || spans[1].Name != "verify.run" {
+		t.Errorf("merged spans = %v, want [warmup verify.run]", spans)
+	}
+
+	// Nil folds are no-ops.
+	proc.Merge(nil)
+	(*Registry)(nil).Merge(run)
+	if got := proc.Counter("reach.states").Value(); got != 422 {
+		t.Errorf("nil merges changed state: reach.states = %d", got)
+	}
+}
+
+// BenchmarkProgressPublishNoSubscribers pins the unwatched-run cost:
+// an engine ticking a Progress wired to a Publisher nobody subscribed
+// to must not allocate (check.sh greps for "0 allocs/op"). This is the
+// streaming analogue of the disabled-trace hot-path gate.
+func BenchmarkProgressPublishNoSubscribers(b *testing.B) {
+	pub := NewPublisher()
+	prog := &Progress{Label: "bench", Every: 1, Report: pub.Publish}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog.Tick(1)
+	}
+}

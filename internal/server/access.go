@@ -59,6 +59,13 @@ type accessEntry struct {
 	// "error", "draining" or "method".
 	Outcome  string `json:"outcome"`
 	CacheHit bool   `json:"cache_hit,omitempty"`
+	// RunID is the content address of the requested work (set as soon as
+	// the request resolves, so cache hits and executed runs share it).
+	// It joins this line with the run's ledger entry and trace dump.
+	RunID string `json:"run_id,omitempty"`
+	// QueueWaitNS is how long the job sat admitted-but-not-started
+	// (0 for requests that never reached the queue).
+	QueueWaitNS int64 `json:"queue_wait_ns,omitempty"`
 }
 
 // accessLogger serializes JSON-lines access entries onto one writer.

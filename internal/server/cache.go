@@ -2,8 +2,6 @@ package server
 
 import (
 	"container/list"
-	"crypto/sha256"
-	"encoding/binary"
 	"sync"
 
 	"repro/internal/obs"
@@ -11,76 +9,20 @@ import (
 	"repro/internal/verify"
 )
 
-// cacheKey is the content address of a verification result: the SHA-256
-// of the canonical binary encoding of the net plus every
-// result-determining option.
-type cacheKey [sha256.Size]byte
-
-// appendString appends a length-prefixed string, the same self-delimiting
-// style as the family algebras' AppendKey, so no two distinct nets can
-// collide by concatenation.
-func appendString(b []byte, s string) []byte {
-	b = binary.AppendUvarint(b, uint64(len(s)))
-	return append(b, s...)
-}
-
-// appendNetKey appends the canonical encoding of the net: name, places
-// (names in index order), initial marking, and per-transition name and
-// sorted pre/post place sets. Two requests hash equal iff they describe
-// the same net the same way; structural isomorphs with different names
-// or orderings are (deliberately) distinct — the witness in the response
-// speaks in place names, so names are part of the content.
-func appendNetKey(b []byte, n *petri.Net) []byte {
-	b = appendString(b, n.Name())
-	b = binary.AppendUvarint(b, uint64(n.NumPlaces()))
-	for p := petri.Place(0); int(p) < n.NumPlaces(); p++ {
-		b = appendString(b, n.PlaceName(p))
-	}
-	init := n.InitialPlaces()
-	b = binary.AppendUvarint(b, uint64(len(init)))
-	for _, p := range init {
-		b = binary.AppendUvarint(b, uint64(p))
-	}
-	b = binary.AppendUvarint(b, uint64(n.NumTrans()))
-	for t := petri.Trans(0); int(t) < n.NumTrans(); t++ {
-		b = appendString(b, n.TransName(t))
-		pre, post := n.Pre(t), n.Post(t)
-		b = binary.AppendUvarint(b, uint64(len(pre)))
-		for _, p := range pre {
-			b = binary.AppendUvarint(b, uint64(p))
-		}
-		b = binary.AppendUvarint(b, uint64(len(post)))
-		for _, p := range post {
-			b = binary.AppendUvarint(b, uint64(p))
-		}
-	}
-	return b
-}
+// cacheKey is the content address of a verification result. The hashing
+// itself lives in verify.RunKey: the same SHA-256 of the canonical
+// net+options encoding also names the run in the ledger (as
+// Key.RunID()) and on the /v1/runs surface, so the cache line, the
+// ledger entry, the access-log line and the live run all join on one
+// identity.
+type cacheKey = verify.Key
 
 // requestKey hashes the net and the options that determine the result.
 // Workers is excluded: the parallel exhaustive explorer is bit-identical
 // to the sequential one (DESIGN.md D6), so both serve one cache line.
 // Timeouts are excluded because aborted results are never cached.
 func requestKey(n *petri.Net, check string, bad []petri.Place, o verify.Options) cacheKey {
-	b := make([]byte, 0, 1024)
-	b = appendNetKey(b, n)
-	b = appendString(b, check)
-	b = binary.AppendUvarint(b, uint64(len(bad)))
-	for _, p := range bad {
-		b = binary.AppendUvarint(b, uint64(p))
-	}
-	b = binary.AppendUvarint(b, uint64(o.Engine))
-	flags := uint64(0)
-	if o.StopAtFirst {
-		flags |= 1
-	}
-	if o.Proviso {
-		flags |= 2
-	}
-	b = binary.AppendUvarint(b, flags)
-	b = binary.AppendUvarint(b, uint64(o.MaxStates))
-	b = binary.AppendUvarint(b, uint64(o.MaxNodes))
-	return sha256.Sum256(b)
+	return verify.RunKey(n, check, bad, o)
 }
 
 // cacheEntry is one cached result with its budget charge.

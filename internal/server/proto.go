@@ -97,6 +97,14 @@ type job struct {
 	id   string // request ID (echoed header, access log, trace meta)
 	req  *parsedRequest
 	done chan jobResult
+	// lr is the job's live-run registration: per-run metrics, progress
+	// publisher, and the /v1/runs surface entry.
+	lr *liveRun
+	// enqNS is when the handler admitted the job; the worker stamps
+	// queueWaitNS at dequeue (before the handler reads it back — the
+	// done channel orders the accesses).
+	enqNS       int64
+	queueWaitNS int64
 }
 
 // transNames lists a net's transition names in index order, the table a

@@ -1,0 +1,354 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/ledger"
+)
+
+// liveRun is one admitted verification's introspection state: the
+// content-addressed run ID, a per-run metrics registry (so /v1/runs/{id}
+// reports this run's numbers, not process totals), and the Publisher
+// fanning throttled progress updates out to SSE subscribers. The engine
+// never sees any of this directly — it only ticks the obs.Progress it
+// is handed, exactly as it would uninstrumented.
+type liveRun struct {
+	runID  string
+	reqID  string
+	net    string
+	engine string
+	check  string
+
+	startNS atomic.Int64 // 0 while queued; set when a worker picks it up
+	enqNS   int64
+
+	pub *obs.Publisher
+	reg *obs.Registry
+
+	mu   sync.Mutex
+	resp *Response // final response, set before the publisher closes
+	err  string
+}
+
+func (lr *liveRun) finish(resp *Response, err error) {
+	lr.mu.Lock()
+	lr.resp = resp
+	if err != nil {
+		lr.err = err.Error()
+	}
+	lr.mu.Unlock()
+}
+
+func (lr *liveRun) final() (*Response, string) {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	return lr.resp, lr.err
+}
+
+// runStatus is the wire shape of one in-flight run on /v1/runs.
+type runStatus struct {
+	RunID     string `json:"run_id"`
+	RequestID string `json:"request_id"`
+	State     string `json:"state"` // "queued" or "running"
+	Net       string `json:"net"`
+	Engine    string `json:"engine"`
+	Check     string `json:"check"`
+	// StartUnixNS is when a worker started the engine (0 while queued).
+	StartUnixNS int64 `json:"start_unix_ns,omitempty"`
+	// Progress from the last throttled update (zero until the first one).
+	States    int64   `json:"states"`
+	ElapsedNS int64   `json:"elapsed_ns"`
+	Rate      float64 `json:"rate"`
+	// Peaks from the run's own registry.
+	Frontier    int64 `json:"frontier_peak,omitempty"`
+	ZddNodes    int64 `json:"zdd_nodes,omitempty"`
+	Subscribers int   `json:"subscribers"`
+}
+
+func (lr *liveRun) status() runStatus {
+	st := runStatus{
+		RunID:       lr.runID,
+		RequestID:   lr.reqID,
+		State:       "queued",
+		Net:         lr.net,
+		Engine:      lr.engine,
+		Check:       lr.check,
+		StartUnixNS: lr.startNS.Load(),
+		Frontier:    lr.reg.Gauge("reach.queue_peak").Value(),
+		ZddNodes:    lr.reg.Gauge("zdd.nodes").Value(),
+		Subscribers: lr.pub.Subscribers(),
+	}
+	if st.StartUnixNS != 0 {
+		st.State = "running"
+	}
+	if u, ok := lr.pub.Last(); ok {
+		st.States = u.Count
+		st.ElapsedNS = int64(u.Elapsed)
+		st.Rate = u.Rate
+	}
+	return st
+}
+
+// registerRun publishes lr on the live-run surface. Content addressing
+// means two concurrent identical requests share a run ID; the registry
+// keeps the latest, and deregisterRun only removes the entry it owns.
+func (s *Server) registerRun(lr *liveRun) {
+	s.runsMu.Lock()
+	s.runs[lr.runID] = lr
+	s.runsMu.Unlock()
+}
+
+func (s *Server) deregisterRun(lr *liveRun) {
+	s.runsMu.Lock()
+	if s.runs[lr.runID] == lr {
+		delete(s.runs, lr.runID)
+	}
+	s.runsMu.Unlock()
+}
+
+func (s *Server) liveRunByID(id string) *liveRun {
+	s.runsMu.Lock()
+	defer s.runsMu.Unlock()
+	return s.runs[id]
+}
+
+// handleRuns answers GET /v1/runs: every queued or running verification
+// plus the recently completed tail of the ledger (newest first).
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	s.runsMu.Lock()
+	running := make([]runStatus, 0, len(s.runs))
+	for _, lr := range s.runs {
+		running = append(running, lr.status())
+	}
+	s.runsMu.Unlock()
+	completed := s.cfg.Ledger.Recent()
+	for i, j := 0, len(completed)-1; i < j; i, j = i+1, j-1 {
+		completed[i], completed[j] = completed[j], completed[i]
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Running   []runStatus    `json:"running"`
+		Completed []ledger.Entry `json:"completed"`
+	}{running, completed})
+}
+
+// handleRun answers GET /v1/runs/{id}: a live status with the run's own
+// metrics snapshot, or the ledger entry of a completed run.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if lr := s.liveRunByID(id); lr != nil {
+		writeJSON(w, http.StatusOK, struct {
+			runStatus
+			Metrics *obs.Snapshot `json:"metrics"`
+		}{lr.status(), lr.reg.Snapshot()})
+		return
+	}
+	if e, ok := s.ledgerEntry(id); ok {
+		writeJSON(w, http.StatusOK, e)
+		return
+	}
+	writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown run " + id})
+}
+
+// ledgerEntry finds the newest ledger entry for id, first in the
+// in-memory tail, then (for history beyond the tail) in the journal
+// itself.
+func (s *Server) ledgerEntry(id string) (ledger.Entry, bool) {
+	recent := s.cfg.Ledger.Recent()
+	for i := len(recent) - 1; i >= 0; i-- {
+		if recent[i].RunID == id {
+			return recent[i], true
+		}
+	}
+	if path := s.cfg.Ledger.Path(); path != "" {
+		all, err := ledger.Read(path)
+		if err == nil {
+			for i := len(all) - 1; i >= 0; i-- {
+				if all[i].RunID == id {
+					return all[i], true
+				}
+			}
+		}
+	}
+	return ledger.Entry{}, false
+}
+
+// progressEvent is the SSE "progress" payload: one throttled snapshot
+// of a running exploration.
+type progressEvent struct {
+	RunID     string  `json:"run_id"`
+	States    int64   `json:"states"`
+	ElapsedNS int64   `json:"elapsed_ns"`
+	Rate      float64 `json:"rate"`
+	Frontier  int64   `json:"frontier_peak,omitempty"`
+	ZddNodes  int64   `json:"zdd_nodes,omitempty"`
+	Final     bool    `json:"final,omitempty"`
+}
+
+// doneEvent is the SSE "done" payload: the run's verdict, emitted once
+// as the stream's last event. States here is the final result count —
+// for a completed explicit-state run it equals the reach.states metric
+// exactly (pinned by TestE2ERunEventsStates).
+type doneEvent struct {
+	RunID    string `json:"run_id"`
+	Status   string `json:"status"`
+	Error    string `json:"error,omitempty"`
+	Deadlock bool   `json:"deadlock"`
+	States   int64  `json:"states"`
+	Complete bool   `json:"complete"`
+	WallNS   int64  `json:"wall_ns"`
+}
+
+func writeSSE(w http.ResponseWriter, flusher http.Flusher, event string, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+	flusher.Flush()
+}
+
+// handleRunEvents answers GET /v1/runs/{id}/events with an SSE stream:
+// "progress" events at the server's throttle cadence, terminated by one
+// "done" event carrying the verdict. For an already-completed run the
+// stream is just the "done" event reconstructed from the ledger. The
+// subscriber rides a bounded drop-oldest buffer, so a slow client loses
+// intermediate snapshots, never the verdict, and never slows the engine.
+func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "streaming unsupported"})
+		return
+	}
+	lr := s.liveRunByID(id)
+	if lr == nil {
+		e, found := s.ledgerEntry(id)
+		if !found {
+			writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown run " + id})
+			return
+		}
+		sseHeaders(w)
+		writeSSE(w, flusher, "done", doneEvent{
+			RunID:    e.RunID,
+			Status:   e.Status,
+			Error:    e.AbortReason,
+			Deadlock: e.Deadlock,
+			States:   e.States,
+			Complete: e.Complete,
+			WallNS:   e.WallNS,
+		})
+		return
+	}
+
+	ch, cancel := lr.pub.Subscribe(16)
+	defer cancel()
+	sseHeaders(w)
+	for {
+		select {
+		case u, open := <-ch:
+			if !open {
+				// Publisher closed: the run is over and its final
+				// response was stored before the close.
+				resp, errMsg := lr.final()
+				done := doneEvent{RunID: lr.runID, Status: "error", Error: errMsg}
+				if resp != nil {
+					done.Status = resp.Status
+					done.Deadlock = resp.Deadlock
+					done.States = int64(resp.States)
+					done.Complete = resp.Complete
+					done.WallNS = resp.ElapsedNS
+				}
+				writeSSE(w, flusher, "done", done)
+				return
+			}
+			writeSSE(w, flusher, "progress", progressEvent{
+				RunID:     lr.runID,
+				States:    u.Count,
+				ElapsedNS: int64(u.Elapsed),
+				Rate:      u.Rate,
+				Frontier:  lr.reg.Gauge("reach.queue_peak").Value(),
+				ZddNodes:  lr.reg.Gauge("zdd.nodes").Value(),
+				Final:     u.Final,
+			})
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func sseHeaders(w http.ResponseWriter) {
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+}
+
+// ledgerEntryOf assembles the journal record for a finished job from
+// the per-run registry and the outcome. Counters and gauges land in the
+// Metrics map under their documented names.
+func ledgerEntryOf(j *job, lr *liveRun, resp *Response, runErr error, startNS, endNS int64, tracePath string) ledger.Entry {
+	e := ledger.Entry{
+		RunID:       lr.runID,
+		RequestID:   j.id,
+		Source:      "gpod",
+		Net:         lr.net,
+		Engine:      lr.engine,
+		Check:       lr.check,
+		StopAtFirst: j.req.opts.StopAtFirst,
+		Proviso:     j.req.opts.Proviso,
+		MaxStates:   j.req.opts.MaxStates,
+		MaxNodes:    j.req.opts.MaxNodes,
+		Workers:     j.req.opts.Workers,
+		StartUnixNS: startNS,
+		EndUnixNS:   endNS,
+		WallNS:      endNS - startNS,
+		TracePath:   tracePath,
+	}
+	switch {
+	case runErr != nil:
+		e.Status = "error"
+		e.AbortReason = runErr.Error()
+	case resp.Status == StatusAborted:
+		e.Status = "aborted"
+		e.AbortReason = abortReason(j)
+		e.States = int64(resp.States)
+		e.PeakBDD = int64(resp.PeakBDD)
+		e.PeakSets = int64(resp.PeakSets)
+	default:
+		e.Status = "ok"
+		e.Deadlock = resp.Deadlock
+		e.States = int64(resp.States)
+		e.PeakBDD = int64(resp.PeakBDD)
+		e.PeakSets = int64(resp.PeakSets)
+		e.Complete = resp.Complete
+	}
+	snap := lr.reg.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges) > 0 {
+		e.Metrics = make(map[string]int64, len(snap.Counters)+len(snap.Gauges))
+		for k, v := range snap.Counters {
+			e.Metrics[k] = v
+		}
+		for k, v := range snap.Gauges {
+			e.Metrics[k] = v
+		}
+	}
+	return e
+}
+
+// abortReason distinguishes the two ways a run dies mid-flight.
+func abortReason(j *job) string {
+	if err := j.ctx.Err(); err != nil {
+		return "disconnect" // client context canceled or timed out
+	}
+	return "deadline" // the server-side per-request budget expired
+}
+
+// nowUnixNS is time.Now().UnixNano(), indirected for tests.
+var nowUnixNS = func() int64 { return time.Now().UnixNano() }

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/ledger"
 	"repro/internal/obs/trace"
 	"repro/internal/verify"
 )
@@ -66,6 +67,23 @@ type Config struct {
 	// TraceEvents is the per-track ring capacity of per-request tracers
 	// (0 = trace.DefaultCap). Only read when TraceSink is set.
 	TraceEvents int
+	// TracePath, if set, maps a request ID to the path TraceSink will
+	// write its dump to, so the run's ledger entry can point at it. Only
+	// consulted for aborted runs with a TraceSink configured.
+	TracePath func(id string) string
+	// Ledger, if non-nil, receives one entry per executed verification
+	// (cache hits are not runs and are not journaled). The ledger also
+	// backs the completed half of GET /v1/runs. Nil disables journaling;
+	// the live-run endpoints still work.
+	Ledger *ledger.Log
+	// ProgressEvery and ProgressInterval set the throttle of the per-run
+	// progress stream feeding GET /v1/runs/{id}/events: an update every
+	// ProgressEvery units of engine work, or whenever ProgressInterval
+	// has elapsed, whichever fires first (defaults 4096 and 200ms).
+	// Streaming is passive — with no subscriber an update is one atomic
+	// load, and results are bit-identical either way.
+	ProgressEvery    int64
+	ProgressInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +104,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Metrics == nil {
 		c.Metrics = obs.New()
+	}
+	if c.ProgressEvery <= 0 {
+		c.ProgressEvery = 4096
+	}
+	if c.ProgressInterval <= 0 {
+		c.ProgressInterval = 200 * time.Millisecond
 	}
 	return c
 }
@@ -108,32 +132,44 @@ type Server struct {
 	idBase string // per-process prefix of generated request IDs
 	idSeq  atomic.Uint64
 
+	runsMu sync.Mutex          // guards runs
+	runs   map[string]*liveRun // queued + running verifications by run ID
+
 	requests, shed, aborts, failures, completed *obs.Counter
+	ledgerErrors                                *obs.Counter
 	queueDepth, inflight                        *obs.Gauge
+	reqWall, queueWait                          *obs.Histogram
 }
 
 // New starts a Server's worker pool and returns it ready to serve.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:        cfg,
-		reg:        cfg.Metrics,
-		queue:      make(chan *job, cfg.QueueDepth),
-		alog:       newAccessLogger(cfg.AccessLog),
-		idBase:     strconv.FormatInt(time.Now().UnixNano(), 36),
-		requests:   cfg.Metrics.Counter("server.requests"),
-		shed:       cfg.Metrics.Counter("server.shed"),
-		aborts:     cfg.Metrics.Counter("server.aborted"),
-		failures:   cfg.Metrics.Counter("server.errors"),
-		completed:  cfg.Metrics.Counter("server.done"),
-		queueDepth: cfg.Metrics.Gauge("server.queue_depth"),
-		inflight:   cfg.Metrics.Gauge("server.inflight"),
+		cfg:          cfg,
+		reg:          cfg.Metrics,
+		queue:        make(chan *job, cfg.QueueDepth),
+		alog:         newAccessLogger(cfg.AccessLog),
+		idBase:       strconv.FormatInt(time.Now().UnixNano(), 36),
+		runs:         make(map[string]*liveRun),
+		requests:     cfg.Metrics.Counter("server.requests"),
+		shed:         cfg.Metrics.Counter("server.shed"),
+		aborts:       cfg.Metrics.Counter("server.aborted"),
+		failures:     cfg.Metrics.Counter("server.errors"),
+		completed:    cfg.Metrics.Counter("server.done"),
+		ledgerErrors: cfg.Metrics.Counter("server.ledger_errors"),
+		queueDepth:   cfg.Metrics.Gauge("server.queue_depth"),
+		inflight:     cfg.Metrics.Gauge("server.inflight"),
+		reqWall:      cfg.Metrics.Histogram("server.request_wall_ns"),
+		queueWait:    cfg.Metrics.Histogram("server.queue_wait_ns"),
 	}
 	if cfg.CacheBytes > 0 {
 		s.cache = newResultCache(cfg.CacheBytes, cfg.Metrics)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/verify", s.handleVerify)
+	s.mux.HandleFunc("GET /v1/runs", s.handleRuns)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleRun)
+	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleRunEvents)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.wg.Add(cfg.Workers)
@@ -191,6 +227,8 @@ func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
 		s.queueDepth.Add(-1)
+		j.queueWaitNS = nowUnixNS() - j.enqNS
+		s.queueWait.Observe(j.queueWaitNS)
 		s.inflight.Add(1)
 		s.runJob(j)
 		s.inflight.Add(-1)
@@ -199,15 +237,32 @@ func (s *Server) worker() {
 }
 
 func (s *Server) runJob(j *job) {
+	lr := j.lr
+	startNS := nowUnixNS()
+	lr.startNS.Store(startNS)
 	ctx, cancel := context.WithTimeout(j.ctx, j.req.timeout)
 	defer cancel()
 	opts := j.req.opts
 	opts.Ctx = ctx
-	opts.Metrics = s.reg
+	// The engine reports into the run's own registry so the ledger entry
+	// and /v1/runs/{id} carry this run's numbers; the epilogue folds them
+	// into the process registry that /metrics serves.
+	opts.Metrics = lr.reg
+	// Progress feeds the run's SSE publisher. Engines tick this once per
+	// unit of work already; the throttle bounds the event rate and the
+	// publisher's no-subscriber fast path keeps an unwatched run free.
+	prog := &obs.Progress{
+		Label:    lr.runID,
+		Every:    s.cfg.ProgressEvery,
+		Interval: s.cfg.ProgressInterval,
+		Report:   lr.pub.Publish,
+	}
+	opts.Progress = prog
 	var tr *trace.Tracer
 	if s.cfg.TraceSink != nil {
 		tr = trace.New(trace.Options{Cap: s.cfg.TraceEvents})
 		tr.SetMeta("request_id", j.id)
+		tr.SetMeta("run_id", lr.runID)
 		tr.SetMeta("engine", opts.Engine.String())
 		tr.SetMeta("net", j.req.net.Name())
 		tr.SetMeta("check", j.req.check)
@@ -224,23 +279,49 @@ func (s *Server) runJob(j *job) {
 	} else {
 		rep, err = verify.CheckDeadlock(j.req.net, opts)
 	}
+	endNS := nowUnixNS()
+
+	var resp *Response
+	tracePath := ""
 	if err != nil {
 		s.failures.Inc()
+	} else {
+		resp = responseOf(j.req, rep)
+		if resp.Status == StatusAborted {
+			s.aborts.Inc()
+			// A deadline or disconnect killed the run mid-flight: dump
+			// the flight recorder so the abort is diagnosable after the
+			// fact, and point the ledger entry at the dump.
+			if tr != nil {
+				s.cfg.TraceSink(j.id, tr.Dump())
+				if s.cfg.TracePath != nil {
+					tracePath = s.cfg.TracePath(j.id)
+				}
+			}
+		} else if resp.Complete {
+			// Only complete, uncancelled results are cacheable: partial
+			// statistics depend on where the deadline happened to land.
+			s.cache.put(j.req.key, resp)
+		}
+	}
+
+	// Introspection epilogue, strictly ordered: final response stored
+	// (so the SSE terminal event has a verdict), final progress update
+	// published, stream closed, journal appended, per-run metrics folded
+	// into the process registry, live registration dropped — all before
+	// the handler wakes, so a client that saw the response also sees the
+	// run's history.
+	lr.finish(resp, err)
+	prog.Done()
+	lr.pub.Close()
+	if lerr := s.cfg.Ledger.Append(ledgerEntryOf(j, lr, resp, err, startNS, endNS, tracePath)); lerr != nil {
+		s.ledgerErrors.Inc()
+	}
+	s.reg.Merge(lr.reg)
+	s.deregisterRun(lr)
+	if err != nil {
 		j.done <- jobResult{err: err}
 		return
-	}
-	resp := responseOf(j.req, rep)
-	if resp.Status == StatusAborted {
-		s.aborts.Inc()
-		// A deadline or disconnect killed the run mid-flight: dump the
-		// flight recorder so the abort is diagnosable after the fact.
-		if tr != nil {
-			s.cfg.TraceSink(j.id, tr.Dump())
-		}
-	} else if resp.Complete {
-		// Only complete, uncancelled results are cacheable: partial
-		// statistics depend on where the deadline happened to land.
-		s.cache.put(j.req.key, resp)
 	}
 	j.done <- jobResult{resp: resp}
 }
@@ -253,6 +334,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	entry := &accessEntry{RequestID: id}
 	defer func() {
 		entry.WallNS = time.Since(start).Nanoseconds()
+		s.reqWall.Observe(entry.WallNS)
 		s.alog.log(entry)
 	}()
 	fail := func(code int, outcome, msg string) {
@@ -287,6 +369,10 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	entry.Engine = pr.opts.Engine.String()
 	entry.Net = pr.net.Name()
 	entry.Check = pr.check
+	// The run ID is the content address of the work itself, so the cache
+	// hit and the run that populated it share the ID — the access log
+	// joins them without any extra bookkeeping.
+	entry.RunID = pr.key.RunID()
 	if resp, ok := s.cache.get(pr.key); ok {
 		entry.Code, entry.Outcome = http.StatusOK, "cached"
 		entry.CacheHit = true
@@ -294,8 +380,21 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	j := &job{ctx: r.Context(), id: id, req: pr, done: make(chan jobResult, 1)}
+	j := &job{ctx: r.Context(), id: id, req: pr, done: make(chan jobResult, 1), enqNS: nowUnixNS()}
+	j.lr = &liveRun{
+		runID:  pr.key.RunID(),
+		reqID:  id,
+		net:    pr.net.Name(),
+		engine: pr.opts.Engine.String(),
+		check:  pr.check,
+		enqNS:  j.enqNS,
+		pub:    obs.NewPublisher(),
+		reg:    obs.New(),
+	}
+	s.registerRun(j.lr)
 	if !s.enqueue(j) {
+		s.deregisterRun(j.lr)
+		j.lr.pub.Close()
 		s.shed.Inc()
 		w.Header().Set("Retry-After", "1")
 		fail(http.StatusTooManyRequests, "shed", "over capacity, retry later")
@@ -305,6 +404,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	// engine aborts via the context and the response write just fails),
 	// so a plain receive cannot leak.
 	res := <-j.done
+	entry.QueueWaitNS = j.queueWaitNS
 	if res.err != nil {
 		fail(http.StatusUnprocessableEntity, "error", res.err.Error())
 		return

@@ -26,8 +26,27 @@ go run ./cmd/gpoverify -model nsdp -size 5 -trace "$TRACE_TMP/t.json" >/dev/null
 go run ./cmd/gpoverify -model nsdp -size 5 -trace "$TRACE_TMP/t.jsonl" >/dev/null
 go run ./cmd/gpotrace "$TRACE_TMP/t.json" | grep -q 'states:'
 go run ./cmd/gpotrace "$TRACE_TMP/t.jsonl" | grep -q 'states:'
+# Zero-subscriber streaming gate: a progress update with no SSE
+# subscriber must stay allocation-free, or every unwatched daemon run
+# pays for the introspection surface.
+go test -run '^$' -bench BenchmarkProgressPublishNoSubscribers -benchtime=1x ./internal/obs |
+	tee /dev/stderr | grep -q 'BenchmarkProgressPublishNoSubscribers.* 0 allocs/op'
 # Fuzz smoke: 5 seconds of FuzzParse against the hardened pnio parser.
 go test -fuzz=FuzzParse -fuzztime=5s -run '^$' ./internal/pnio
+# Ledger round-trip smoke: two gpoverify runs journal under the same
+# content-addressed run ID, gpostat -history reconstructs one group of
+# two runs from the journal, and repeated reads are deterministic.
+go run ./cmd/gpoverify -model nsdp -size 4 -engine gpo -ledger "$TRACE_TMP/runs.jsonl" >/dev/null
+go run ./cmd/gpoverify -model nsdp -size 4 -engine gpo -ledger "$TRACE_TMP/runs.jsonl" >/dev/null
+test "$(grep -c '"schema":"ledger/v1"' "$TRACE_TMP/runs.jsonl")" = 2
+test "$(grep -o '"run_id":"[^"]*"' "$TRACE_TMP/runs.jsonl" | sort -u | wc -l)" = 1
+go run ./cmd/gpostat -history -ledger "$TRACE_TMP/runs.jsonl" >"$TRACE_TMP/hist1.txt"
+go run ./cmd/gpostat -history -ledger "$TRACE_TMP/runs.jsonl" >"$TRACE_TMP/hist2.txt"
+cmp "$TRACE_TMP/hist1.txt" "$TRACE_TMP/hist2.txt"
+grep -q 'NSDP(4) *gpo *deadlock *2' "$TRACE_TMP/hist1.txt"
 # Service smoke: boot gpod on a random port, push one verification over
-# the wire with the client package, drain, shut down.
-go run ./cmd/gpod -smoke
+# the wire with the client package, drain, shut down. With -ledger the
+# smoke also walks the /v1/runs surface (history listing, by-id lookup,
+# SSE stream terminating in a verdict matching the response).
+go run ./cmd/gpod -smoke -ledger "$TRACE_TMP/gpod-runs.jsonl"
+go run ./cmd/gpostat -history -ledger "$TRACE_TMP/gpod-runs.jsonl" | grep -q 'NSDP(4)'
