@@ -66,6 +66,7 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		progress   = flag.Bool("progress", false, "report long engine runs periodically on stderr")
+		reduceNet  = flag.Bool("reduce", false, "apply the structural reduction pre-pass before every engine (recorded in the artifact; states are not comparable to unreduced runs)")
 	)
 	flag.Parse()
 
@@ -99,6 +100,7 @@ func main() {
 		MaxSize:  *maxN,
 		MaxNodes: *maxNodes,
 		Workers:  *workers,
+		Reduce:   *reduceNet,
 		Progress: *progress,
 		Trace:    tracer,
 	}

@@ -63,6 +63,7 @@ func main() {
 		traceDump  = flag.String("trace-dump", "", "write aborted requests' flight-recorder tails to <dir>/<request-id>.trace.jsonl")
 		traceCap   = flag.Int("trace-events", 0, "per-track ring capacity of per-request traces (0 = default)")
 		smoke      = flag.Bool("smoke", false, "start on a random port, run one self-check request, shut down")
+		reduceNet  = flag.Bool("reduce", false, "force the structural reduction pre-pass on every request")
 	)
 	flag.Parse()
 
@@ -73,6 +74,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		CacheBytes:     *cacheBytes,
+		Reduce:         *reduceNet,
 		TraceEvents:    *traceCap,
 	}
 	if *accessLog != "" {

@@ -107,9 +107,14 @@ func printHistory(path string, pat *regexp.Regexp) error {
 	fmt.Printf("%-12s %-22s %-9s %5s %5s %12s %10s %10s %12s\n",
 		"net", "engine", "check", "runs", "abort", "states", "median", "p90", "states/s")
 	for _, g := range ledger.Summarize(entries) {
+		// "DISAGREE" is reserved for an actual determinism divergence; a
+		// group whose runs all aborted has no agreed state count to show.
 		states := fmt.Sprint(g.States)
-		if g.States < 0 {
+		switch {
+		case g.StatesDisagree:
 			states = "DISAGREE"
+		case g.Completed == 0:
+			states = "-"
 		}
 		fmt.Printf("%-12s %-22s %-9s %5d %5d %12s %10s %10s %12.0f\n",
 			g.Net, g.Engine, g.Check, g.Runs, g.Aborted, states,

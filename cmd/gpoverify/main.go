@@ -7,6 +7,7 @@
 //	gpoverify -net system.pn -engine partial-order    # .pn file, stubborn sets
 //	gpoverify -model nsdp -size 4 -engine exhaustive -compare
 //	gpoverify -net system.pn -safety "critA,critB"    # mutual exclusion check
+//	gpoverify -model rw -size 9 -reduce               # structural reduction pre-pass
 //
 // Engines: exhaustive, partial-order, symbolic, gpo (default), gpo-explicit,
 // unfolding. With -compare, all engines run and their statistics are
@@ -59,6 +60,7 @@ func main() {
 		maxNodes  = flag.Int("max-nodes", 0, "abort symbolic searches beyond this many BDD nodes")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for the exhaustive engine (0 = sequential)")
 		proviso   = flag.Bool("proviso", false, "apply the cycle proviso in the partial-order engine")
+		reduceNet = flag.Bool("reduce", false, "apply the structural reduction pre-pass before the engine (witnesses are mapped back to the original net)")
 		compare   = flag.Bool("compare", false, "run all engines and tabulate")
 		explain   = flag.Bool("explain", true, "explain deadlock witnesses structurally (empty siphon)")
 
@@ -177,8 +179,9 @@ func main() {
 			"engine", "verdict", "states", "peak-bdd", "peak-sets", "time")
 		runEngines(net, engines, bad, reg, runOpts{
 			stop: *stop, maxStates: *maxStates, maxNodes: *maxNodes,
-			workers: *workers, proviso: *proviso, progress: *progress,
-			explain: *explain, tracer: tracer, ledger: ldg,
+			workers: *workers, proviso: *proviso, reduce: *reduceNet,
+			progress: *progress, explain: *explain, tracer: tracer,
+			ledger: ldg,
 		})
 	}
 
@@ -212,6 +215,7 @@ type runOpts struct {
 	maxNodes  int
 	workers   int
 	proviso   bool
+	reduce    bool
 	progress  bool
 	explain   bool
 	tracer    *trace.Tracer
@@ -229,6 +233,7 @@ func runEngines(net *petri.Net, engines []verify.Engine, bad []petri.Place, reg 
 			MaxNodes:    ro.maxNodes,
 			Workers:     ro.workers,
 			Proviso:     ro.proviso,
+			Reduce:      ro.reduce,
 			Metrics:     reg,
 			Trace:       ro.tracer,
 		}
@@ -262,6 +267,9 @@ func runEngines(net *petri.Net, engines []verify.Engine, bad []petri.Place, reg 
 		}
 		fmt.Printf("%-14s %-10s %10d %12s %12s %10v\n",
 			eng, verdict, rep.States, dash(rep.PeakBDD), dashF(rep.PeakSets), rep.Elapsed.Round(10e3))
+		if ro.reduce {
+			fmt.Printf("  reduced: -%d places, -%d transitions\n", rep.PlacesRemoved, rep.TransRemoved)
+		}
 		if rep.Witness != nil {
 			fmt.Printf("  witness: %s\n", rep.Witness.String(net))
 			if ro.explain && len(bad) == 0 {
@@ -298,6 +306,7 @@ func journal(l *ledger.Log, net *petri.Net, bad []petri.Place, opts verify.Optio
 		Check:       check,
 		StopAtFirst: opts.StopAtFirst,
 		Proviso:     opts.Proviso,
+		Reduce:      opts.Reduce,
 		MaxStates:   opts.MaxStates,
 		MaxNodes:    opts.MaxNodes,
 		Workers:     opts.Workers,

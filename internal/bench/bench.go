@@ -21,6 +21,7 @@ import (
 	"repro/internal/obs/trace"
 	"repro/internal/petri"
 	"repro/internal/reach"
+	"repro/internal/structural/reduce"
 	"repro/internal/stubborn"
 	"repro/internal/symbolic"
 	"repro/internal/verify"
@@ -94,6 +95,13 @@ type Config struct {
 	// workers (0 = sequential); recorded in the JSON artifact so runs
 	// stay comparable.
 	Workers int
+	// Reduce applies the structural reduction pre-pass once per instance
+	// and hands every engine the reduced net. The pre-pass runs inside
+	// the measured bench.run span (its cost is part of the run), run IDs
+	// are computed on the original net with the Reduce flag set (the same
+	// address the daemon gives the request), and the artifact records the
+	// original and reduced net sizes per entry.
+	Reduce bool
 	// Progress, if true, prints periodic per-run progress to stderr.
 	Progress bool
 	// Trace, if non-nil, receives flight-recorder events from every engine
@@ -167,6 +175,7 @@ func Run(c Config) (*obs.BenchReport, error) {
 		GoVersion: runtime.Version(),
 		Workers:   c.Workers,
 		Only:      c.Only,
+		Reduce:    c.Reduce,
 	}
 	rows, err := c.Rows()
 	if err != nil {
@@ -231,7 +240,20 @@ func (c Config) measure(net *petri.Net, r Row, engine string, skip bool, run run
 	}
 	startNS := time.Now().UnixNano()
 	sp := reg.StartSpan("bench.run")
-	out := run(net, c, reg, prog)
+	runNet, out := net, outcome{}
+	if c.Reduce {
+		cert, rerr := reduce.Run(net, reduce.Options{Metrics: reg})
+		if rerr != nil {
+			out.err = rerr
+		} else {
+			runNet = cert.Net()
+			e.OrigPlaces, e.OrigTrans = net.NumPlaces(), net.NumTrans()
+			e.ReducedPlaces, e.ReducedTrans = runNet.NumPlaces(), runNet.NumTrans()
+		}
+	}
+	if out.err == nil {
+		out = run(runNet, c, reg, prog)
+	}
 	sp.End()
 	endNS := time.Now().UnixNano()
 
@@ -267,18 +289,21 @@ func (c Config) measure(net *petri.Net, r Row, engine string, skip bool, run run
 // runners below (the stubborn engine is verify.PartialOrder with or
 // without the proviso; explicit engines share the MaxStates cap).
 func (c Config) engineOptions(engine string) verify.Options {
+	var o verify.Options
 	switch engine {
 	case EngineExhaustive:
-		return verify.Options{Engine: verify.Exhaustive, MaxStates: c.maxStates(), Workers: c.Workers}
+		o = verify.Options{Engine: verify.Exhaustive, MaxStates: c.maxStates(), Workers: c.Workers}
 	case EnginePO:
-		return verify.Options{Engine: verify.PartialOrder, MaxStates: c.maxStates()}
+		o = verify.Options{Engine: verify.PartialOrder, MaxStates: c.maxStates()}
 	case EnginePOProviso:
-		return verify.Options{Engine: verify.PartialOrder, Proviso: true, MaxStates: c.maxStates()}
+		o = verify.Options{Engine: verify.PartialOrder, Proviso: true, MaxStates: c.maxStates()}
 	case EngineSymbolic:
-		return verify.Options{Engine: verify.Symbolic, MaxNodes: c.maxNodes()}
+		o = verify.Options{Engine: verify.Symbolic, MaxNodes: c.maxNodes()}
 	default:
-		return verify.Options{Engine: verify.GPO, MaxStates: c.maxStates()}
+		o = verify.Options{Engine: verify.GPO, MaxStates: c.maxStates()}
 	}
+	o.Reduce = c.Reduce
+	return o
 }
 
 // journal appends the run's ledger entry (no-op without a Ledger). The
@@ -296,6 +321,7 @@ func (c Config) journal(net *petri.Net, e obs.BenchEntry, opts verify.Options, o
 		Engine:      e.Engine,
 		Check:       "deadlock",
 		Proviso:     opts.Proviso,
+		Reduce:      opts.Reduce,
 		MaxStates:   opts.MaxStates,
 		MaxNodes:    opts.MaxNodes,
 		Workers:     opts.Workers,

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/verify"
+)
+
+// TestReduceEquivalentOnTable1 is the correctness contract of the
+// structural reduction pre-pass: on the Table 1 instances, every engine
+// must reach the same verdict with reduction on as off, and the mapped
+// witness must be the same dead marking — or, where an instance has
+// several deadlocks (NSDP's two symmetric ones) and the reduced
+// exploration order finds a different one, a genuine deadlock of the
+// original net.
+//
+// The two >150k-state instances run the GPO engine only, and the
+// explicit family algebra skips the instances whose valid-set families
+// exceed a few thousand sets — the same race-budget carve-outs as
+// TestParallelReachMatchesSequentialTable1 and TestPinnedTable1.
+func TestReduceEquivalentOnTable1(t *testing.T) {
+	const maxFull = 150_000
+	allEngines := []verify.Engine{
+		verify.Exhaustive, verify.PartialOrder, verify.Symbolic,
+		verify.GPO, verify.GPOExplicit, verify.Unfolding,
+	}
+	// Valid-set families beyond a few thousand members make the explicit
+	// algebra quadratically slow (pinned_test's familyPeakMax).
+	familyTooBig := map[string]bool{"nsdp(8)": true, "nsdp(10)": true, "asat(8)": true}
+	for _, r := range Table1() {
+		if testing.Short() && r.PaperFull > 10_000 {
+			continue
+		}
+		engines := allEngines
+		if r.PaperFull > maxFull {
+			engines = []verify.Engine{verify.GPO}
+		}
+		net, err := models.ByName(r.Family, r.Size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := InstanceName(r.Family, r.Size)
+		for _, eng := range engines {
+			if eng == verify.Symbolic && (r.SkipBDD || name == "rw(15)") {
+				// rw(15)/symbolic needs ~9s per unreduced run — the rw
+				// symbolic differential is covered at sizes 6, 9, 12.
+				continue
+			}
+			if eng == verify.GPOExplicit && familyTooBig[name] {
+				continue
+			}
+			opts := verify.Options{Engine: eng}
+			base, err := verify.CheckDeadlock(net, opts)
+			if err != nil {
+				t.Fatalf("%s/%v base: %v", name, eng, err)
+			}
+			opts.Reduce = true
+			red, err := verify.CheckDeadlock(net, opts)
+			if err != nil {
+				t.Fatalf("%s/%v reduced: %v", name, eng, err)
+			}
+			if red.Deadlock != base.Deadlock {
+				t.Errorf("%s/%v: reduced verdict deadlock=%v, unreduced says %v",
+					name, eng, red.Deadlock, base.Deadlock)
+				continue
+			}
+			if (red.Witness == nil) != (base.Witness == nil) {
+				t.Errorf("%s/%v: reduced witness presence %v, unreduced %v",
+					name, eng, red.Witness != nil, base.Witness != nil)
+				continue
+			}
+			if red.Witness == nil || red.Witness.Equal(base.Witness) {
+				continue
+			}
+			if !net.IsDeadlock(red.Witness) {
+				t.Errorf("%s/%v: mapped witness %s is not dead in the original net",
+					name, eng, red.Witness.String(net))
+			}
+		}
+	}
+}

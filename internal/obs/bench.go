@@ -26,7 +26,12 @@ type BenchReport struct {
 	// Only is the instance-name filter regexp the run was restricted to
 	// ("" = all instances). Recorded so a filtered artifact is never
 	// mistaken for a full Table 1 run when diffing.
-	Only    string       `json:"only,omitempty"`
+	Only string `json:"only,omitempty"`
+	// Reduce marks a run measured with the structural reduction pre-pass:
+	// engines explored the reduced nets, so States columns are not
+	// comparable against unreduced artifacts (that difference is the
+	// point — see EXPERIMENTS.md).
+	Reduce  bool         `json:"reduce,omitempty"`
 	Entries []BenchEntry `json:"entries"`
 }
 
@@ -59,6 +64,13 @@ type BenchEntry struct {
 	Skipped bool `json:"skipped,omitempty"`
 	// Error holds a failure message; all numeric fields are then invalid.
 	Error string `json:"error,omitempty"`
+	// OrigPlaces/OrigTrans and ReducedPlaces/ReducedTrans record the net
+	// sizes before and after the structural reduction pre-pass. Only set
+	// on reduced runs (BenchReport.Reduce).
+	OrigPlaces    int `json:"orig_places,omitempty"`
+	OrigTrans     int `json:"orig_trans,omitempty"`
+	ReducedPlaces int `json:"reduced_places,omitempty"`
+	ReducedTrans  int `json:"reduced_trans,omitempty"`
 	// Counters carries the engine's full counter/gauge set for the run
 	// ("core.multi_firings", "bdd.cache_hits", ...).
 	Counters map[string]int64 `json:"counters,omitempty"`

@@ -40,6 +40,35 @@ func TestQuantileExtremes(t *testing.T) {
 	}
 }
 
+// TestQuantileCeilRank pins the interior-quantile rank rule to the ceil
+// nearest-rank definition rank = ⌈q·n⌉ — the same rule the run ledger's
+// quantile uses (internal/obs/ledger), so the histogram view and the
+// ledger summary of the same runs agree. Observations sit on bucket
+// upper edges (7, 15, 31) so the bucketed answer is the exact rank-th
+// value, with n = 1, 2, 3 at q = 0.5 and 0.9.
+func TestQuantileCeilRank(t *testing.T) {
+	cases := []struct {
+		obs      []int64
+		p50, p90 int64
+	}{
+		{[]int64{7}, 7, 7},           // n=1: rank 1 / rank 1
+		{[]int64{7, 15}, 7, 15},      // n=2: ⌈1.0⌉=1 / ⌈1.8⌉=2
+		{[]int64{7, 15, 31}, 15, 31}, // n=3: ⌈1.5⌉=2 / ⌈2.7⌉=3
+	}
+	for _, tc := range cases {
+		h := newHistogram()
+		for _, v := range tc.obs {
+			h.Observe(v)
+		}
+		if got := h.Quantile(0.5); got != tc.p50 {
+			t.Errorf("n=%d: Quantile(0.5) = %d, want %d", len(tc.obs), got, tc.p50)
+		}
+		if got := h.Quantile(0.9); got != tc.p90 {
+			t.Errorf("n=%d: Quantile(0.9) = %d, want %d", len(tc.obs), got, tc.p90)
+		}
+	}
+}
+
 // TestQuantilePowerOfTwoBoundaries pins bucket placement at exact
 // powers of two: 2^k is the first value of bucket k+1 ([2^k, 2^(k+1)))
 // and 2^k−1 the last of bucket k, so quantiles that land on either side

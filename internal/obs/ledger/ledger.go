@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"sync"
@@ -59,6 +60,7 @@ type Entry struct {
 	// Result-determining options (the ones hashed into RunID).
 	StopAtFirst bool `json:"stop_at_first,omitempty"`
 	Proviso     bool `json:"proviso,omitempty"`
+	Reduce      bool `json:"reduce,omitempty"`
 	MaxStates   int  `json:"max_states,omitempty"`
 	MaxNodes    int  `json:"max_nodes,omitempty"`
 	Workers     int  `json:"workers,omitempty"` // informational; not part of RunID
@@ -284,17 +286,25 @@ type Group struct {
 	Engine string
 	Check  string
 	Runs   int
-	// Aborted counts runs that did not complete.
-	Aborted int
+	// Aborted counts runs that did not complete; Completed counts the
+	// ones that did (Runs = Completed + Aborted). A group can have zero
+	// completed runs — every run aborted — and then the wall/states
+	// fields below carry no information.
+	Aborted   int
+	Completed int
 	// Wall-clock distribution over completed runs (ns).
 	MedianWallNS int64
 	P90WallNS    int64
 	// StatesPerSec is the aggregate throughput over completed runs:
 	// total states / total wall.
 	StatesPerSec float64
-	// States is the state count agreed on by completed runs (-1 when
-	// completed runs disagree — a determinism red flag worth surfacing).
-	States int64
+	// States is the state count agreed on by completed runs. It is 0
+	// when the group has no completed runs and -1 when completed runs
+	// disagree; only StatesDisagree distinguishes a genuine determinism
+	// red flag from an empty group (an earlier version conflated the two
+	// by initializing the sentinel to -1).
+	States         int64
+	StatesDisagree bool
 	// Outliers are completed runs whose wall clock exceeded twice the
 	// group median (only flagged once the group has ≥ 3 completed runs,
 	// below that "outlier" has no baseline to mean anything against).
@@ -328,25 +338,25 @@ func Summarize(entries []Entry) []Group {
 	groups := make([]Group, 0, len(order))
 	for _, k := range order {
 		runs := byKey[k]
-		g := Group{Net: k.net, Engine: k.engine, Check: k.check, Runs: len(runs), States: -1}
+		g := Group{Net: k.net, Engine: k.engine, Check: k.check, Runs: len(runs)}
 		var walls []int64
 		var totalStates, totalWall int64
-		statesAgree := true
 		for _, e := range runs {
 			if e.Status != "ok" {
 				g.Aborted++
 				continue
 			}
+			g.Completed++
 			walls = append(walls, e.WallNS)
 			totalStates += e.States
 			totalWall += e.WallNS
-			if g.States == -1 {
+			if g.Completed == 1 {
 				g.States = e.States
 			} else if g.States != e.States {
-				statesAgree = false
+				g.StatesDisagree = true
 			}
 		}
-		if !statesAgree {
+		if g.StatesDisagree {
 			g.States = -1
 		}
 		if len(walls) > 0 {
@@ -369,12 +379,14 @@ func Summarize(entries []Entry) []Group {
 	return groups
 }
 
-// quantile returns the q-quantile of sorted (nearest-rank).
+// quantile returns the q-quantile of sorted, using the ceil nearest-rank
+// rule rank = ⌈q·n⌉ — the same definition as obs.Histogram.Quantile, so
+// a group's median/p90 and the histogram view of the same runs agree.
 func quantile(sorted []int64, q float64) int64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	i := int(q*float64(len(sorted)) + 0.5)
+	i := int(math.Ceil(q * float64(len(sorted))))
 	if i < 1 {
 		i = 1
 	}

@@ -258,12 +258,73 @@ func TestSummarize(t *testing.T) {
 		t.Errorf("gpo group flagged outliers with only %d runs", gpo.Runs)
 	}
 
-	// Disagreeing state counts surface as States == -1.
+	// Disagreeing state counts surface as States == -1 with the
+	// disagreement flag raised.
 	bad := entry(30)
 	bad.States = 999
 	groups = Summarize(append(entries, bad))
-	if groups[0].States != -1 {
-		t.Errorf("States with disagreement = %d, want -1", groups[0].States)
+	if groups[0].States != -1 || !groups[0].StatesDisagree {
+		t.Errorf("disagreement: States=%d StatesDisagree=%v, want -1/true",
+			groups[0].States, groups[0].StatesDisagree)
+	}
+	if groups[0].Completed != 6 {
+		t.Errorf("Completed = %d, want 6", groups[0].Completed)
+	}
+}
+
+// TestSummarizeNoCompletedRuns is the regression test for the
+// all-aborted-group bug: Summarize initialized its agreed-state sentinel
+// to -1 and never updated it when a group had zero completed runs, so
+// such groups were indistinguishable from genuine determinism
+// disagreements (gpostat rendered them as DISAGREE).
+func TestSummarizeNoCompletedRuns(t *testing.T) {
+	var entries []Entry
+	for i := 0; i < 3; i++ {
+		e := entry(i)
+		e.Status = "aborted"
+		e.AbortReason = "deadline"
+		e.Complete = false
+		entries = append(entries, e)
+	}
+	groups := Summarize(entries)
+	if len(groups) != 1 {
+		t.Fatalf("got %d groups, want 1", len(groups))
+	}
+	g := groups[0]
+	if g.Runs != 3 || g.Aborted != 3 || g.Completed != 0 {
+		t.Errorf("runs/aborted/completed = %d/%d/%d, want 3/3/0", g.Runs, g.Aborted, g.Completed)
+	}
+	if g.StatesDisagree {
+		t.Error("all-aborted group flagged StatesDisagree")
+	}
+	if g.States != 0 {
+		t.Errorf("all-aborted group States = %d, want 0 (the -1 sentinel means disagreement)", g.States)
+	}
+}
+
+// TestQuantileCeilRule pins the ledger quantile to the ceil nearest-rank
+// definition rank = ⌈q·n⌉ shared with obs.Histogram.Quantile. The n=7
+// q=0.9 case discriminates against the old +0.5 rounding rule, which
+// picked rank 6 (⌈6.3⌉ = 7 vs ⌊6.3+0.5⌋ = 6).
+func TestQuantileCeilRule(t *testing.T) {
+	cases := []struct {
+		sorted []int64
+		q      float64
+		want   int64
+	}{
+		{[]int64{10}, 0.5, 10},
+		{[]int64{10}, 0.9, 10},
+		{[]int64{10, 20}, 0.5, 10}, // ⌈1.0⌉ = 1
+		{[]int64{10, 20}, 0.9, 20}, // ⌈1.8⌉ = 2
+		{[]int64{10, 20, 30}, 0.5, 20},
+		{[]int64{10, 20, 30}, 0.9, 30},
+		{[]int64{1, 2, 3, 4, 5, 6, 7}, 0.9, 7},
+		{nil, 0.5, 0},
+	}
+	for _, c := range cases {
+		if got := quantile(c.sorted, c.q); got != c.want {
+			t.Errorf("quantile(%v, %v) = %d, want %d", c.sorted, c.q, got, c.want)
+		}
 	}
 }
 

@@ -54,12 +54,13 @@ func documentedMetricNames(doc string) map[string]bool {
 }
 
 // TestRuntimeMetricsDocumented is the drift check: every server.*,
-// reach.* and zdd.* metric the running service actually registers must
-// appear in OBSERVABILITY.md's tables, so the doc cannot silently rot
-// as instrumentation grows. The workload covers the sequential and
-// parallel explicit engines, the ZDD-backed GPO engine, and the result
-// cache (hit + miss), which together register every metric in those
-// three namespaces.
+// reach.*, zdd.* and reduce.* metric the running service actually
+// registers must appear in OBSERVABILITY.md's tables, so the doc cannot
+// silently rot as instrumentation grows. The workload covers the
+// sequential and parallel explicit engines, the ZDD-backed GPO engine,
+// the result cache (hit + miss), and a reduced run on a net every
+// reduction rule fires on, which together register every metric in
+// those namespaces.
 func TestRuntimeMetricsDocumented(t *testing.T) {
 	doc, err := os.ReadFile("../../OBSERVABILITY.md")
 	if err != nil {
@@ -84,6 +85,7 @@ func TestRuntimeMetricsDocumented(t *testing.T) {
 		{Model: "nsdp", Size: 4, Engine: "exhaustive", Workers: 2}, // reach.* (parallel shards)
 		{Model: "nsdp", Size: 4, Engine: "exhaustive"},             // server.cache_hits
 		{Model: "nsdp", Size: 4, Engine: "gpo"},                    // zdd.* via core.StatsReporter
+		{Model: "rw", Size: 6, Engine: "gpo", Reduce: true},        // reduce.* (rw reduces hard)
 	} {
 		if _, err := c.Verify(ctx, req); err != nil {
 			t.Fatalf("verify %+v: %v", req, err)
@@ -106,7 +108,8 @@ func TestRuntimeMetricsDocumented(t *testing.T) {
 		switch {
 		case strings.HasPrefix(name, "server."),
 			strings.HasPrefix(name, "reach."),
-			strings.HasPrefix(name, "zdd."):
+			strings.HasPrefix(name, "zdd."),
+			strings.HasPrefix(name, "reduce."):
 			checked++
 			if !documented[name] {
 				t.Errorf("runtime metric %q is not documented in OBSERVABILITY.md", name)
@@ -114,6 +117,6 @@ func TestRuntimeMetricsDocumented(t *testing.T) {
 		}
 	}
 	if checked < 15 {
-		t.Fatalf("only %d server./reach./zdd. metrics registered — workload too thin for a drift check", checked)
+		t.Fatalf("only %d server./reach./zdd./reduce. metrics registered — workload too thin for a drift check", checked)
 	}
 }

@@ -40,6 +40,11 @@ type Request struct {
 	Workers int `json:"workers,omitempty"`
 	// Proviso applies the cycle proviso in the partial-order engine.
 	Proviso bool `json:"proviso,omitempty"`
+	// Reduce applies the structural reduction pre-pass before the engine
+	// (verify.Options.Reduce). Result-stat-determining, so it keys the
+	// result cache; the server's -reduce flag forces it on for every
+	// request.
+	Reduce bool `json:"reduce,omitempty"`
 	// TimeoutMS is the per-request wall-clock budget; 0 uses the server
 	// default, and the server clamps it to its configured ceiling.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -213,6 +218,7 @@ func (s *Server) parseRequest(req *Request) (*parsedRequest, error) {
 		MaxNodes:    req.MaxNodes,
 		Workers:     req.Workers,
 		Proviso:     req.Proviso,
+		Reduce:      req.Reduce || s.cfg.Reduce,
 	}
 	if err := opts.Validate(); err != nil {
 		return nil, badRequestf("%v", err)

@@ -303,6 +303,7 @@ func ledgerEntryOf(j *job, lr *liveRun, resp *Response, runErr error, startNS, e
 		Check:       lr.check,
 		StopAtFirst: j.req.opts.StopAtFirst,
 		Proviso:     j.req.opts.Proviso,
+		Reduce:      j.req.opts.Reduce,
 		MaxStates:   j.req.opts.MaxStates,
 		MaxNodes:    j.req.opts.MaxNodes,
 		Workers:     j.req.opts.Workers,

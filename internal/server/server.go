@@ -41,6 +41,11 @@ type Config struct {
 	// asking for more (or for "unlimited", 0) are clamped down to it.
 	// 0 leaves request bounds alone.
 	MaxStates int
+	// Reduce force-enables the structural reduction pre-pass for every
+	// request (composed as req.Reduce || cfg.Reduce, so requests can
+	// still opt in individually when this is off). Reduction keys the
+	// result cache, so forced and unforced runs never share entries.
+	Reduce bool
 	// DefaultTimeout is the wall-clock budget of requests that do not
 	// ask for one (default 10s); MaxTimeout is the ceiling any request
 	// can ask for (default 60s).

@@ -1,0 +1,216 @@
+package structural
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/petri"
+	"repro/internal/randnet"
+	"repro/internal/reach"
+)
+
+// subsetPlaces decodes a bitmask over the net's places (≤ 10 places, so
+// every subset is enumerable).
+func subsetPlaces(mask int, nPlaces int) []petri.Place {
+	var s []petri.Place
+	for p := 0; p < nPlaces; p++ {
+		if mask&(1<<p) != 0 {
+			s = append(s, petri.Place(p))
+		}
+	}
+	return s
+}
+
+// bruteIsSiphon checks •S ⊆ S• straight from the definition: every
+// transition producing into S must also consume from S.
+func bruteIsSiphon(n *petri.Net, s []petri.Place) bool {
+	in := make(map[petri.Place]bool, len(s))
+	for _, p := range s {
+		in[p] = true
+	}
+	for t := petri.Trans(0); int(t) < n.NumTrans(); t++ {
+		produces := false
+		for _, p := range n.Post(t) {
+			if in[p] {
+				produces = true
+				break
+			}
+		}
+		if !produces {
+			continue
+		}
+		consumes := false
+		for _, p := range n.Pre(t) {
+			if in[p] {
+				consumes = true
+				break
+			}
+		}
+		if !consumes {
+			return false
+		}
+	}
+	return true
+}
+
+// bruteIsTrap checks S• ⊆ •S from the definition.
+func bruteIsTrap(n *petri.Net, s []petri.Place) bool {
+	in := make(map[petri.Place]bool, len(s))
+	for _, p := range s {
+		in[p] = true
+	}
+	for t := petri.Trans(0); int(t) < n.NumTrans(); t++ {
+		consumes := false
+		for _, p := range n.Pre(t) {
+			if in[p] {
+				consumes = true
+				break
+			}
+		}
+		if !consumes {
+			continue
+		}
+		produces := false
+		for _, p := range n.Post(t) {
+			if in[p] {
+				produces = true
+				break
+			}
+		}
+		if !produces {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSiphonTrapBruteForce cross-validates IsSiphon/IsTrap against the
+// definitional check on every nonempty place subset of seeded random
+// nets (9 places ⇒ 511 subsets each).
+func TestSiphonTrapBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		net := randnet.Generate(randnet.Default(seed))
+		if net.NumPlaces() > 10 {
+			t.Fatalf("seed %d: %d places, want ≤ 10 for enumeration", seed, net.NumPlaces())
+		}
+		for mask := 1; mask < 1<<net.NumPlaces(); mask++ {
+			s := subsetPlaces(mask, net.NumPlaces())
+			if got, want := IsSiphon(net, s), bruteIsSiphon(net, s); got != want {
+				t.Fatalf("seed %d: IsSiphon(%v) = %v, brute force says %v", seed, s, got, want)
+			}
+			if got, want := IsTrap(net, s), bruteIsTrap(net, s); got != want {
+				t.Fatalf("seed %d: IsTrap(%v) = %v, brute force says %v", seed, s, got, want)
+			}
+		}
+	}
+}
+
+// TestMaxSiphonWithinBruteForce checks the greatest-fixpoint computation
+// against the union of all siphons contained in the candidate set (the
+// maximal siphon within a set is exactly that union, since siphons are
+// closed under union).
+func TestMaxSiphonWithinBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		net := randnet.Generate(randnet.Default(seed))
+		nP := net.NumPlaces()
+		for _, candMask := range []int{1<<nP - 1, 0x155, 0x0ff, 0x1c7} {
+			cand := subsetPlaces(candMask, nP)
+			union := 0
+			for sub := candMask; sub > 0; sub = (sub - 1) & candMask {
+				if bruteIsSiphon(net, subsetPlaces(sub, nP)) {
+					union |= sub
+				}
+			}
+			gotMask := 0
+			for _, p := range MaxSiphonWithin(net, cand) {
+				gotMask |= 1 << p
+			}
+			if gotMask != union {
+				t.Fatalf("seed %d cand %#x: MaxSiphonWithin = %#x, union of siphons = %#x",
+					seed, candMask, gotMask, union)
+			}
+		}
+	}
+}
+
+// TestProveSafeDifferential validates the structural safeness
+// certificate against exhaustive exploration: every place ProveSafe
+// claims covered must be 1-bounded in every reachable marking (randnet
+// nets are safe by construction, so reach.Explore doubles as the ground
+// truth — it fails with ErrUnsafe otherwise), and the invariants backing
+// the claim must hold with weight 1 on every reachable marking.
+func TestProveSafeDifferential(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		net := randnet.Generate(randnet.Default(seed))
+		invs, err := PInvariants(net, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		uncovered := ProveSafe(net, invs)
+		res, err := reach.Explore(net, reach.Options{StoreGraph: true})
+		if err != nil {
+			t.Fatalf("seed %d: exploration refutes safety that ProveSafe implied: %v", seed, err)
+		}
+		m0 := net.InitialMarking()
+		for _, y := range invs {
+			if Weight(y, m0) != 1 {
+				continue
+			}
+			for _, m := range res.Graph.States {
+				if w := Weight(y, m); w != 1 {
+					t.Fatalf("seed %d: unit invariant %v has weight %d in reachable %s",
+						seed, y, w, m.String(net))
+				}
+			}
+		}
+		// Uncovered places are legitimate on random nets (the Farkas
+		// generating set need not contain a unit invariant per place —
+		// sync transitions can fold the machine cycles into wider
+		// vectors), but a coverage claim must rest on genuine unit
+		// invariants: recompute coverage from the validated invariants
+		// and require it to match what ProveSafe reported.
+		covered := make([]bool, net.NumPlaces())
+		for _, y := range invs {
+			if Weight(y, m0) != 1 {
+				continue
+			}
+			for p, w := range y {
+				if w >= 1 {
+					covered[p] = true
+				}
+			}
+		}
+		for p, ok := range covered {
+			claimed := true
+			for _, u := range uncovered {
+				if int(u) == p {
+					claimed = false
+				}
+			}
+			if ok != claimed {
+				t.Errorf("seed %d: place %d coverage mismatch: invariants say %v, ProveSafe says %v",
+					seed, p, ok, claimed)
+			}
+		}
+	}
+}
+
+// TestProveSafeCoversClassicalModels pins the positive case: on the
+// paper's models the Farkas generating set does contain the unit
+// invariants (process cycles, mutual-exclusion tokens), so the
+// structural proof covers every place.
+func TestProveSafeCoversClassicalModels(t *testing.T) {
+	nets := []*petri.Net{
+		models.NSDP(4), models.Fig1(4), models.Fig2(3),
+		models.ReadersWriters(3), models.Overtake(2),
+	}
+	for _, net := range nets {
+		invs, err := PInvariants(net, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", net.Name(), err)
+		}
+		if uncovered := ProveSafe(net, invs); len(uncovered) != 0 {
+			t.Errorf("%s: structural safety proof left %v uncovered", net.Name(), uncovered)
+		}
+	}
+}

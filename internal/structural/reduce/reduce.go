@@ -1,0 +1,538 @@
+// Package reduce implements a sound, ordinary-net-preserving structural
+// reduction pipeline applied before state-space exploration, in the
+// spirit of Berthelot's agglomerations and the polyhedral reductions of
+// Amat et al. (PAPERS.md): the net is shrunk by rules that provably
+// preserve the reachable-marking projection on kept places and the exact
+// set of dead markings, so any engine's verdict — and its witness, once
+// mapped back — is identical to what the unreduced run would produce.
+//
+// Three rule families run to a fixpoint:
+//
+//   - Dead-transition pruning. The maximal siphon S inside the initially
+//     unmarked places can never acquire a token (•S ⊆ S•), so every
+//     transition consuming from S is dead and is removed, and the places
+//     of S (constant 0) with it.
+//   - Redundant-place removal. A place whose incidence row is zero and
+//     which starts marked is constant 1 (every consumer self-loops on
+//     it); a sink place (p• = ∅) covered by a P-invariant is implied by
+//     the kept places. Both are removed and reconstructed arithmetically.
+//   - Post-agglomeration. A series chain u → p → t with p• = {t},
+//     •t = {p}, p ∉ t• and p initially unmarked is collapsed: every
+//     producer u fires u;t atomically (its postset becomes (u•\{p}) ∪ t•)
+//     and p, t disappear. Because t is the sole consumer of p and p its
+//     only input, firing t eagerly commutes with every other transition,
+//     so Reach(reduced) is exactly the p-empty slice of Reach(original)
+//     and the dead markings (all of which have p empty — t would be
+//     enabled otherwise) coincide.
+//
+// Reduce returns a Certificate that carries the reduced net and the
+// mapping back: PlaceIndex translates original places into the reduced
+// net, ExpandMarking reconstructs a full original marking (witnesses,
+// dead markings) from a reduced one by replaying the removals in reverse.
+//
+// Like the engines, the pipeline assumes its input net is safe; protected
+// places (a safety check's bad places) are never removed, so property
+// places survive into the reduced net.
+package reduce
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/petri"
+	"repro/internal/structural"
+)
+
+// Rule names, as counted by Certificate.Rules and the reduce.rule_*
+// metrics.
+const (
+	RuleDeadTransition    = "dead_transition"
+	RuleEmptySiphonPlace  = "empty_siphon_place"
+	RuleConstantPlace     = "constant_place"
+	RuleImplicitPlace     = "implicit_place"
+	RulePostAgglomeration = "post_agglomeration"
+)
+
+var ruleNames = []string{
+	RuleDeadTransition,
+	RuleEmptySiphonPlace,
+	RuleConstantPlace,
+	RuleImplicitPlace,
+	RulePostAgglomeration,
+}
+
+// Options configures a reduction.
+type Options struct {
+	// Protect lists places that must survive into the reduced net (a
+	// safety check's bad places). Protected places are exempt from every
+	// place-removal rule; transitions around them may still be pruned
+	// when provably dead.
+	Protect []petri.Place
+	// MaxInvariantRows caps the Farkas computation behind the
+	// implicit-place rule (0 = the structural package default). When the
+	// cap is exceeded the rule is skipped, never failed.
+	MaxInvariantRows int
+	// MaxRounds bounds the fixpoint iteration (0 = 64, far beyond any
+	// real net: every round removes at least one node).
+	MaxRounds int
+	// Metrics, if non-nil, receives the reduce.* counters and the
+	// reduce.prepass span (see OBSERVABILITY.md). Nil costs nothing.
+	Metrics *obs.Registry
+}
+
+// reconKind says how a removed place's marking is reconstructed.
+type reconKind uint8
+
+const (
+	reconConst     reconKind = iota // marking is the constant value
+	reconInvariant                  // marking implied by an invariant
+)
+
+// recon is one removed place's reconstruction record, in original-net
+// indices. Records are replayed newest-first: a record may reference
+// places removed after it (alive when it was recorded), which by then
+// have already been reconstructed.
+type recon struct {
+	place petri.Place
+	kind  reconKind
+	value int // reconConst: the constant marking (0 or 1)
+	// reconInvariant: m(place) = (target − Σ coeff(q)·m(q)) / selfW.
+	coeff  []placeWeight
+	target int
+	selfW  int
+}
+
+type placeWeight struct {
+	place  petri.Place
+	weight int
+}
+
+// Certificate is the outcome of a reduction: the reduced net plus
+// everything needed to map verdicts, witnesses and dead markings back to
+// the original net.
+type Certificate struct {
+	orig         *petri.Net
+	reduced      *petri.Net
+	toRed        []petri.Place // original place -> reduced place, -1 if removed
+	recons       []recon       // chronological removal order
+	rules        map[string]int
+	rounds       int
+	transRemoved int
+}
+
+// Net returns the reduced net (the original net when nothing applied).
+func (c *Certificate) Net() *petri.Net { return c.reduced }
+
+// Original returns the net the reduction started from.
+func (c *Certificate) Original() *petri.Net { return c.orig }
+
+// Changed reports whether any rule applied.
+func (c *Certificate) Changed() bool { return c.reduced != c.orig }
+
+// Rounds returns the number of fixpoint rounds run.
+func (c *Certificate) Rounds() int { return c.rounds }
+
+// PlacesRemoved returns how many places the reduction removed.
+func (c *Certificate) PlacesRemoved() int { return len(c.recons) }
+
+// TransRemoved returns how many transitions the reduction removed.
+func (c *Certificate) TransRemoved() int { return c.transRemoved }
+
+// Rules returns the per-rule application counts (keys are the Rule*
+// constants; rules that never fired are absent).
+func (c *Certificate) Rules() map[string]int {
+	out := make(map[string]int, len(c.rules))
+	for k, v := range c.rules {
+		out[k] = v
+	}
+	return out
+}
+
+// PlaceIndex maps an original place into the reduced net. ok is false
+// when the place was removed.
+func (c *Certificate) PlaceIndex(p petri.Place) (petri.Place, bool) {
+	rp := c.toRed[p]
+	return rp, rp >= 0
+}
+
+// MapPlaces maps a slice of original places into the reduced net; it
+// fails if any of them was removed (protect them via Options.Protect).
+func (c *Certificate) MapPlaces(ps []petri.Place) ([]petri.Place, error) {
+	out := make([]petri.Place, len(ps))
+	for i, p := range ps {
+		rp, ok := c.PlaceIndex(p)
+		if !ok {
+			return nil, fmt.Errorf("reduce: place %s was removed by the reduction", c.orig.PlaceName(p))
+		}
+		out[i] = rp
+	}
+	return out, nil
+}
+
+// ExpandMarking maps a marking of the reduced net back to the original
+// net: kept places copy their bit, removed places are reconstructed by
+// replaying the removal records newest-first. nil maps to nil.
+func (c *Certificate) ExpandMarking(m petri.Marking) petri.Marking {
+	if m == nil {
+		return nil
+	}
+	out := c.orig.EmptyMarking()
+	for op, rp := range c.toRed {
+		if rp >= 0 && m.Has(rp) {
+			out.Set(petri.Place(op))
+		}
+	}
+	for i := len(c.recons) - 1; i >= 0; i-- {
+		r := c.recons[i]
+		v := r.value
+		if r.kind == reconInvariant {
+			v = r.target
+			for _, cw := range r.coeff {
+				if out.Has(cw.place) {
+					v -= cw.weight
+				}
+			}
+			v /= r.selfW
+		}
+		if v != 0 {
+			out.Set(r.place)
+		}
+	}
+	return out
+}
+
+// reducer is the mutable fixpoint state: the current net plus the index
+// maps back to the original.
+type reducer struct {
+	cur     *petri.Net
+	toOrig  []petri.Place // current place -> original place
+	opts    Options
+	protect map[petri.Place]bool // original indices
+	cert    *Certificate
+}
+
+// Run applies the reduction rules to a fixpoint and returns the
+// certificate. The pipeline is deterministic: identical inputs yield
+// identical reduced nets, which is what lets reduced runs share content-
+// addressed run identities.
+func Run(n *petri.Net, o Options) (*Certificate, error) {
+	sp := o.Metrics.StartSpan("reduce.prepass")
+	defer sp.End()
+
+	maxRounds := o.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 64
+	}
+	r := &reducer{
+		cur:     n,
+		toOrig:  identityPlaces(n.NumPlaces()),
+		opts:    o,
+		protect: make(map[petri.Place]bool, len(o.Protect)),
+		cert: &Certificate{
+			orig:    n,
+			reduced: n,
+			toRed:   identityPlaces(n.NumPlaces()),
+			rules:   make(map[string]int),
+		},
+	}
+	for _, p := range o.Protect {
+		r.protect[p] = true
+	}
+
+	for round := 1; round <= maxRounds; round++ {
+		changed := false
+		ok, err := r.pruneDead()
+		if err != nil {
+			return nil, err
+		}
+		changed = changed || ok
+		for {
+			ok, err := r.dropConstantPlace()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			changed = true
+		}
+		for {
+			ok, err := r.dropImplicitPlace()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			changed = true
+		}
+		for {
+			ok, err := r.agglomerate()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			changed = true
+		}
+		r.cert.rounds = round
+		if !changed {
+			break
+		}
+	}
+
+	r.cert.reduced = r.cur
+	r.cert.toRed = make([]petri.Place, n.NumPlaces())
+	for i := range r.cert.toRed {
+		r.cert.toRed[i] = -1
+	}
+	for cp, op := range r.toOrig {
+		r.cert.toRed[op] = petri.Place(cp)
+	}
+	r.emitMetrics()
+	return r.cert, nil
+}
+
+func identityPlaces(n int) []petri.Place {
+	out := make([]petri.Place, n)
+	for i := range out {
+		out[i] = petri.Place(i)
+	}
+	return out
+}
+
+func (r *reducer) emitMetrics() {
+	reg := r.opts.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("reduce.rounds").Add(int64(r.cert.rounds))
+	reg.Counter("reduce.places_removed").Add(int64(r.cert.PlacesRemoved()))
+	reg.Counter("reduce.trans_removed").Add(int64(r.cert.transRemoved))
+	total := int64(0)
+	for _, name := range ruleNames {
+		n := int64(r.cert.rules[name])
+		reg.Counter("reduce.rule_" + name).Add(n)
+		total += n
+	}
+	reg.Counter("reduce.applications").Add(total)
+}
+
+// apply performs one surgery on the current net, composing the identity
+// maps and recording the removed places' reconstructions.
+func (r *reducer) apply(s petri.Surgery, recs []recon) error {
+	next, placeOf, transOf, err := s.Apply(r.cur)
+	if err != nil {
+		return err
+	}
+	toOrig := make([]petri.Place, len(placeOf))
+	for i, old := range placeOf {
+		toOrig[i] = r.toOrig[old]
+	}
+	r.cert.transRemoved += r.cur.NumTrans() - len(transOf)
+	r.cur = next
+	r.toOrig = toOrig
+	r.cert.recons = append(r.cert.recons, recs...)
+	return nil
+}
+
+// origOf translates a current-net place to its original index.
+func (r *reducer) origOf(p petri.Place) petri.Place { return r.toOrig[p] }
+
+func (r *reducer) isProtected(p petri.Place) bool { return r.protect[r.origOf(p)] }
+
+// pruneDead removes every transition whose preset intersects the maximal
+// provably-unmarkable siphon (the largest siphon among the initially
+// unmarked places: •S ⊆ S• and S starts empty, so S stays empty and its
+// consumers can never fire), along with the siphon's unprotected places
+// (constant 0 — their producers, putting tokens into S, are themselves
+// in S• and thus dead too, so no kept transition touches them).
+func (r *reducer) pruneDead() (bool, error) {
+	n := r.cur
+	init := n.InitialMarking()
+	var unmarked []petri.Place
+	for p := petri.Place(0); int(p) < n.NumPlaces(); p++ {
+		if !init.Has(p) {
+			unmarked = append(unmarked, p)
+		}
+	}
+	siphon := structural.MaxSiphonWithin(n, unmarked)
+	if len(siphon) == 0 {
+		return false, nil
+	}
+	inSiphon := make(map[petri.Place]bool, len(siphon))
+	for _, p := range siphon {
+		inSiphon[p] = true
+	}
+	var dead []petri.Trans
+	for t := petri.Trans(0); int(t) < n.NumTrans(); t++ {
+		for _, p := range n.Pre(t) {
+			if inSiphon[p] {
+				dead = append(dead, t)
+				break
+			}
+		}
+	}
+	var drop []petri.Place
+	var recs []recon
+	for _, p := range siphon {
+		if r.isProtected(p) {
+			continue
+		}
+		drop = append(drop, p)
+		recs = append(recs, recon{place: r.origOf(p), kind: reconConst, value: 0})
+	}
+	if len(dead) == 0 && len(drop) == 0 {
+		return false, nil
+	}
+	r.cert.rules[RuleDeadTransition] += len(dead)
+	r.cert.rules[RuleEmptySiphonPlace] += len(drop)
+	return true, r.apply(petri.Surgery{DropPlaces: drop, DropTrans: dead}, recs)
+}
+
+// dropConstantPlace removes one place whose incidence row is zero (every
+// consumer also produces it and vice versa — all arcs are self-loops)
+// and which starts marked: its marking is the constant 1, so enabledness
+// never hinges on it as long as each consumer keeps another input place
+// to condition on. One place per call, so the ≥2-inputs guard is checked
+// against the net the removal actually operates on.
+func (r *reducer) dropConstantPlace() (bool, error) {
+	n := r.cur
+	init := n.InitialMarking()
+scan:
+	for p := petri.Place(0); int(p) < n.NumPlaces(); p++ {
+		if !init.Has(p) || r.isProtected(p) {
+			continue
+		}
+		// Row zero: consumers and producers coincide as self-loops.
+		for _, t := range n.PostT(p) {
+			if !containsPlace(n.Post(t), p) {
+				continue scan
+			}
+			if len(n.Pre(t)) < 2 {
+				continue scan // would strip t's last input
+			}
+		}
+		for _, t := range n.PreT(p) {
+			if !containsPlace(n.Pre(t), p) {
+				continue scan
+			}
+		}
+		r.cert.rules[RuleConstantPlace]++
+		err := r.apply(
+			petri.Surgery{DropPlaces: []petri.Place{p}},
+			[]recon{{place: r.origOf(p), kind: reconConst, value: 1}},
+		)
+		return err == nil, err
+	}
+	return false, nil
+}
+
+// dropImplicitPlace removes one sink place (p• = ∅, so no transition's
+// enabledness depends on it) whose marking is implied by a P-invariant
+// over the remaining places: y with y(p) ≥ 1 gives
+// m(p) = (y·m₀ − Σ_{q≠p} y(q)·m(q)) / y(p) in every reachable marking.
+// Invariants are only computed when a sink candidate exists; a Farkas
+// row-cap overflow skips the rule rather than failing the reduction.
+func (r *reducer) dropImplicitPlace() (bool, error) {
+	n := r.cur
+	var sinks []petri.Place
+	for p := petri.Place(0); int(p) < n.NumPlaces(); p++ {
+		if len(n.PostT(p)) == 0 && !r.isProtected(p) {
+			sinks = append(sinks, p)
+		}
+	}
+	if len(sinks) == 0 {
+		return false, nil
+	}
+	invariants, err := structural.PInvariants(n, r.opts.MaxInvariantRows)
+	if err != nil {
+		return false, nil // cap exceeded: skip the rule, soundly
+	}
+	m0 := n.InitialMarking()
+	for _, p := range sinks {
+		for _, y := range invariants {
+			if y[p] < 1 {
+				continue
+			}
+			rec := recon{
+				place:  r.origOf(p),
+				kind:   reconInvariant,
+				target: structural.Weight(y, m0),
+				selfW:  y[p],
+			}
+			for q, w := range y {
+				if petri.Place(q) != p && w != 0 {
+					rec.coeff = append(rec.coeff, placeWeight{place: r.origOf(petri.Place(q)), weight: w})
+				}
+			}
+			r.cert.rules[RuleImplicitPlace]++
+			err := r.apply(petri.Surgery{DropPlaces: []petri.Place{p}}, []recon{rec})
+			return err == nil, err
+		}
+	}
+	return false, nil
+}
+
+// agglomerate collapses one series chain: a place p with m₀(p) = 0, a
+// single consumer t with •t = {p} and p ∉ t•, and at least one producer.
+// Each producer u fires u;t atomically (post (u•\{p}) ∪ t•); p and t are
+// removed. t is structurally conflict-free (no other transition reads
+// p), firing it only adds tokens elsewhere, so eager firing commutes
+// with every interleaving: the reduced reachability set is exactly the
+// p-empty slice of the original, and since every original dead marking
+// has p empty (t would be enabled otherwise), the dead markings — and
+// the deadlock verdict and witness — are preserved exactly.
+func (r *reducer) agglomerate() (bool, error) {
+	n := r.cur
+	init := n.InitialMarking()
+	for p := petri.Place(0); int(p) < n.NumPlaces(); p++ {
+		if init.Has(p) || r.isProtected(p) {
+			continue
+		}
+		cons := n.PostT(p)
+		if len(cons) != 1 {
+			continue
+		}
+		t := cons[0]
+		if len(n.Pre(t)) != 1 || containsPlace(n.Post(t), p) {
+			continue
+		}
+		prods := n.PreT(p)
+		if len(prods) == 0 {
+			continue // unmarkable; pruneDead's siphon handles it
+		}
+		replace := make(map[petri.Trans][]petri.Place, len(prods))
+		for _, u := range prods {
+			var post []petri.Place
+			for _, q := range n.Post(u) {
+				if q != p {
+					post = append(post, q)
+				}
+			}
+			post = append(post, n.Post(t)...)
+			replace[u] = post
+		}
+		r.cert.rules[RulePostAgglomeration]++
+		err := r.apply(
+			petri.Surgery{
+				DropPlaces:  []petri.Place{p},
+				DropTrans:   []petri.Trans{t},
+				ReplacePost: replace,
+			},
+			[]recon{{place: r.origOf(p), kind: reconConst, value: 0}},
+		)
+		return err == nil, err
+	}
+	return false, nil
+}
+
+func containsPlace(ps []petri.Place, p petri.Place) bool {
+	for _, q := range ps {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}

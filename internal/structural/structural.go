@@ -12,6 +12,7 @@
 package structural
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -110,11 +111,23 @@ func PInvariants(n *petri.Net, maxRows int) ([][]int, error) {
 				}
 			}
 		}
-		// Dedupe identical rows to keep the frontier small.
+		// Dedupe identical rows to keep the frontier small. The key is
+		// the self-delimiting binary encoding of [y | d] — zigzag varints
+		// (d residuals go negative), the same AppendKey idiom as the
+		// family algebras — rather than fmt.Sprint, which allocated a
+		// formatted string per row on this hot path.
 		seen := make(map[string]bool, len(next))
 		rows = next[:0]
+		var kbuf []byte
 		for _, r := range next {
-			k := fmt.Sprint(r.y, r.d)
+			kbuf = kbuf[:0]
+			for _, v := range r.y {
+				kbuf = binary.AppendVarint(kbuf, int64(v))
+			}
+			for _, v := range r.d {
+				kbuf = binary.AppendVarint(kbuf, int64(v))
+			}
+			k := string(kbuf)
 			if !seen[k] {
 				seen[k] = true
 				rows = append(rows, r)

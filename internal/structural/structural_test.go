@@ -1,6 +1,7 @@
 package structural
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/models"
@@ -180,6 +181,65 @@ func TestEmptySiphonStaysEmpty(t *testing.T) {
 					t.Fatalf("seed %d: siphon re-marked by %s", seed, net.TransName(e.T))
 				}
 			}
+		}
+	}
+}
+
+// TestPInvariantsPinnedCounts pins the generating-set sizes on the
+// benchmark models: the binary dedupe key must keep exactly the rows the
+// previous fmt.Sprint key kept (both are injective on fixed-length
+// [y | d] rows, so the counts below — captured before the key change —
+// must never move), every vector must be a genuine nonnegative
+// invariant, and no two returned invariants may be equal.
+func TestPInvariantsPinnedCounts(t *testing.T) {
+	cases := []struct {
+		family string
+		size   int
+		want   int
+	}{
+		{"nsdp", 2, 4}, {"nsdp", 3, 6}, {"nsdp", 4, 8}, {"nsdp", 6, 12},
+		{"fig1", 2, 2}, {"fig1", 3, 3}, {"fig1", 4, 4}, {"fig1", 6, 6},
+		{"fig2", 2, 2}, {"fig2", 3, 3}, {"fig2", 4, 4}, {"fig2", 6, 6},
+		{"rw", 2, 5}, {"rw", 3, 7}, {"rw", 4, 9}, {"rw", 6, 13},
+		{"over", 2, 4}, {"over", 3, 6}, {"over", 4, 8}, {"over", 6, 12},
+		{"asat", 2, 8}, {"asat", 4, 45},
+	}
+	for _, c := range cases {
+		net, err := models.ByName(c.family, c.size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		invs, err := PInvariants(net, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", net.Name(), err)
+		}
+		if len(invs) != c.want {
+			t.Errorf("%s: %d invariants, want %d", net.Name(), len(invs), c.want)
+		}
+		seen := make(map[string]bool, len(invs))
+		for _, y := range invs {
+			if !InvariantHolds(net, y) {
+				t.Errorf("%s: %v is not an invariant", net.Name(), y)
+			}
+			k := fmt.Sprint(y)
+			if seen[k] {
+				t.Errorf("%s: duplicate invariant %v survived dedupe", net.Name(), y)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+// BenchmarkPInvariants measures the Farkas computation — dominated by
+// the per-row dedupe key on wide nets — with allocation counts; the
+// binary key replaced a fmt.Sprint that allocated a formatted string
+// per surviving row.
+func BenchmarkPInvariants(b *testing.B) {
+	net := models.NSDP(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := PInvariants(net, 0); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -87,6 +87,9 @@ func RunKey(n *petri.Net, check string, bad []petri.Place, o Options) Key {
 	if o.Proviso {
 		flags |= 2
 	}
+	if o.Reduce {
+		flags |= 4
+	}
 	b = binary.AppendUvarint(b, flags)
 	b = binary.AppendUvarint(b, uint64(o.MaxStates))
 	b = binary.AppendUvarint(b, uint64(o.MaxNodes))

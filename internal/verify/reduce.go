@@ -1,0 +1,108 @@
+package verify
+
+import (
+	"time"
+
+	"repro/internal/petri"
+	"repro/internal/structural/reduce"
+)
+
+// checkDeadlockReduced runs the structural reduction pre-pass and the
+// selected engine on the reduced net, then maps the witness back to the
+// input net via the certificate. The reduction rules preserve the set of
+// dead markings exactly (see internal/structural/reduce), so the verdict
+// needs no translation and the expanded witness is a genuine dead marking
+// of the input net.
+func checkDeadlockReduced(n *petri.Net, opts Options) (*Report, error) {
+	start := time.Now()
+	cert, err := reduce.Run(n, reduce.Options{Metrics: opts.Metrics})
+	if err != nil {
+		return nil, err
+	}
+	inner := opts
+	inner.Reduce = false
+	rep, err := CheckDeadlock(cert.Net(), inner)
+	if err != nil {
+		return nil, err
+	}
+	rep.Net = n.Name()
+	rep.PlacesRemoved = cert.PlacesRemoved()
+	rep.TransRemoved = cert.TransRemoved()
+	if !rep.Aborted {
+		rep.Witness = cert.ExpandMarking(rep.Witness)
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// checkSafetyReduced reduces with the bad places protected (so the
+// property survives into the reduced net), maps them into the reduced
+// net, runs the check there and expands the witness. For the engines
+// that monitor (partial-order, unfolding, GPO) the witness lives on the
+// monitored reduced net; it is translated to the equivalent post-monitor
+// marking of the monitored input net: the pre-monitor reachable marking
+// is recovered (the consumed bad tokens are re-added so the expansion
+// operates on a genuine reachable marking of the reduced net), expanded,
+// and the monitor's effect (bad and __run consumed, __trap produced)
+// replayed on the input net's monitored shape.
+func checkSafetyReduced(n *petri.Net, bad []petri.Place, opts Options) (*Report, error) {
+	start := time.Now()
+	cert, err := reduce.Run(n, reduce.Options{Protect: bad, Metrics: opts.Metrics})
+	if err != nil {
+		return nil, err
+	}
+	rbad, err := cert.MapPlaces(bad)
+	if err != nil {
+		return nil, err
+	}
+	inner := opts
+	inner.Reduce = false
+	rep, err := CheckSafety(cert.Net(), rbad, inner)
+	if err != nil {
+		return nil, err
+	}
+	rep.Net = n.Name()
+	rep.PlacesRemoved = cert.PlacesRemoved()
+	rep.TransRemoved = cert.TransRemoved()
+	if rep.Witness != nil && !rep.Aborted {
+		switch opts.Engine {
+		case Exhaustive, Symbolic:
+			// The witness is a reachable reduced marking with the bad
+			// combination marked; expansion is direct.
+			rep.Witness = cert.ExpandMarking(rep.Witness)
+		default:
+			rep.Witness = expandMonitoredWitness(n, bad, rbad, cert, rep.Witness)
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// expandMonitoredWitness maps a post-monitor deadlock of the monitored
+// reduced net onto the monitored input net (places of n, then __run,
+// __trap — the petri.WithSafetyMonitor layout).
+func expandMonitoredWitness(n *petri.Net, bad, rbad []petri.Place, cert *reduce.Certificate, w petri.Marking) petri.Marking {
+	red := cert.Net()
+	// Pre-monitor reachable reduced marking: strip the monitor places,
+	// restore the consumed bad tokens.
+	s := red.EmptyMarking()
+	for _, p := range w.Places() {
+		if int(p) < red.NumPlaces() {
+			s.Set(p)
+		}
+	}
+	for _, p := range rbad {
+		s.Set(p)
+	}
+	ex := cert.ExpandMarking(s)
+	// Replay the monitor firing on the input net's monitored shape.
+	out := make(petri.Marking, (n.NumPlaces()+2+63)/64)
+	for _, p := range ex.Places() {
+		out.Set(p)
+	}
+	for _, p := range bad {
+		out.Clear(p)
+	}
+	out.Set(petri.Place(n.NumPlaces() + 1)) // __trap; __run stays consumed
+	return out
+}

@@ -98,6 +98,13 @@ type Options struct {
 	Workers int
 	// Proviso applies the cycle proviso in the partial-order engine.
 	Proviso bool
+	// Reduce applies the structural reduction pre-pass
+	// (internal/structural/reduce) before the selected engine: the net is
+	// shrunk by sound, verdict-preserving rules and the engine explores
+	// the reduced net; verdict and witness are mapped back to the input
+	// net via the reduction certificate. Result-determining (the explored
+	// state counts change), so it participates in RunKey.
+	Reduce bool
 	// Metrics, if non-nil, is handed to the selected engine, which fills
 	// it with its package-prefixed counters, gauges, histograms and spans
 	// (see OBSERVABILITY.md). Nil costs nothing.
@@ -126,6 +133,11 @@ type Report struct {
 	// partial account of the exploration up to the cancellation point and
 	// the verdict fields (Deadlock, Witness) are not meaningful.
 	Aborted bool
+	// PlacesRemoved and TransRemoved record what the Options.Reduce
+	// pre-pass removed (both zero when reduction is off or nothing
+	// applied).
+	PlacesRemoved int
+	TransRemoved  int
 }
 
 // OptionError reports an Options field whose value can never be valid,
@@ -172,6 +184,9 @@ func aborted(err error) bool {
 func CheckDeadlock(n *petri.Net, opts Options) (*Report, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.Reduce {
+		return checkDeadlockReduced(n, opts)
 	}
 	start := time.Now()
 	rep := &Report{Net: n.Name(), Engine: opts.Engine}
@@ -317,6 +332,9 @@ func fillGPO(rep *Report, res *core.Result) {
 func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.Reduce {
+		return checkSafetyReduced(n, bad, opts)
 	}
 	start := time.Now()
 	rep := &Report{Net: n.Name(), Engine: opts.Engine}

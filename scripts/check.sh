@@ -44,6 +44,20 @@ go run ./cmd/gpostat -history -ledger "$TRACE_TMP/runs.jsonl" >"$TRACE_TMP/hist1
 go run ./cmd/gpostat -history -ledger "$TRACE_TMP/runs.jsonl" >"$TRACE_TMP/hist2.txt"
 cmp "$TRACE_TMP/hist1.txt" "$TRACE_TMP/hist2.txt"
 grep -q 'NSDP(4) *gpo *deadlock *2' "$TRACE_TMP/hist1.txt"
+# Reduction smoke: the structural reduction pre-pass must actually
+# shrink two Table 1 instances and reach the same verdict as the
+# unreduced run (the full engine matrix is TestReduceEquivalentOnTable1;
+# this pins the CLI flag end to end). The verdict token is field 2 of
+# the engine row.
+for spec in 'nsdp 6' 'rw 9'; do
+	set -- $spec
+	go run ./cmd/gpoverify -model "$1" -size "$2" >"$TRACE_TMP/base.txt"
+	go run ./cmd/gpoverify -model "$1" -size "$2" -reduce >"$TRACE_TMP/red.txt"
+	grep -q 'reduced: -[1-9][0-9]* places' "$TRACE_TMP/red.txt"
+	base_verdict=$(awk '$1 == "gpo" { print $2 }' "$TRACE_TMP/base.txt")
+	red_verdict=$(awk '$1 == "gpo" { print $2 }' "$TRACE_TMP/red.txt")
+	test -n "$base_verdict" && test "$base_verdict" = "$red_verdict"
+done
 # Service smoke: boot gpod on a random port, push one verification over
 # the wire with the client package, drain, shut down. With -ledger the
 # smoke also walks the /v1/runs surface (history listing, by-id lookup,
