@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the tier-1+ gate (see ROADMAP.md).
 
-.PHONY: check test serve watch bench-micro bench-artifact benchdiff
+.PHONY: check test serve watch cluster-smoke bench-micro bench-artifact benchdiff
 
 check:
 	./scripts/check.sh
@@ -16,8 +16,15 @@ serve:
 
 # Live fleet view of the daemon started by `make serve`: in-flight runs,
 # completed runs with verdicts, outlier flags against ledger history.
+# Repeat -addr to watch a whole cluster (per-peer shard/steal table).
 watch:
 	go run ./cmd/gpostat -follow -addr http://localhost:8722 -ledger runs.jsonl
+
+# Boot a 3-peer loopback cluster and check the distributed explorer is
+# bit-identical to sequential BFS plus the shared result tier end to end
+# (same check runs inside `make check`).
+cluster-smoke:
+	go run ./cmd/gpod -cluster-smoke
 
 # Microbenchmarks of the GPO hot path: ZDD primitive ops and full
 # Analyze runs, with allocation counts (b.ReportAllocs).

@@ -1,0 +1,241 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/models"
+	"repro/internal/obs"
+	"repro/internal/petri"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/verify"
+)
+
+// clusterSmokeReport is the -cluster-smoke JSON artifact: for each
+// model instance, the distributed run's statistics next to the
+// in-process sequential baseline it was checked bit-identical against,
+// plus the shared-result-tier assertions.
+type clusterSmokeReport struct {
+	Schema string                   `json:"schema"` // "gpod-cluster-smoke/v1"
+	Peers  int                      `json:"peers"`
+	Runs   []clusterSmokeRun        `json:"runs"`
+	Shared clusterSmokeSharedResult `json:"shared_tier"`
+}
+
+type clusterSmokeRun struct {
+	Model            string `json:"model"`
+	Size             int    `json:"size"`
+	States           int    `json:"states"`
+	Deadlock         bool   `json:"deadlock"`
+	Complete         bool   `json:"complete"`
+	Identical        bool   `json:"identical"` // cluster result == sequential result
+	ClusterWallNS    int64  `json:"cluster_wall_ns"`
+	SequentialWallNS int64  `json:"sequential_wall_ns"`
+	Levels           int64  `json:"levels"`
+	Steals           int64  `json:"steals"`
+	FrontierBytesOut int64  `json:"frontier_bytes_out"`
+	FrontierBytesIn  int64  `json:"frontier_bytes_in"`
+}
+
+type clusterSmokeSharedResult struct {
+	// RepeatCached is whether the repeated request on a different peer
+	// came back from the shared tier.
+	RepeatCached bool `json:"repeat_cached"`
+	// RecomputedStates is the fleet-wide reach.states delta while
+	// answering the repeat — 0 is the whole point of the tier.
+	RecomputedStates int64 `json:"recomputed_states"`
+	RemoteCacheHits  int64 `json:"remote_cache_hits"`
+}
+
+// runClusterSmoke boots three complete gpod servers on loopback ports
+// as one cluster and checks the two distributed-mode contracts end to
+// end over real HTTP: distributed exploration is bit-identical to
+// sequential (nsdp(8) exhaustively, rw(12) exhaustively), and a result
+// computed once is served to every peer from the shared tier without
+// anyone exploring again.
+func runClusterSmoke(cfg server.Config, outPath string) error {
+	const nPeers = 3
+	listeners := make([]net.Listener, nPeers)
+	peers := make([]string, nPeers)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		listeners[i] = l
+		peers[i] = "http://" + l.Addr().String()
+	}
+	regs := make([]*obs.Registry, nPeers)
+	svcs := make([]*server.Server, nPeers)
+	srvs := make([]*http.Server, nPeers)
+	clients := make([]*client.Client, nPeers)
+	for i := range peers {
+		regs[i] = obs.New()
+		nd, err := cluster.New(cluster.Config{Self: peers[i], Peers: peers, Metrics: regs[i]})
+		if err != nil {
+			return err
+		}
+		c := cfg
+		c.Metrics = regs[i]
+		c.Cluster = nd
+		c.Ledger = nil // the smoke owns no journal; cfg's belongs to serve()
+		svcs[i] = server.New(c)
+		srvs[i] = &http.Server{Handler: svcs[i].Handler()}
+		go srvs[i].Serve(listeners[i]) //nolint:errcheck
+		clients[i] = client.New(peers[i], nil)
+	}
+	defer func() {
+		for i := range srvs {
+			srvs[i].Close()
+			svcs[i].Close()
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	report := clusterSmokeReport{Schema: "gpod-cluster-smoke/v1", Peers: nPeers}
+
+	fleetStates := func() int64 {
+		var sum int64
+		for _, reg := range regs {
+			sum += reg.Snapshot().Counters["reach.states"]
+		}
+		return sum
+	}
+
+	instances := []struct {
+		model string
+		size  int
+	}{{"nsdp", 8}, {"rw", 12}}
+	for i, inst := range instances {
+		// Sequential baseline, fully in-process.
+		n, err := models.ByName(inst.model, inst.size)
+		if err != nil {
+			return err
+		}
+		seqStart := time.Now()
+		rep, err := verify.CheckDeadlock(n, verify.Options{Engine: verify.Exhaustive})
+		if err != nil {
+			return fmt.Errorf("sequential %s(%d): %w", inst.model, inst.size, err)
+		}
+		seqWall := time.Since(seqStart)
+
+		// The same check over the wire on peer i, distributed.
+		cluStart := time.Now()
+		resp, err := clients[i%nPeers].Verify(ctx, &server.Request{
+			Model: inst.model, Size: inst.size,
+			Engine: "exhaustive", Cluster: true,
+			TimeoutMS: (2 * time.Minute).Milliseconds(),
+		})
+		if err != nil {
+			return fmt.Errorf("cluster %s(%d): %w", inst.model, inst.size, err)
+		}
+		cluWall := time.Since(cluStart)
+		if resp.Cached {
+			return fmt.Errorf("cluster %s(%d): unexpectedly served from cache", inst.model, inst.size)
+		}
+		if resp.Peers != nPeers {
+			return fmt.Errorf("cluster %s(%d): peers = %d, want %d", inst.model, inst.size, resp.Peers, nPeers)
+		}
+
+		identical := resp.Status == server.StatusOK &&
+			resp.Complete == rep.Complete &&
+			resp.Deadlock == rep.Deadlock &&
+			resp.States == rep.States &&
+			sameWitness(resp.Witness, rep, n)
+		if !identical {
+			return fmt.Errorf("cluster %s(%d) diverged from sequential: got states=%d deadlock=%v complete=%v witness=%v, want states=%d deadlock=%v complete=%v",
+				inst.model, inst.size, resp.States, resp.Deadlock, resp.Complete, resp.Witness,
+				rep.States, rep.Deadlock, rep.Complete)
+		}
+
+		snap := regs[i%nPeers].Snapshot()
+		report.Runs = append(report.Runs, clusterSmokeRun{
+			Model: inst.model, Size: inst.size,
+			States: resp.States, Deadlock: resp.Deadlock, Complete: resp.Complete,
+			Identical:        true,
+			ClusterWallNS:    cluWall.Nanoseconds(),
+			SequentialWallNS: seqWall.Nanoseconds(),
+			Levels:           snap.Counters["cluster.levels"],
+			Steals:           snap.Counters["cluster.steals"],
+			FrontierBytesOut: snap.Counters["cluster.frontier_bytes_out"],
+			FrontierBytesIn:  snap.Counters["cluster.frontier_bytes_in"],
+		})
+		fmt.Printf("gpod: cluster %s(%d): %d states, identical to sequential (cluster %v, sequential %v)\n",
+			inst.model, inst.size, resp.States, cluWall.Round(time.Millisecond), seqWall.Round(time.Millisecond))
+	}
+
+	// The shared tier: repeat the first instance's request on a peer
+	// that neither coordinated it nor asked before. It must come back
+	// Cached with zero new exploration anywhere in the fleet.
+	before := fleetStates()
+	repeat, err := clients[2].Verify(ctx, &server.Request{
+		Model: instances[0].model, Size: instances[0].size,
+		Engine: "exhaustive", Cluster: true,
+		TimeoutMS: (2 * time.Minute).Milliseconds(),
+	})
+	if err != nil {
+		return fmt.Errorf("shared tier repeat: %w", err)
+	}
+	report.Shared.RepeatCached = repeat.Cached
+	report.Shared.RecomputedStates = fleetStates() - before
+	for _, reg := range regs {
+		report.Shared.RemoteCacheHits += reg.Snapshot().Counters["cluster.remote_cache_hits"]
+	}
+	if !repeat.Cached {
+		return fmt.Errorf("shared tier: repeated request was recomputed, not served from the tier")
+	}
+	if report.Shared.RecomputedStates != 0 {
+		return fmt.Errorf("shared tier: fleet explored %d states answering a cached request", report.Shared.RecomputedStates)
+	}
+	if report.Shared.RemoteCacheHits < 1 {
+		return fmt.Errorf("shared tier: cluster.remote_cache_hits = %d, want >= 1", report.Shared.RemoteCacheHits)
+	}
+	if repeat.States != report.Runs[0].States || repeat.Deadlock != report.Runs[0].Deadlock {
+		return fmt.Errorf("shared tier: served copy diverged (states=%d deadlock=%v)", repeat.States, repeat.Deadlock)
+	}
+	fmt.Printf("gpod: shared tier: repeat served cached, 0 states recomputed, %d remote hit(s)\n",
+		report.Shared.RemoteCacheHits)
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if outPath == "-" {
+			_, err = os.Stdout.Write(data)
+		} else {
+			err = os.WriteFile(outPath, data, 0o644)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sameWitness compares the wire witness (place names) against the
+// sequential report's witness marking.
+func sameWitness(wire []string, rep *verify.Report, n *petri.Net) bool {
+	if rep.Witness == nil {
+		return len(wire) == 0
+	}
+	places := rep.Witness.Places()
+	if len(wire) != len(places) {
+		return false
+	}
+	for i, p := range places {
+		if wire[i] != n.PlaceName(p) {
+			return false
+		}
+	}
+	return true
+}

@@ -7,12 +7,23 @@
 //	gpod -addr :8722                     # serve until SIGINT/SIGTERM
 //	gpod -addr :8722 -workers 4 -queue 16
 //	gpod -smoke                          # start, self-check, exit
+//	gpod -addr :8722 -peers URL,URL,URL -self URL   # cluster member
+//	gpod -cluster-smoke                  # 3-peer loopback self-check, exit
 //
 // Endpoints: POST /v1/verify, GET /healthz, GET /metrics (JSON dump of
 // the metric registry, or Prometheus text with ?format=prom; see
 // OBSERVABILITY.md for the server.* names), GET /v1/runs (live and
-// recently completed runs), GET /v1/runs/{id}, and GET
-// /v1/runs/{id}/events (SSE progress stream; watch with gpostat).
+// recently completed runs), GET /v1/runs/{id}, GET /v1/runs/{id}/events
+// (SSE progress stream; watch with gpostat), and GET /v1/cluster
+// (membership, shard ranges and cluster.* counters; {"enabled": false}
+// without -peers).
+//
+// With -peers/-self the node joins a cluster (DESIGN.md D10): it owns a
+// static range of the visited store's 256 state-hash shards, serves the
+// /cluster/v1/* protocol to its peers, coordinates "cluster": true
+// requests as distributed level-synchronous BFS (bit-identical to a
+// single-machine run), and consults the fleet's consistent-hash shared
+// result tier on every local cache miss.
 //
 // Every /v1/verify response carries an X-Request-ID header (echoing the
 // client's, if it sent a well-formed one). With -access-log each request
@@ -43,6 +54,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/obs/ledger"
 	"repro/internal/obs/trace"
 	"repro/internal/server"
@@ -64,6 +77,10 @@ func main() {
 		traceCap   = flag.Int("trace-events", 0, "per-track ring capacity of per-request traces (0 = default)")
 		smoke      = flag.Bool("smoke", false, "start on a random port, run one self-check request, shut down")
 		reduceNet  = flag.Bool("reduce", false, "force the structural reduction pre-pass on every request")
+		peersList  = flag.String("peers", "", "comma-separated base URLs of every cluster member (enables cluster mode)")
+		selfURL    = flag.String("self", "", "this node's own base URL, one of -peers")
+		clusterSmk = flag.Bool("cluster-smoke", false, "boot a 3-peer loopback cluster, check bit-identical distributed results and the shared result tier, exit")
+		clusterOut = flag.String("cluster-smoke-out", "", "write the cluster smoke's JSON artifact to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -107,6 +124,28 @@ func main() {
 		cfg.TracePath = func(id string) string {
 			return filepath.Join(dir, id+".trace.jsonl")
 		}
+	}
+
+	if *clusterSmk {
+		if err := runClusterSmoke(cfg, *clusterOut); err != nil {
+			fatal(err)
+		}
+		fmt.Println("gpod: cluster smoke ok")
+		return
+	}
+	if *peersList != "" || *selfURL != "" {
+		peers := strings.Split(*peersList, ",")
+		for i := range peers {
+			peers[i] = strings.TrimSpace(peers[i])
+		}
+		// The node and the server must share a registry so /metrics and
+		// GET /v1/cluster report one coherent picture.
+		cfg.Metrics = obs.New()
+		nd, err := cluster.New(cluster.Config{Self: *selfURL, Peers: peers, Metrics: cfg.Metrics})
+		if err != nil {
+			fatal(fmt.Errorf("cluster: %w", err))
+		}
+		cfg.Cluster = nd
 	}
 
 	if *smoke {
@@ -194,6 +233,14 @@ func runSmoke(cfg server.Config) error {
 	if snap.Counters["server.done"] != 1 {
 		return fmt.Errorf("metrics: server.done = %d, want 1", snap.Counters["server.done"])
 	}
+	// The completed run must be charged to the result cache, and the
+	// charge is worth seeing in CI output: accounting drift here once hid
+	// a Witness-aliasing bug.
+	if cfg.CacheBytes >= 0 && snap.Gauges["server.cache_bytes"] <= 0 {
+		return fmt.Errorf("metrics: server.cache_bytes = %d after a completed run, want > 0", snap.Gauges["server.cache_bytes"])
+	}
+	fmt.Printf("gpod: server.cache_bytes=%d server.cache_entries=%d\n",
+		snap.Gauges["server.cache_bytes"], snap.Gauges["server.cache_entries"])
 	if cfg.Ledger != nil {
 		if err := smokeRuns(ctx, "http://"+ln.Addr().String(), resp); err != nil {
 			return err

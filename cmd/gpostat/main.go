@@ -10,6 +10,13 @@
 //	gpostat -follow -addr http://localhost:8722       # live fleet view
 //	gpostat -follow -once -addr http://localhost:8722 # one snapshot, exit
 //	gpostat -run r0b3f… -addr http://localhost:8722   # stream one run (SSE)
+//	gpostat -follow -addr http://host1:8722 -addr http://host2:8722
+//
+// -addr repeats: with several, -follow watches the whole fleet — each
+// tick starts with one row per peer from its GET /v1/cluster document
+// (shard range, active distributed jobs, steal/level/remote-hit
+// counters) and the run lines are prefixed with the peer that reported
+// them. Peers without cluster mode just show their runs.
 //
 // With both -follow and -ledger, completed runs are flagged as outliers
 // when their wall clock exceeds twice the ledger history's median for
@@ -39,17 +46,24 @@ func main() {
 		ledgerPath = flag.String("ledger", "", "run-ledger JSONL file (ledger/v1), as written by gpod/gpoverify/gpobench -ledger")
 		history    = flag.Bool("history", false, "summarize per-configuration history from -ledger")
 		family     = flag.String("family", "", "restrict -history/-follow to nets matching this regexp (case-insensitive)")
-		addr       = flag.String("addr", "http://localhost:8722", "base URL of a running gpod daemon")
-		follow     = flag.Bool("follow", false, "poll the daemon's /v1/runs and report running and newly completed runs")
+		follow     = flag.Bool("follow", false, "poll the daemons' /v1/runs and report running and newly completed runs")
 		once       = flag.Bool("once", false, "with -follow: print one snapshot and exit")
 		runID      = flag.String("run", "", "stream one run's SSE progress events until its verdict")
 		interval   = flag.Duration("interval", time.Second, "poll interval for -follow")
+		addrs      []string
 	)
+	flag.Func("addr", "base URL of a running gpod daemon (repeat for a fleet; default http://localhost:8722)", func(v string) error {
+		addrs = append(addrs, strings.TrimRight(v, "/"))
+		return nil
+	})
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: gpostat -history -ledger FILE [-family PAT] | -follow [-once] -addr URL | -run ID -addr URL")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if len(addrs) == 0 {
+		addrs = []string{"http://localhost:8722"}
+	}
 
 	var pat *regexp.Regexp
 	if *family != "" {
@@ -61,11 +75,11 @@ func main() {
 
 	switch {
 	case *runID != "":
-		if err := streamRun(*addr, *runID); err != nil {
+		if err := streamRun(addrs[0], *runID); err != nil {
 			fatal(err)
 		}
 	case *follow:
-		if err := followRuns(*addr, *ledgerPath, pat, *interval, *once); err != nil {
+		if err := followRuns(addrs, *ledgerPath, pat, *interval, *once); err != nil {
 			fatal(err)
 		}
 	case *history || *ledgerPath != "":
@@ -150,41 +164,112 @@ type runsWire struct {
 	Completed []ledger.Entry  `json:"completed"`
 }
 
-// followRuns polls GET /v1/runs: every tick prints the in-flight runs,
-// plus each completed run exactly once as it appears. When a ledger
-// file is given, completed walls are checked against the journal's
-// per-configuration medians and flagged when they exceed twice it.
-func followRuns(addr, ledgerPath string, pat *regexp.Regexp, interval time.Duration, once bool) error {
+// clusterStatusWire mirrors the daemon's GET /v1/cluster document (see
+// internal/server.clusterStatusBody and internal/cluster.Status).
+type clusterStatusWire struct {
+	Enabled bool   `json:"enabled"`
+	Self    string `json:"self"`
+	Peers   []struct {
+		Addr    string `json:"addr"`
+		ShardLo int    `json:"shard_lo"`
+		ShardHi int    `json:"shard_hi"`
+		Self    bool   `json:"self"`
+	} `json:"peers"`
+	Jobs    int              `json:"jobs"`
+	Metrics map[string]int64 `json:"metrics"`
+}
+
+// printFleet renders the per-peer cluster table: each polled address's
+// own shard range and its cluster counters. Peers that are down or not
+// in cluster mode get a one-word row instead of killing the view.
+func printFleet(addrs []string, now string) {
+	printed := false
+	for _, addr := range addrs {
+		var st clusterStatusWire
+		err := getJSON(addr+"/v1/cluster", &st)
+		switch {
+		case err != nil:
+			fmt.Printf("%s PEER %-28s unreachable: %v\n", now, peerLabel(addr), err)
+			continue
+		case !st.Enabled:
+			continue
+		}
+		if !printed {
+			fmt.Printf("%s PEER %-28s %9s %4s %7s %7s %8s %11s\n",
+				now, "addr", "shards", "jobs", "levels", "steals", "remote", "expand_in")
+			printed = true
+		}
+		lo, hi := -1, -1
+		for _, p := range st.Peers {
+			if p.Self {
+				lo, hi = p.ShardLo, p.ShardHi
+			}
+		}
+		fmt.Printf("%s PEER %-28s %4d-%-4d %4d %7d %7d %8d %11d\n",
+			now, peerLabel(addr), lo, hi-1, st.Jobs,
+			st.Metrics["cluster.levels"], st.Metrics["cluster.steals"],
+			st.Metrics["cluster.remote_cache_hits"], st.Metrics["cluster.expand_batches_in"])
+	}
+}
+
+func peerLabel(addr string) string {
+	return strings.TrimPrefix(strings.TrimPrefix(addr, "https://"), "http://")
+}
+
+// followRuns polls each peer's GET /v1/runs: every tick prints the
+// fleet's cluster table (when any peer is clustered) and the in-flight
+// runs, plus each completed run exactly once as it appears — runs are
+// deduplicated fleet-wide by (run, end), so a shared-ledger fleet does
+// not repeat itself. When a ledger file is given, completed walls are
+// checked against the journal's per-configuration medians and flagged
+// when they exceed twice it.
+func followRuns(addrs []string, ledgerPath string, pat *regexp.Regexp, interval time.Duration, once bool) error {
 	medians := historyMedians(ledgerPath)
 	seen := make(map[string]bool)
+	multi := len(addrs) > 1
 	for {
-		var runs runsWire
-		if err := getJSON(addr+"/v1/runs", &runs); err != nil {
-			return err
-		}
 		now := time.Now().UTC().Format("15:04:05")
-		for _, r := range runs.Running {
-			if pat != nil && !pat.MatchString(r.Net) {
+		printFleet(addrs, now)
+		for _, addr := range addrs {
+			var runs runsWire
+			if err := getJSON(addr+"/v1/runs", &runs); err != nil {
+				if !multi {
+					return err
+				}
+				fmt.Printf("%s PEER %-28s unreachable: %v\n", now, peerLabel(addr), err)
 				continue
 			}
-			fmt.Printf("%s RUN  %s %s/%s/%s %s states=%d rate=%.0f/s elapsed=%s subs=%d\n",
-				now, r.RunID, r.Net, r.Engine, r.Check, r.State,
-				r.States, r.Rate, fmtDur(r.ElapsedNS), r.Subscribers)
-		}
-		for i := len(runs.Completed) - 1; i >= 0; i-- { // oldest first
-			e := runs.Completed[i]
-			k := fmt.Sprintf("%s/%d", e.RunID, e.EndUnixNS)
-			if seen[k] || (pat != nil && !pat.MatchString(e.Net)) {
-				continue
+			from := ""
+			if multi {
+				from = " @" + peerLabel(addr)
 			}
-			seen[k] = true
-			flag := ""
-			if m := medians[groupKey(e.Net, e.Engine, e.Check)]; m > 0 && e.WallNS > 2*m {
-				flag = fmt.Sprintf("  OUTLIER (%.1fx ledger median %s)", float64(e.WallNS)/float64(m), fmtDur(m))
+			for _, r := range runs.Running {
+				if pat != nil && !pat.MatchString(r.Net) {
+					continue
+				}
+				fmt.Printf("%s RUN  %s %s/%s/%s %s states=%d rate=%.0f/s elapsed=%s subs=%d%s\n",
+					now, r.RunID, r.Net, r.Engine, r.Check, r.State,
+					r.States, r.Rate, fmtDur(r.ElapsedNS), r.Subscribers, from)
 			}
-			fmt.Printf("%s DONE %s %s/%s/%s %s states=%d wall=%s%s\n",
-				now, e.RunID, e.Net, e.Engine, e.Check, e.Verdict(),
-				e.States, fmtDur(e.WallNS), flag)
+			for i := len(runs.Completed) - 1; i >= 0; i-- { // oldest first
+				e := runs.Completed[i]
+				k := fmt.Sprintf("%s/%d", e.RunID, e.EndUnixNS)
+				if seen[k] || (pat != nil && !pat.MatchString(e.Net)) {
+					continue
+				}
+				seen[k] = true
+				flag := ""
+				if m := medians[groupKey(e.Net, e.Engine, e.Check)]; m > 0 && e.WallNS > 2*m {
+					flag = fmt.Sprintf("  OUTLIER (%.1fx ledger median %s)", float64(e.WallNS)/float64(m), fmtDur(m))
+				}
+				peersNote := ""
+				if e.Peers > 0 {
+					peersNote = fmt.Sprintf(" peers=%d", e.Peers)
+				}
+				fmt.Printf("%s DONE %s %s/%s/%s %s states=%d wall=%s%s%s%s\n",
+					now, e.RunID, e.Net, e.Engine, e.Check, e.Verdict(),
+					e.States, fmtDur(e.WallNS), peersNote, flag, from)
+			}
 		}
 		if once {
 			return nil

@@ -1,0 +1,452 @@
+package cluster
+
+// Coordinator side of a distributed exploration. The node driving
+// Explore owns the authoritative state table (id -> marking) and the
+// level loop; peers own the visited store, partitioned at the same
+// 256-shard boundary the in-process parallel explorer uses. Each level:
+//
+//  1. assign: group the level's positions by their parent state's
+//     shard, give each bucket to the shard's owner, then rebalance by
+//     stealing whole buckets from the most-loaded peer for any peer
+//     below the watermark — assignment moves work, never ownership, and
+//     order keys carry the global level position, so stealing cannot
+//     perturb the merge order;
+//  2. expand: peers fire every enabled transition of their slice,
+//     route fresh successors to owning peers as intern batches, and
+//     reply with verdict flags, examined order keys, and the minimal
+//     unsafe firing;
+//  3. collect: owners return their pending discoveries;
+//  4. merge: reach.SortDiscoveries + reach.PlanLevel — the exact hooks
+//     of the in-process explorer — fix the level's stop point, then ids
+//     are assigned in first-encounter order and committed back.
+//
+// The Result is therefore bit-identical to reach.Explore on the same
+// net and options.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/petri"
+	"repro/internal/pnio"
+	"repro/internal/reach"
+)
+
+// Explore runs one exhaustive reachability analysis across the
+// cluster. bad lists the safety-predicate places (nil for deadlock-only
+// runs); it must agree with o.Bad, which the coordinator still uses for
+// the capped path's fresh-state checks. Options the cluster cannot
+// distribute (StoreGraph, early stops) fall back to the in-process
+// engine, which is bit-identical anyway.
+func (nd *Node) Explore(n *petri.Net, bad []petri.Place, o reach.Options) (*reach.Result, error) {
+	if o.StoreGraph || o.StopAtDeadlock || o.StopAtBad || len(nd.peers) == 1 {
+		return reach.Explore(n, o)
+	}
+	defer o.Metrics.StartSpan("cluster.explore").End()
+
+	var netText strings.Builder
+	if err := pnio.Write(&netText, n); err != nil {
+		return nil, fmt.Errorf("cluster: cannot serialize net: %w", err)
+	}
+	badNames := make([]string, len(bad))
+	for i, p := range bad {
+		badNames[i] = n.PlaceName(p)
+	}
+
+	nd.mu.Lock()
+	nd.seq++
+	jobID := fmt.Sprintf("j-%d-%d-%d", nd.self, time.Now().UnixNano(), nd.seq)
+	nd.mu.Unlock()
+
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := nd.broadcast(func(peer int) error {
+		return nd.postJSON(ctx, peer, "/cluster/v1/start", startReq{Job: jobID, Net: netText.String(), Bad: badNames})
+	}); err != nil {
+		return nil, fmt.Errorf("cluster: start broadcast: %w", err)
+	}
+	defer nd.broadcast(func(peer int) error {
+		return nd.postJSON(context.Background(), peer, "/cluster/v1/finish", finishReq{Job: jobID})
+	})
+
+	res := &reach.Result{Complete: true}
+	var (
+		qPeak    int
+		levels   int64
+		steals   int64
+		bytesOut int64
+		bytesIn  int64
+	)
+	if o.Metrics != nil {
+		defer func() {
+			reg := o.Metrics
+			reg.Counter("reach.states").Add(int64(res.States))
+			reg.Counter("reach.arcs").Add(int64(res.Arcs))
+			reg.Counter("reach.deadlocks").Add(int64(len(res.Deadlocks)))
+			reg.Counter("reach.bad_states").Add(int64(len(res.BadStates)))
+			reg.Gauge("reach.queue_peak").SetMax(int64(qPeak))
+			reg.Counter("cluster.levels").Add(levels)
+			reg.Counter("cluster.steals").Add(steals)
+			reg.Counter("cluster.frontier_bytes_out").Add(bytesOut)
+			reg.Counter("cluster.frontier_bytes_in").Add(bytesIn)
+			reg.Gauge("cluster.peers").Set(int64(len(nd.peers)))
+		}()
+	}
+	tk := o.Trace.NewTrack("cluster")
+	phExplore := o.Trace.Intern("explore")
+	tk.Begin(phExplore)
+
+	var states []petri.Marking
+	var stateShard []uint32
+	m0 := n.InitialMarking()
+	_, h0 := m0.KeyHash()
+	states = append(states, m0)
+	stateShard = append(stateShard, reach.ShardOf(h0))
+	o.Progress.Tick(1)
+	tk.State(0, 0)
+
+	level := []int{0}
+
+	abort := func() (*reach.Result, error) {
+		res.States = len(states)
+		res.Complete = false
+		tk.Abort(o.Trace.Intern(ctx.Err().Error()))
+		return res, fmt.Errorf("reach: aborted: %w", ctx.Err())
+	}
+
+	for len(level) > 0 {
+		if ctx.Err() != nil {
+			return abort()
+		}
+		levels++
+		if len(level) > qPeak {
+			qPeak = len(level)
+		}
+
+		// Assign: bucket positions by parent shard, owner first, then
+		// steal whole buckets for starving peers.
+		assign, nSteals := nd.assignLevel(level, stateShard)
+		steals += nSteals
+
+		// Expand all peers in parallel.
+		type peerBatch struct {
+			entries []expandEntry
+			reply   *expandReply
+		}
+		batches := make([]*peerBatch, len(nd.peers))
+		for peer, positions := range assign {
+			if len(positions) == 0 {
+				continue
+			}
+			entries := make([]expandEntry, len(positions))
+			for i, pos := range positions {
+				entries[i] = expandEntry{pos: uint32(pos), key: states[level[pos]].Key()}
+			}
+			batches[peer] = &peerBatch{entries: entries}
+		}
+		err := nd.broadcast(func(peer int) error {
+			pb := batches[peer]
+			if pb == nil {
+				return nil
+			}
+			buf, err := encodeBuf(func(w io.Writer) error { return encodeExpand(w, pb.entries) })
+			if err != nil {
+				return err
+			}
+			nd.addBytes(&bytesOut, int64(buf.Len()))
+			resp, cancel, err := nd.post(ctx, peer, "/cluster/v1/expand", jobID, buf, "application/octet-stream")
+			if err != nil {
+				return err
+			}
+			defer cancel()
+			defer resp.Body.Close()
+			cr := &countingReader{r: resp.Body}
+			re, err := decodeExpandReply(cr, nd.maxFrame)
+			if err != nil {
+				return err
+			}
+			nd.addBytes(&bytesIn, cr.n)
+			if len(re.flags) != len(pb.entries) {
+				return fmt.Errorf("expand reply flag count %d != batch size %d", len(re.flags), len(pb.entries))
+			}
+			pb.reply = re
+			return nil
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				return abort()
+			}
+			return nil, fmt.Errorf("cluster: expand: %w", err)
+		}
+
+		// Merge verdict flags back into global position order, and take
+		// the scan-order-minimal violation across peers.
+		deadFlags := make([]bool, len(level))
+		badFlags := make([]bool, len(level))
+		vioOrder := ^uint64(0)
+		hasVio := false
+		for _, pb := range batches {
+			if pb == nil || pb.reply == nil {
+				continue
+			}
+			for i, e := range pb.entries {
+				if pb.reply.flags[i]&flagDead != 0 {
+					deadFlags[e.pos] = true
+				}
+				if pb.reply.flags[i]&flagBad != 0 {
+					badFlags[e.pos] = true
+				}
+			}
+			if pb.reply.hasVio && (!hasVio || pb.reply.vioOrder < vioOrder) {
+				hasVio = true
+				vioOrder = pb.reply.vioOrder
+			}
+		}
+		for pos, id := range level {
+			if badFlags[pos] {
+				res.BadFound = true
+				res.BadStates = append(res.BadStates, states[id])
+			}
+			if deadFlags[pos] {
+				res.Deadlock = true
+				res.Deadlocks = append(res.Deadlocks, states[id])
+			}
+		}
+
+		// Collect pending discoveries from every owner.
+		collected := make([][]internEntry, len(nd.peers))
+		err = nd.broadcast(func(peer int) error {
+			resp, cancel, err := nd.post(ctx, peer, "/cluster/v1/collect", jobID, bytes.NewBuffer(nil), "application/octet-stream")
+			if err != nil {
+				return err
+			}
+			defer cancel()
+			defer resp.Body.Close()
+			cr := &countingReader{r: resp.Body}
+			list, err := decodeKeyOrders(cr, frameCollect, nd.maxFrame)
+			if err != nil {
+				return err
+			}
+			nd.addBytes(&bytesIn, cr.n)
+			collected[peer] = list
+			return nil
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				return abort()
+			}
+			return nil, fmt.Errorf("cluster: collect: %w", err)
+		}
+		var discovered []*reach.Discovery
+		for _, list := range collected {
+			for _, e := range list {
+				m, ok := n.MarkingFromKey(e.key)
+				if !ok {
+					return nil, fmt.Errorf("cluster: collect: bad state key from peer")
+				}
+				discovered = append(discovered, &reach.Discovery{
+					Key:   e.key,
+					Hash:  petri.HashKey(e.key),
+					M:     m,
+					Order: e.order,
+					ID:    -1,
+				})
+			}
+		}
+		reach.SortDiscoveries(discovered)
+
+		trigger, capped, unsafeFirst := reach.PlanLevel(discovered, len(states), o.MaxStates, vioOrder, hasVio)
+		if unsafeFirst {
+			pos := reach.OrderPos(vioOrder)
+			t := reach.OrderTrans(vioOrder)
+			return nil, fmt.Errorf("%w: firing %s from %s double-marks a place",
+				reach.ErrUnsafe, n.TransName(t), states[level[pos]].String(n))
+		}
+
+		// Assign ids in first-encounter order and commit them back.
+		nextLevel := make([]int, 0, len(discovered))
+		commitByOwner := make([][]commitEntry, len(nd.peers))
+		for _, d := range discovered {
+			if d.Order >= trigger {
+				break
+			}
+			d.ID = len(states)
+			states = append(states, d.M)
+			sh := reach.ShardOf(d.Hash)
+			stateShard = append(stateShard, sh)
+			owner := nd.owners[sh]
+			commitByOwner[owner] = append(commitByOwner[owner], commitEntry{key: d.Key, id: d.ID})
+			o.Progress.Tick(1)
+			tk.State(int64(d.ID), 0)
+			nextLevel = append(nextLevel, d.ID)
+		}
+		// Every peer gets a commit — an empty one still clears the
+		// level's pending set.
+		err = nd.broadcast(func(peer int) error {
+			buf, err := encodeBuf(func(w io.Writer) error { return encodeCommit(w, commitByOwner[peer]) })
+			if err != nil {
+				return err
+			}
+			nd.addBytes(&bytesOut, int64(buf.Len()))
+			resp, cancel, err := nd.post(ctx, peer, "/cluster/v1/commit", jobID, buf, "application/octet-stream")
+			if err != nil {
+				return err
+			}
+			defer cancel()
+			defer resp.Body.Close()
+			typ, _, err := readFrame(resp.Body, nd.maxFrame)
+			if err != nil {
+				return err
+			}
+			if typ != frameAck {
+				return errUnexpectedFrame(typ, frameAck)
+			}
+			return nil
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				return abort()
+			}
+			return nil, fmt.Errorf("cluster: commit: %w", err)
+		}
+
+		// Count arcs from the examined orders; on the capped path only
+		// firings the sequential scan reached before the trigger.
+		for _, pb := range batches {
+			if pb == nil || pb.reply == nil {
+				continue
+			}
+			if !capped {
+				res.Arcs += len(pb.reply.orders)
+				continue
+			}
+			for _, ord := range pb.reply.orders {
+				if ord < trigger {
+					res.Arcs++
+				}
+			}
+		}
+
+		if capped {
+			for _, id := range nextLevel {
+				m := states[id]
+				if o.Bad != nil && o.Bad(m) {
+					res.BadFound = true
+					res.BadStates = append(res.BadStates, m)
+				}
+				if n.IsDeadlock(m) {
+					res.Deadlock = true
+					res.Deadlocks = append(res.Deadlocks, m)
+				}
+			}
+			res.States = len(states)
+			res.Complete = false
+			return res, reach.ErrStateLimit
+		}
+
+		level = nextLevel
+	}
+
+	res.States = len(states)
+	tk.End(phExplore)
+	return res, nil
+}
+
+// assignLevel buckets the level's positions by parent shard, assigns
+// each bucket to the shard's owner, then steals whole buckets from the
+// most-loaded peer for any peer under the watermark
+// max(1, len(level)/(4*peers)). Returns positions per peer and the
+// steal count.
+func (nd *Node) assignLevel(level []int, stateShard []uint32) ([][]int, int64) {
+	nPeers := len(nd.peers)
+	buckets := make([][]int, reach.NumShards)
+	for pos, id := range level {
+		sh := stateShard[id]
+		buckets[sh] = append(buckets[sh], pos)
+	}
+	bucketOwner := make([]int, reach.NumShards)
+	loads := make([]int, nPeers)
+	for sh := range buckets {
+		bucketOwner[sh] = nd.owners[sh]
+		loads[nd.owners[sh]] += len(buckets[sh])
+	}
+
+	watermark := len(level) / (4 * nPeers)
+	if watermark < 1 {
+		watermark = 1
+	}
+	var steals int64
+	for iter := 0; iter < reach.NumShards; iter++ {
+		starving, donor := -1, -1
+		for p := 0; p < nPeers; p++ {
+			if loads[p] < watermark && (starving < 0 || loads[p] < loads[starving]) {
+				starving = p
+			}
+			if donor < 0 || loads[p] > loads[donor] {
+				donor = p
+			}
+		}
+		if starving < 0 || donor == starving {
+			break
+		}
+		// Move the donor's largest bucket, but only if the donor stays
+		// at least as loaded as the recipient becomes — otherwise a
+		// single bucket would ping-pong between starving peers.
+		best, bestSz := -1, 0
+		for sh := range buckets {
+			if bucketOwner[sh] == donor && len(buckets[sh]) > bestSz {
+				best, bestSz = sh, len(buckets[sh])
+			}
+		}
+		if best < 0 || loads[donor]-bestSz < loads[starving]+bestSz {
+			break
+		}
+		bucketOwner[best] = starving
+		loads[donor] -= bestSz
+		loads[starving] += bestSz
+		steals++
+	}
+
+	assign := make([][]int, nPeers)
+	for sh, positions := range buckets {
+		if len(positions) > 0 {
+			assign[bucketOwner[sh]] = append(assign[bucketOwner[sh]], positions...)
+		}
+	}
+	return assign, steals
+}
+
+// broadcast runs fn for every peer concurrently, returning the first
+// error.
+func (nd *Node) broadcast(fn func(peer int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(nd.peers))
+	for peer := range nd.peers {
+		wg.Add(1)
+		go func(peer int) {
+			defer wg.Done()
+			errs[peer] = fn(peer)
+		}(peer)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addBytes serializes byte-counter updates from broadcast goroutines.
+func (nd *Node) addBytes(dst *int64, n int64) {
+	nd.mu.Lock()
+	*dst += n
+	nd.mu.Unlock()
+}

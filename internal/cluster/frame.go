@@ -1,0 +1,116 @@
+// Package cluster implements distributed sharded exploration: a
+// coordinator/worker mode where one exhaustive reachability run is
+// partitioned across gpod peers at the visited-store shard boundary,
+// plus a consistent-hash shared result-cache tier so any peer answers a
+// repeat query once one of them has computed it.
+//
+// The 256 visited-store shards of internal/reach are split into static
+// per-peer ranges by state-key hash (reach.ShardOf). The coordinator
+// drives classical BFS levels; peers expand their slice of each level,
+// exchange frontier batches (binary state keys plus provenance order
+// keys, length-prefixed frames over persistent HTTP/1.1), and the
+// coordinator performs the same (parent, transition)-ordered level
+// merge as the in-process parallel explorer — so a multi-peer run
+// produces bit-identical Results (states, MaxStates stop point,
+// ErrUnsafe witness) to the sequential BFS. See DESIGN.md D10.
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame types of the cluster wire protocol. One frame = 4-byte
+// big-endian length, 1 type byte, payload. The length covers the type
+// byte and the payload, so a zero-payload frame has length 1.
+const (
+	frameExpand   = byte(0x01) // coordinator → peer: level slice to expand
+	frameExpandRe = byte(0x02) // peer → coordinator: flags, orders, violation
+	frameIntern   = byte(0x03) // peer → peer: routed successor batch
+	frameCollect  = byte(0x04) // peer → coordinator: pending discoveries
+	frameCommit   = byte(0x05) // coordinator → peer: id assignments
+	frameAck      = byte(0x06) // empty acknowledgement
+)
+
+// MaxFrame bounds a single frame's length field: a frontier batch of a
+// plausible level already chunks well below this, so anything larger is
+// a corrupt or hostile stream, rejected before allocation.
+const MaxFrame = 64 << 20
+
+// ErrFrameTooLarge is returned for a frame whose declared length
+// exceeds the reader's limit.
+var ErrFrameTooLarge = errors.New("cluster: frame exceeds size limit")
+
+// ErrTornFrame is returned when the stream ends inside a frame header
+// or body — the wire-level analogue of the ledger's torn tail.
+var ErrTornFrame = errors.New("cluster: torn frame")
+
+// writeFrame emits one length-prefixed frame.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, rejecting declared lengths above max. A
+// clean EOF at a frame boundary returns io.EOF; an EOF inside a frame
+// returns ErrTornFrame.
+func readFrame(r io.Reader, max int) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: %v", ErrTornFrame, err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("%w: zero-length frame", ErrTornFrame)
+	}
+	if int64(n) > int64(max) {
+		return 0, nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, max)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrTornFrame, err)
+	}
+	return body[0], body[1:], nil
+}
+
+// appendBytes appends a uvarint-length-prefixed byte string, the same
+// self-delimiting style as verify's canonical net encoding.
+func appendBytes(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// next reads one uvarint from *b, advancing it.
+func nextUvarint(b *[]byte) (uint64, error) {
+	v, n := binary.Uvarint(*b)
+	if n <= 0 {
+		return 0, fmt.Errorf("cluster: bad uvarint in frame payload")
+	}
+	*b = (*b)[n:]
+	return v, nil
+}
+
+// nextBytes reads one length-prefixed byte string from *b.
+func nextBytes(b *[]byte) (string, error) {
+	n, err := nextUvarint(b)
+	if err != nil {
+		return "", err
+	}
+	if uint64(len(*b)) < n {
+		return "", fmt.Errorf("cluster: truncated byte string in frame payload")
+	}
+	s := string((*b)[:n])
+	*b = (*b)[n:]
+	return s, nil
+}

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/petri"
+)
+
+// tableOneKeys returns real state keys from Table 1 nets: the initial
+// markings and a few successors, giving the fuzzer realistic seeds
+// (little-endian bitset words of varying widths).
+func tableOneKeys(t testing.TB) []string {
+	t.Helper()
+	var keys []string
+	for _, spec := range []struct {
+		family string
+		size   int
+	}{
+		{"nsdp", 4}, {"rw", 6}, {"over", 3}, {"asat", 2},
+	} {
+		n, err := models.ByName(spec.family, spec.size)
+		if err != nil {
+			t.Fatalf("models.ByName(%s,%d): %v", spec.family, spec.size, err)
+		}
+		m := n.InitialMarking()
+		keys = append(keys, m.Key())
+		for tr := petri.Trans(0); int(tr) < n.NumTrans(); tr++ {
+			if n.Enabled(m, tr) {
+				if next, safe := n.Fire(m, tr); safe {
+					keys = append(keys, next.Key())
+				}
+			}
+		}
+	}
+	return keys
+}
+
+// FuzzFrameRoundTrip feeds arbitrary byte strings through the
+// (key, order) wire codec used by intern batches and collect replies:
+// whatever encodes must decode to the same entries, and decoding the
+// encoded stream must consume it fully.
+func FuzzFrameRoundTrip(f *testing.F) {
+	for i, key := range tableOneKeys(f) {
+		f.Add(key, uint64(i)<<32|uint64(i))
+	}
+	f.Add("", uint64(0))
+	f.Add(string(make([]byte, 300)), ^uint64(0))
+	f.Fuzz(func(t *testing.T, key string, order uint64) {
+		in := []internEntry{{key: key, order: order}, {key: key + "x", order: order / 2}}
+		var buf bytes.Buffer
+		if err := encodeKeyOrders(&buf, frameIntern, in); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		out, err := decodeKeyOrders(&buf, frameIntern, MaxFrame)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("round trip %d entries -> %d", len(in), len(out))
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				t.Fatalf("entry %d: %+v -> %+v", i, in[i], out[i])
+			}
+		}
+	})
+}
+
+// TestFrameChunking pins that a batch larger than one chunk round-trips
+// through multiple frames in one stream.
+func TestFrameChunking(t *testing.T) {
+	keys := tableOneKeys(t)
+	in := make([]internEntry, 3*chunkEntries+17)
+	for i := range in {
+		in[i] = internEntry{key: keys[i%len(keys)], order: uint64(i)}
+	}
+	var buf bytes.Buffer
+	if err := encodeKeyOrders(&buf, frameIntern, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := decodeKeyOrders(&buf, frameIntern, MaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("chunked round trip lost entries: %d -> %d", len(in), len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}
+
+// TestTornFrameRejected pins the wire-level analogue of the ledger's
+// torn-tail handling: a stream cut inside a frame fails with
+// ErrTornFrame at every cut point, and a clean boundary returns io.EOF.
+func TestTornFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	in := []internEntry{{key: tableOneKeys(t)[0], order: 42}}
+	if err := encodeKeyOrders(&buf, frameIntern, in); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for cut := 1; cut < len(whole); cut++ {
+		_, err := decodeKeyOrders(bytes.NewReader(whole[:cut]), frameIntern, MaxFrame)
+		if cut < 5 {
+			// Cut inside the header or the frame body: torn.
+			if !errors.Is(err, ErrTornFrame) {
+				t.Fatalf("cut at %d: want ErrTornFrame, got %v", cut, err)
+			}
+		} else if err == nil {
+			t.Fatalf("cut at %d: truncated frame decoded successfully", cut)
+		}
+	}
+	// The full stream ends with a clean io.EOF inside the decoder loop.
+	if _, err := decodeKeyOrders(bytes.NewReader(whole), frameIntern, MaxFrame); err != nil {
+		t.Fatalf("clean stream: %v", err)
+	}
+	// A raw readFrame on an empty stream is a clean boundary.
+	if _, _, err := readFrame(bytes.NewReader(nil), MaxFrame); err != io.EOF {
+		t.Fatalf("empty stream: want io.EOF, got %v", err)
+	}
+}
+
+// TestOversizedFrameRejected pins that a hostile length field is
+// rejected before any allocation happens.
+func TestOversizedFrameRejected(t *testing.T) {
+	raw := []byte{0xFF, 0xFF, 0xFF, 0xFF, frameIntern}
+	_, _, err := readFrame(bytes.NewReader(raw), MaxFrame)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+	// At exactly the limit the frame is only torn (no body follows), not
+	// oversized.
+	at := []byte{0x00, 0x00, 0x00, 0x10, frameIntern}
+	if _, _, err := readFrame(bytes.NewReader(at), 16); !errors.Is(err, ErrTornFrame) {
+		t.Fatalf("at-limit header: want ErrTornFrame, got %v", err)
+	}
+	// A zero-length frame cannot even carry its type byte.
+	zero := []byte{0x00, 0x00, 0x00, 0x00}
+	if _, _, err := readFrame(bytes.NewReader(zero), 16); !errors.Is(err, ErrTornFrame) {
+		t.Fatalf("zero-length: want ErrTornFrame, got %v", err)
+	}
+}

@@ -1,0 +1,304 @@
+package cluster
+
+// Binary payload encodings of the cluster protocol. All multi-byte
+// integers are uvarints; state keys are length-prefixed raw bytes (a
+// key IS the marking's binary encoding, so frontier batches carry full
+// states, not references). Requests and replies may span several
+// frames; readers loop until EOF, so a large level streams through
+// fixed-size chunks instead of one giant allocation.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+)
+
+// chunkEntries bounds how many entries one frame carries. Levels larger
+// than this simply emit several frames in one HTTP body.
+const chunkEntries = 8192
+
+// expandEntry is one level position a peer must expand: the global
+// position in the current BFS level (the high half of every order key
+// it produces) and the state key to reconstruct the marking from.
+type expandEntry struct {
+	pos uint32
+	key string
+}
+
+// posFlags carries a parent position's verdict bits back to the
+// coordinator.
+const (
+	flagDead = 1 << 0
+	flagBad  = 1 << 1
+)
+
+// expandReply is a peer's account of one expand batch: verdict flags in
+// request-entry order, the order keys of every safe firing examined
+// (the arcs), and the minimal unsafe-firing order, if any.
+type expandReply struct {
+	flags    []byte
+	orders   []uint64
+	vioOrder uint64
+	hasVio   bool
+}
+
+// internEntry routes one discovered successor to its owning peer.
+type internEntry struct {
+	key   string
+	order uint64
+}
+
+// commitEntry assigns the definitive state id to a pending discovery.
+type commitEntry struct {
+	key string
+	id  int
+}
+
+// encodeExpand writes the expand batch as chunked frames.
+func encodeExpand(w io.Writer, entries []expandEntry) error {
+	for lo := 0; lo < len(entries); lo += chunkEntries {
+		hi := min(lo+chunkEntries, len(entries))
+		b := binary.AppendUvarint(nil, uint64(hi-lo))
+		for _, e := range entries[lo:hi] {
+			b = binary.AppendUvarint(b, uint64(e.pos))
+			b = appendBytes(b, e.key)
+		}
+		if err := writeFrame(w, frameExpand, b); err != nil {
+			return err
+		}
+	}
+	if len(entries) == 0 {
+		return writeFrame(w, frameExpand, binary.AppendUvarint(nil, 0))
+	}
+	return nil
+}
+
+// decodeExpand reads chunked expand frames until EOF.
+func decodeExpand(r io.Reader, max int) ([]expandEntry, error) {
+	var out []expandEntry
+	for {
+		typ, payload, err := readFrame(r, max)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if typ != frameExpand {
+			return nil, errUnexpectedFrame(typ, frameExpand)
+		}
+		n, err := nextUvarint(&payload)
+		if err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < n; i++ {
+			pos, err := nextUvarint(&payload)
+			if err != nil {
+				return nil, err
+			}
+			key, err := nextBytes(&payload)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, expandEntry{pos: uint32(pos), key: key})
+		}
+	}
+}
+
+// encodeExpandReply writes the reply as one frame (flags and orders
+// are small relative to the batch itself).
+func encodeExpandReply(w io.Writer, re *expandReply) error {
+	b := binary.AppendUvarint(nil, uint64(len(re.flags)))
+	b = append(b, re.flags...)
+	b = binary.AppendUvarint(b, uint64(len(re.orders)))
+	for _, o := range re.orders {
+		b = binary.AppendUvarint(b, o)
+	}
+	if re.hasVio {
+		b = append(b, 1)
+		b = binary.AppendUvarint(b, re.vioOrder)
+	} else {
+		b = append(b, 0)
+	}
+	return writeFrame(w, frameExpandRe, b)
+}
+
+func decodeExpandReply(r io.Reader, max int) (*expandReply, error) {
+	typ, payload, err := readFrame(r, max)
+	if err != nil {
+		return nil, err
+	}
+	if typ != frameExpandRe {
+		return nil, errUnexpectedFrame(typ, frameExpandRe)
+	}
+	re := &expandReply{}
+	n, err := nextUvarint(&payload)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(payload)) < n {
+		return nil, io.ErrUnexpectedEOF
+	}
+	re.flags = append([]byte(nil), payload[:n]...)
+	payload = payload[n:]
+	no, err := nextUvarint(&payload)
+	if err != nil {
+		return nil, err
+	}
+	re.orders = make([]uint64, 0, no)
+	for i := uint64(0); i < no; i++ {
+		o, err := nextUvarint(&payload)
+		if err != nil {
+			return nil, err
+		}
+		re.orders = append(re.orders, o)
+	}
+	if len(payload) < 1 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	if payload[0] == 1 {
+		payload = payload[1:]
+		re.vioOrder, err = nextUvarint(&payload)
+		if err != nil {
+			return nil, err
+		}
+		re.hasVio = true
+	}
+	return re, nil
+}
+
+// encodeKeyOrders writes (key, order) pairs as chunked frames of the
+// given type — the shape shared by intern batches and collect replies.
+func encodeKeyOrders(w io.Writer, typ byte, entries []internEntry) error {
+	for lo := 0; lo < len(entries); lo += chunkEntries {
+		hi := min(lo+chunkEntries, len(entries))
+		b := binary.AppendUvarint(nil, uint64(hi-lo))
+		for _, e := range entries[lo:hi] {
+			b = appendBytes(b, e.key)
+			b = binary.AppendUvarint(b, e.order)
+		}
+		if err := writeFrame(w, typ, b); err != nil {
+			return err
+		}
+	}
+	if len(entries) == 0 {
+		return writeFrame(w, typ, binary.AppendUvarint(nil, 0))
+	}
+	return nil
+}
+
+func decodeKeyOrders(r io.Reader, typ byte, max int) ([]internEntry, error) {
+	var out []internEntry
+	for {
+		ft, payload, err := readFrame(r, max)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if ft != typ {
+			return nil, errUnexpectedFrame(ft, typ)
+		}
+		n, err := nextUvarint(&payload)
+		if err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < n; i++ {
+			key, err := nextBytes(&payload)
+			if err != nil {
+				return nil, err
+			}
+			o, err := nextUvarint(&payload)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, internEntry{key: key, order: o})
+		}
+	}
+}
+
+// encodeCommit writes (key, id) assignments as chunked frames.
+func encodeCommit(w io.Writer, entries []commitEntry) error {
+	for lo := 0; lo < len(entries); lo += chunkEntries {
+		hi := min(lo+chunkEntries, len(entries))
+		b := binary.AppendUvarint(nil, uint64(hi-lo))
+		for _, e := range entries[lo:hi] {
+			b = appendBytes(b, e.key)
+			b = binary.AppendUvarint(b, uint64(e.id))
+		}
+		if err := writeFrame(w, frameCommit, b); err != nil {
+			return err
+		}
+	}
+	if len(entries) == 0 {
+		return writeFrame(w, frameCommit, binary.AppendUvarint(nil, 0))
+	}
+	return nil
+}
+
+func decodeCommit(r io.Reader, max int) ([]commitEntry, error) {
+	var out []commitEntry
+	for {
+		typ, payload, err := readFrame(r, max)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if typ != frameCommit {
+			return nil, errUnexpectedFrame(typ, frameCommit)
+		}
+		n, err := nextUvarint(&payload)
+		if err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < n; i++ {
+			key, err := nextBytes(&payload)
+			if err != nil {
+				return nil, err
+			}
+			id, err := nextUvarint(&payload)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, commitEntry{key: key, id: int(id)})
+		}
+	}
+}
+
+// encodeBuf renders an encoder into a byte buffer (HTTP request
+// bodies), returning the frame bytes and their length for metrics.
+func encodeBuf(enc func(io.Writer) error) (*bytes.Buffer, error) {
+	var buf bytes.Buffer
+	if err := enc(&buf); err != nil {
+		return nil, err
+	}
+	return &buf, nil
+}
+
+func errUnexpectedFrame(got, want byte) error {
+	return &frameTypeError{got: got, want: want}
+}
+
+type frameTypeError struct{ got, want byte }
+
+func (e *frameTypeError) Error() string {
+	return "cluster: unexpected frame type " + itoa(int(e.got)) + " (want " + itoa(int(e.want)) + ")"
+}
+
+// itoa avoids pulling strconv into the hot wire path for an error case.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -64,6 +64,10 @@ type Entry struct {
 	MaxStates   int  `json:"max_states,omitempty"`
 	MaxNodes    int  `json:"max_nodes,omitempty"`
 	Workers     int  `json:"workers,omitempty"` // informational; not part of RunID
+	// Peers is the cluster size when the run executed on the distributed
+	// explorer (0 = in-process). Informational like Workers: cluster
+	// results are bit-identical, so Peers is not part of RunID.
+	Peers int `json:"peers,omitempty"`
 
 	StartUnixNS int64 `json:"start_unix_ns"`
 	EndUnixNS   int64 `json:"end_unix_ns"`

@@ -59,6 +59,63 @@ func (m Marking) Key() string {
 	return b.String()
 }
 
+// fnv1a64 constants (FNV-1a, 64 bit).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// KeyHash returns Key() together with its 64-bit FNV-1a hash, computed
+// in the same pass over the words. The hash is the shard-routing key of
+// the parallel explorer's visited store and of the cluster wire
+// protocol, so computing it at key-construction time removes the
+// second walk over the just-built string.
+func (m Marking) KeyHash() (string, uint64) {
+	var b strings.Builder
+	b.Grow(len(m) * 8)
+	h := uint64(fnvOffset64)
+	for _, w := range m {
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			c := byte(w >> (8 * uint(i)))
+			buf[i] = c
+			h = (h ^ uint64(c)) * fnvPrime64
+		}
+		b.Write(buf[:])
+	}
+	return b.String(), h
+}
+
+// HashKey returns the 64-bit FNV-1a hash of an already-built marking
+// key, for callers that receive keys over the wire rather than
+// constructing them from a Marking. HashKey(m.Key()) equals the hash
+// KeyHash returns.
+func HashKey(key string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * fnvPrime64
+	}
+	return h
+}
+
+// MarkingFromKey reconstructs the Marking a Key() byte string encodes.
+// It is the inverse of Key for markings of this net; a key of the wrong
+// length (a different net, or a torn wire frame) returns ok=false.
+func (n *Net) MarkingFromKey(key string) (Marking, bool) {
+	if len(key) != n.markWords*8 {
+		return nil, false
+	}
+	m := make(Marking, n.markWords)
+	for wi := range m {
+		var w uint64
+		for i := 0; i < 8; i++ {
+			w |= uint64(key[wi*8+i]) << (8 * uint(i))
+		}
+		m[wi] = w
+	}
+	return m, true
+}
+
 // Places returns the marked places in increasing order.
 func (m Marking) Places() []Place {
 	var out []Place

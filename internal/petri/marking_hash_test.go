@@ -1,0 +1,89 @@
+package petri
+
+import (
+	"testing"
+)
+
+// buildWideNet returns a net with enough places for a multi-word
+// marking, with an alternating bit pattern marked.
+func buildWideNet(tb testing.TB, places int) (*Net, Marking) {
+	tb.Helper()
+	b := NewBuilder("wide")
+	ps := make([]Place, places)
+	for i := range ps {
+		ps[i] = b.Place("p" + string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260)))
+	}
+	b.TransArcs("t", []Place{ps[0]}, []Place{ps[len(ps)-1]})
+	b.Mark(ps[0])
+	n, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m := n.EmptyMarking()
+	for i := 0; i < places; i += 3 {
+		m.Set(ps[i])
+	}
+	return n, m
+}
+
+// TestKeyHashMatchesKey pins that the one-pass KeyHash produces exactly
+// the Key() string plus the FNV-1a hash the old two-pass route
+// (Key, then re-hash the string) computed — the hash-once optimization
+// must not change either the interning key or the shard routing input.
+func TestKeyHashMatchesKey(t *testing.T) {
+	for _, places := range []int{1, 7, 64, 65, 200} {
+		_, m := buildWideNet(t, places)
+		key, hash := m.KeyHash()
+		if key != m.Key() {
+			t.Errorf("places=%d: KeyHash key differs from Key()", places)
+		}
+		if hash != HashKey(m.Key()) {
+			t.Errorf("places=%d: KeyHash hash %x != HashKey(Key()) %x", places, hash, HashKey(m.Key()))
+		}
+	}
+}
+
+// TestMarkingFromKeyRoundTrip pins the wire decoding: a marking survives
+// Key → MarkingFromKey, and wrong-length keys are rejected.
+func TestMarkingFromKeyRoundTrip(t *testing.T) {
+	n, m := buildWideNet(t, 130)
+	got, ok := n.MarkingFromKey(m.Key())
+	if !ok {
+		t.Fatal("MarkingFromKey rejected a valid key")
+	}
+	if !got.Equal(m) {
+		t.Fatal("MarkingFromKey round trip lost bits")
+	}
+	if _, ok := n.MarkingFromKey(m.Key()[:len(m.Key())-1]); ok {
+		t.Error("MarkingFromKey accepted a torn key")
+	}
+	if _, ok := n.MarkingFromKey(m.Key() + "x"); ok {
+		t.Error("MarkingFromKey accepted an oversized key")
+	}
+}
+
+// BenchmarkMarkingKeyHash measures the hash-once win on the interning
+// hot path: the old route built the key string and then re-walked it
+// with FNV-1a to pick the visited-store shard; KeyHash folds the hash
+// into key construction.
+func BenchmarkMarkingKeyHash(b *testing.B) {
+	_, m := buildWideNet(b, 192) // 3 words, a mid-size Table 1 marking
+	b.Run("key-then-rehash", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			key := m.Key()
+			sink += HashKey(key)
+		}
+		_ = sink
+	})
+	b.Run("keyhash-one-pass", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			_, h := m.KeyHash()
+			sink += h
+		}
+		_ = sink
+	})
+}

@@ -1,0 +1,91 @@
+package reach
+
+// Exported batch/merge hooks of the parallel frontier-batch explorer.
+//
+// The deterministic level merge — sort this level's discoveries by
+// (parent position, transition) order key, then cut the level at
+// whichever comes first of an unsafe firing or the MaxStates+1'th
+// intern — is the correctness contract that makes both the in-process
+// parallel explorer (parallel.go) and the distributed cluster explorer
+// (internal/cluster) bit-identical to the sequential BFS. Both engines
+// call the same hooks below, so the contract cannot drift between them.
+
+import (
+	"sort"
+
+	"repro/internal/petri"
+)
+
+// NumShards is the fan-out of the sharded visited store: a power of two
+// well above any sensible worker count. The cluster explorer partitions
+// these same 256 shards into per-peer ownership ranges, so one hash
+// routes a state both to a goroutine's shard and to a network peer.
+const NumShards = 256
+
+// ShardOf maps a marking key hash (petri.Marking.KeyHash) onto a shard
+// index. This is also the wire routing function of cluster frontier
+// batches: owner(peer) = range containing ShardOf(hash).
+func ShardOf(hash uint64) uint32 {
+	return uint32(hash) & (NumShards - 1)
+}
+
+// OrderKey is the deterministic merge key of one examined firing: the
+// parent's position in the current BFS level in the high bits, the
+// transition index in the low bits — exactly the order the sequential
+// BFS scans firings.
+func OrderKey(pos int, t petri.Trans) uint64 {
+	return uint64(pos)<<32 | uint64(uint32(t))
+}
+
+// OrderPos and OrderTrans decompose an OrderKey.
+func OrderPos(order uint64) int           { return int(order >> 32) }
+func OrderTrans(order uint64) petri.Trans { return petri.Trans(uint32(order)) }
+
+// Discovery is a marking first reached during the current BFS level,
+// claimed in a visited-store shard by the first worker (or peer) to see
+// it. Order is the minimal OrderKey over all firings that reached it
+// this level; ID stays -1 until the level merge assigns the definitive
+// one.
+type Discovery struct {
+	Key   string
+	Hash  uint64
+	M     petri.Marking
+	Order uint64
+	ID    int
+}
+
+// SortDiscoveries orders a level's discoveries by merge key — the order
+// the sequential BFS first encounters them. Keys are unique within a
+// level (each pending marking is claimed in exactly one shard), so the
+// sort is total.
+func SortDiscoveries(ds []*Discovery) {
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Order < ds[j].Order })
+}
+
+// PlanLevel establishes a level's stop point before anything from it is
+// committed. Given the sorted discoveries, the states interned so far,
+// the MaxStates cap (0 = none) and the minimal unsafe-firing order key
+// (hasVio reports whether one exists), it returns:
+//
+//   - trigger: the order key at which the sequential scan stops
+//     (^uint64(0) when the whole level commits);
+//   - capped: the MaxStates cap cuts this level — discoveries with
+//     Order >= trigger are not interned, and arcs are only counted for
+//     examined orders < trigger;
+//   - unsafeFirst: the unsafe firing comes first in scan order, so the
+//     caller must fail with ErrUnsafe instead of committing anything.
+//
+// This reproduces the sequential engine exactly: it stops at whichever
+// comes first in its scan order, an unsafe firing or the firing that
+// would intern state MaxStates+1.
+func PlanLevel(sorted []*Discovery, statesSoFar, maxStates int, vioOrder uint64, hasVio bool) (trigger uint64, capped, unsafeFirst bool) {
+	trigger = ^uint64(0)
+	if maxStates > 0 && statesSoFar+len(sorted) > maxStates {
+		capped = true
+		trigger = sorted[maxStates-statesSoFar].Order
+	}
+	if hasVio && vioOrder < trigger {
+		return trigger, capped, true
+	}
+	return trigger, capped, false
+}

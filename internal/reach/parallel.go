@@ -14,11 +14,12 @@ package reach
 // by order key and assigned state ids — exactly the order the sequential
 // BFS first encounters them — so States, Arcs, Deadlocks/BadStates order,
 // the stored Graph, and even the stop points of MaxStates and ErrUnsafe
-// reproduce the Workers: 0 run bit for bit.
+// reproduce the Workers: 0 run bit for bit. The order-key sort and the
+// stop-point arithmetic live in merge.go, shared with the distributed
+// cluster explorer (internal/cluster).
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -26,29 +27,16 @@ import (
 	"repro/internal/petri"
 )
 
-// numShards fixes the visited-store fan-out. A power of two well above
-// any sensible worker count keeps the probability of two workers hashing
-// into the same shard low without scaling allocation with Options.Workers.
-const numShards = 256
+// numShards aliases the exported constant; see merge.go.
+const numShards = NumShards
 
 // shard is one slice of the visited store: established markings in ids,
 // markings first seen during the current level in pend.
 type shard struct {
 	mu   sync.Mutex
 	ids  map[string]int
-	pend map[string]*discovery
+	pend map[string]*Discovery
 	_    [40]byte // pad to a 64-byte cache line so shards don't false-share
-}
-
-// discovery is a marking first reached during the current level, claimed
-// in a shard by the first worker to see it. order is the minimal
-// (parent position, transition) key over all firings that reached it this
-// level; id stays -1 until the level's merge assigns the definitive one.
-type discovery struct {
-	key   string
-	m     petri.Marking
-	order uint64
-	id    int
 }
 
 // succRef is one examined firing: either the target was already interned
@@ -56,7 +44,7 @@ type discovery struct {
 type succRef struct {
 	t    petri.Trans
 	id   int
-	disc *discovery
+	disc *Discovery
 }
 
 // violation records an unsafe firing so the merge can report the
@@ -65,19 +53,6 @@ type violation struct {
 	order uint64
 	t     petri.Trans
 	m     petri.Marking
-}
-
-func orderKey(pos int, t petri.Trans) uint64 {
-	return uint64(pos)<<32 | uint64(uint32(t))
-}
-
-// shardOf hashes a marking key (FNV-1a) onto a shard index.
-func shardOf(key string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h = (h ^ uint32(key[i])) * 16777619
-	}
-	return h & (numShards - 1)
 }
 
 // exploreParallel is the Workers > 0 path of Explore. Early-stop options
@@ -136,13 +111,13 @@ func exploreParallel(n *petri.Net, opts Options) (*Result, error) {
 	shards := make([]shard, numShards)
 	for i := range shards {
 		shards[i].ids = make(map[string]int)
-		shards[i].pend = make(map[string]*discovery)
+		shards[i].pend = make(map[string]*Discovery)
 	}
 
 	var states []petri.Marking
 	m0 := n.InitialMarking()
-	k0 := m0.Key()
-	shards[shardOf(k0)].ids[k0] = 0
+	k0, h0 := m0.KeyHash()
+	shards[ShardOf(h0)].ids[k0] = 0
 	states = append(states, m0)
 	if opts.StoreGraph {
 		g.Edges = append(g.Edges, nil)
@@ -159,7 +134,7 @@ func exploreParallel(n *petri.Net, opts Options) (*Result, error) {
 		succs      [][]succRef
 		deadFlags  []bool
 		badFlags   []bool
-		discovered []*discovery
+		discovered []*Discovery
 	)
 
 	abort := func() (*Result, error) {
@@ -201,7 +176,7 @@ func exploreParallel(n *petri.Net, opts Options) (*Result, error) {
 		if w > len(level) {
 			w = len(level)
 		}
-		workerDiscs := make([][]*discovery, w)
+		workerDiscs := make([][]*Discovery, w)
 		workerViols := make([]*violation, w)
 		workerCont := make([]int64, w)
 
@@ -213,7 +188,7 @@ func exploreParallel(n *petri.Net, opts Options) (*Result, error) {
 			go func(wi int) {
 				defer wg.Done()
 				wt := wtrack(wi)
-				var local []*discovery
+				var local []*Discovery
 				var vio *violation
 				var cont int64
 				for {
@@ -240,15 +215,19 @@ func exploreParallel(n *petri.Net, opts Options) (*Result, error) {
 							}
 							enabled++
 							next, safe := n.Fire(m, t)
-							order := orderKey(pos, t)
+							order := OrderKey(pos, t)
 							if !safe {
 								if vio == nil || order < vio.order {
 									vio = &violation{order: order, t: t, m: m}
 								}
 								continue
 							}
-							key := next.Key()
-							s := &shards[shardOf(key)]
+							// The hash rides along from key construction:
+							// no re-walk of the just-built string to route
+							// the shard (and, in the cluster explorer, the
+							// owning peer).
+							key, hash := next.KeyHash()
+							s := &shards[ShardOf(hash)]
 							if !s.mu.TryLock() {
 								cont++
 								s.mu.Lock()
@@ -257,13 +236,13 @@ func exploreParallel(n *petri.Net, opts Options) (*Result, error) {
 								s.mu.Unlock()
 								out = append(out, succRef{t: t, id: id})
 							} else if d, ok := s.pend[key]; ok {
-								if order < d.order {
-									d.order = order
+								if order < d.Order {
+									d.Order = order
 								}
 								s.mu.Unlock()
 								out = append(out, succRef{t: t, id: -1, disc: d})
 							} else {
-								d := &discovery{key: key, m: next, order: order, id: -1}
+								d := &Discovery{Key: key, Hash: hash, M: next, Order: order, ID: -1}
 								s.pend[key] = d
 								s.mu.Unlock()
 								local = append(local, d)
@@ -318,27 +297,20 @@ func exploreParallel(n *petri.Net, opts Options) (*Result, error) {
 		for _, local := range workerDiscs {
 			discovered = append(discovered, local...)
 		}
-		sort.Slice(discovered, func(i, j int) bool {
-			return discovered[i].order < discovered[j].order
-		})
+		SortDiscoveries(discovered)
 
-		// The sequential engine stops at whichever comes first in its scan
-		// order: an unsafe firing, or the firing that would intern state
-		// MaxStates+1. Establish both candidate stop points before
-		// committing anything from this level.
-		trigger := ^uint64(0)
-		capped := false
-		if opts.MaxStates > 0 && len(states)+len(discovered) > opts.MaxStates {
-			capped = true
-			trigger = discovered[opts.MaxStates-len(states)].order
-		}
 		var vio *violation
 		for _, v := range workerViols {
 			if v != nil && (vio == nil || v.order < vio.order) {
 				vio = v
 			}
 		}
-		if vio != nil && vio.order < trigger {
+		vioOrder := ^uint64(0)
+		if vio != nil {
+			vioOrder = vio.order
+		}
+		trigger, capped, unsafeFirst := PlanLevel(discovered, len(states), opts.MaxStates, vioOrder, vio != nil)
+		if unsafeFirst {
 			return nil, fmt.Errorf("%w: firing %s from %s double-marks a place",
 				ErrUnsafe, n.TransName(vio.t), vio.m.String(n))
 		}
@@ -347,18 +319,18 @@ func exploreParallel(n *petri.Net, opts Options) (*Result, error) {
 		// discoveries the sequential engine interned before its stop.
 		nextLevel := make([]int, 0, len(discovered))
 		for _, d := range discovered {
-			if d.order >= trigger {
+			if d.Order >= trigger {
 				break
 			}
-			d.id = len(states)
-			states = append(states, d.m)
-			shards[shardOf(d.key)].ids[d.key] = d.id // workers are quiesced
+			d.ID = len(states)
+			states = append(states, d.M)
+			shards[ShardOf(d.Hash)].ids[d.Key] = d.ID // workers are quiesced
 			if opts.StoreGraph {
 				g.Edges = append(g.Edges, nil)
 			}
 			opts.Progress.Tick(1)
-			tk.State(int64(d.id), 0)
-			nextLevel = append(nextLevel, d.id)
+			tk.State(int64(d.ID), 0)
+			nextLevel = append(nextLevel, d.ID)
 		}
 		for i := range shards {
 			clear(shards[i].pend)
@@ -368,14 +340,14 @@ func exploreParallel(n *petri.Net, opts Options) (*Result, error) {
 		// sequential scan examined strictly before the triggering one.
 		for pos, list := range succs {
 			for _, sr := range list {
-				if capped && orderKey(pos, sr.t) >= trigger {
+				if capped && OrderKey(pos, sr.t) >= trigger {
 					break // orders grow with t within a parent
 				}
 				res.Arcs++
 				if opts.StoreGraph {
 					to := sr.id
 					if sr.disc != nil {
-						to = sr.disc.id
+						to = sr.disc.ID
 					}
 					g.Edges[level[pos]] = append(g.Edges[level[pos]], Edge{T: sr.t, To: to})
 				}

@@ -85,9 +85,23 @@ func (c *resultCache) get(key cacheKey) (*Response, bool) {
 	}
 	c.ll.MoveToFront(el)
 	c.hits.Inc()
-	resp := el.Value.(*cacheEntry).resp // copy; Witness backing array is never mutated
+	resp := el.Value.(*cacheEntry).resp
+	resp.Witness = cloneWitness(resp.Witness)
 	resp.Cached = true
 	return &resp, true
+}
+
+// cloneWitness deep-copies a witness slice. Both put and get copy: a
+// caller mutating its Response after the fact (or a handler decorating
+// a served copy) must never reach the cached entry, whose entrySize
+// charge was computed from the bytes stored at admission.
+func cloneWitness(w []string) []string {
+	if w == nil {
+		return nil
+	}
+	out := make([]string, len(w))
+	copy(out, w)
+	return out
 }
 
 // put inserts a response, evicting from the cold end until the budget
@@ -97,6 +111,7 @@ func (c *resultCache) put(key cacheKey, resp *Response) {
 		return
 	}
 	e := &cacheEntry{key: key, resp: *resp, size: entrySize(resp)}
+	e.resp.Witness = cloneWitness(resp.Witness)
 	e.resp.Cached = false
 	if e.size > c.budget {
 		return

@@ -104,6 +104,45 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 }
 
+// TestCacheWitnessIsolation pins the deep-copy contract on both cache
+// boundaries: a caller mutating the Response it put (or the copy it
+// got) must never reach the stored entry. Without the copies, a
+// mutated witness would silently change served results AND desync the
+// byte accounting from entrySize's admission-time charge.
+func TestCacheWitnessIsolation(t *testing.T) {
+	c := newResultCache(1<<20, obs.New())
+	orig := &Response{
+		Status:   StatusOK,
+		Net:      "w",
+		Deadlock: true,
+		Witness:  []string{"p0", "p1"},
+		Complete: true,
+	}
+	c.put(cacheKey{7}, orig)
+	_, bytesAtPut := c.stats()
+
+	// Mutate the caller's Response after put — the lease-settle path in
+	// runJob does exactly this kind of post-put decoration.
+	orig.Witness[0] = "CLOBBERED-BY-CALLER-WITH-A-MUCH-LONGER-STRING"
+	got, ok := c.get(cacheKey{7})
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if got.Witness[0] != "p0" || got.Witness[1] != "p1" {
+		t.Fatalf("put did not deep-copy: cached witness = %v", got.Witness)
+	}
+
+	// Mutate the served copy — the next get must still be pristine.
+	got.Witness[1] = "CLOBBERED-BY-READER"
+	again, _ := c.get(cacheKey{7})
+	if again.Witness[0] != "p0" || again.Witness[1] != "p1" {
+		t.Fatalf("get did not deep-copy: second read = %v", again.Witness)
+	}
+	if _, bytesNow := c.stats(); bytesNow != bytesAtPut {
+		t.Fatalf("byte accounting drifted: %d at put, %d now", bytesAtPut, bytesNow)
+	}
+}
+
 // TestCacheOversizedEntryNotStored pins the "larger than the whole
 // budget" guard.
 func TestCacheOversizedEntryNotStored(t *testing.T) {

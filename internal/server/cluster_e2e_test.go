@@ -1,0 +1,166 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// clusterFleet is a set of full gpod servers, each a cluster member.
+type clusterFleet struct {
+	urls    []string
+	svcs    []*server.Server
+	regs    []*obs.Registry
+	clients []*client.Client
+}
+
+// startFleet boots n complete gpod servers on loopback listeners, each
+// with its own cluster.Node over the shared membership list. Listeners
+// come first: the membership URLs must exist before any Node does.
+func startFleet(t *testing.T, n int) *clusterFleet {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	f := &clusterFleet{
+		urls:    make([]string, n),
+		svcs:    make([]*server.Server, n),
+		regs:    make([]*obs.Registry, n),
+		clients: make([]*client.Client, n),
+	}
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		f.urls[i] = "http://" + l.Addr().String()
+	}
+	for i := range listeners {
+		f.regs[i] = obs.New()
+		nd, err := cluster.New(cluster.Config{Self: f.urls[i], Peers: f.urls, Metrics: f.regs[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.svcs[i] = server.New(server.Config{Workers: 2, Metrics: f.regs[i], Cluster: nd})
+		hs := &http.Server{Handler: f.svcs[i].Handler()}
+		go hs.Serve(listeners[i]) //nolint:errcheck
+		t.Cleanup(func() { hs.Close() })
+		f.clients[i] = client.New(f.urls[i], http.DefaultClient)
+	}
+	t.Cleanup(func() {
+		for _, svc := range f.svcs {
+			svc.Close()
+		}
+	})
+	return f
+}
+
+// reachStates reads a fleet member's process-total reach.states counter.
+func (f *clusterFleet) reachStates(i int) int64 {
+	return f.regs[i].Snapshot().Counters["reach.states"]
+}
+
+// TestE2ESharedTierNoRecompute pins the cluster's shared result cache:
+// a verification computed on peer A answers the identical request on
+// peer B from the shared tier — Cached, same verdict, and without B (or
+// anyone) exploring a single state again.
+func TestE2ESharedTierNoRecompute(t *testing.T) {
+	f := startFleet(t, 3)
+	ctx := context.Background()
+	req := &server.Request{Model: "nsdp", Size: 6, Engine: "exhaustive", Cluster: true}
+
+	first, err := f.clients[0].Verify(ctx, req)
+	if err != nil {
+		t.Fatalf("verify on peer 0: %v", err)
+	}
+	if first.Cached {
+		t.Fatal("first request reported Cached")
+	}
+	if !first.Complete || first.States != 5778 {
+		t.Fatalf("nsdp(6) = %d states (complete=%v), want 5778", first.States, first.Complete)
+	}
+	if first.Peers != 3 {
+		t.Fatalf("first.Peers = %d, want 3", first.Peers)
+	}
+
+	before := make([]int64, 3)
+	for i := range before {
+		before[i] = f.reachStates(i)
+	}
+
+	second, err := f.clients[1].Verify(ctx, req)
+	if err != nil {
+		t.Fatalf("verify on peer 1: %v", err)
+	}
+	if !second.Cached {
+		t.Fatal("identical request on another peer was not served from the shared tier")
+	}
+	for i := range before {
+		if after := f.reachStates(i); after != before[i] {
+			t.Errorf("peer %d explored %d states answering a shared-tier hit", i, after-before[i])
+		}
+	}
+
+	// The served copy must be the computed result byte-for-byte, modulo
+	// the serving-time decorations (Cached; Peers is original-run-only).
+	a, b := *first, *second
+	a.Cached, b.Cached = false, false
+	a.Peers, b.Peers = 0, 0
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Errorf("shared-tier copy differs from the computed result:\n  computed: %s\n  served:   %s", aj, bj)
+	}
+	if second.Peers != 0 {
+		t.Errorf("cached copy carries Peers=%d; the stamp is original-run-only", second.Peers)
+	}
+
+	// The hit is visible in the tier's instrumentation on the peer that
+	// asked (remote hit) — wherever the key's owner is.
+	var remoteHits int64
+	for _, reg := range f.regs {
+		remoteHits += reg.Snapshot().Counters["cluster.remote_cache_hits"]
+	}
+	if remoteHits < 1 {
+		t.Errorf("cluster.remote_cache_hits = %d across the fleet, want >= 1", remoteHits)
+	}
+}
+
+// TestE2EClusterRejectsBadRequests pins the admission rules: cluster
+// execution needs a clustered server and the exhaustive engine.
+func TestE2EClusterRejectsBadRequests(t *testing.T) {
+	f := startFleet(t, 2)
+	ctx := context.Background()
+	if _, err := f.clients[0].Verify(ctx, &server.Request{Model: "rw", Size: 4, Engine: "gpo", Cluster: true}); err == nil {
+		t.Error("cluster + gpo engine was accepted; want 400")
+	}
+
+	plain := server.New(server.Config{Workers: 1})
+	defer plain.Close()
+	// No listener needed — parseRequest rejects before any work happens,
+	// so exercise it through the handler via a recorded request.
+	hs := startHTTP(t, plain)
+	if _, err := client.New(hs, http.DefaultClient).Verify(ctx, &server.Request{Model: "rw", Size: 4, Engine: "exhaustive", Cluster: true}); err == nil {
+		t.Error("cluster request on a peerless server was accepted; want 400")
+	}
+}
+
+// startHTTP serves a Server's handler on a loopback listener and
+// returns its base URL.
+func startHTTP(t *testing.T, svc *server.Server) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: svc.Handler()}
+	go hs.Serve(l) //nolint:errcheck
+	t.Cleanup(func() { hs.Close() })
+	return "http://" + l.Addr().String()
+}

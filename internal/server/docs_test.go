@@ -2,12 +2,14 @@ package server_test
 
 import (
 	"context"
-	"net/http/httptest"
+	"net"
+	"net/http"
 	"os"
 	"regexp"
 	"strings"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/server/client"
@@ -54,12 +56,13 @@ func documentedMetricNames(doc string) map[string]bool {
 }
 
 // TestRuntimeMetricsDocumented is the drift check: every server.*,
-// reach.*, zdd.* and reduce.* metric the running service actually
-// registers must appear in OBSERVABILITY.md's tables, so the doc cannot
-// silently rot as instrumentation grows. The workload covers the
-// sequential and parallel explicit engines, the ZDD-backed GPO engine,
-// the result cache (hit + miss), and a reduced run on a net every
-// reduction rule fires on, which together register every metric in
+// reach.*, zdd.*, reduce.* and cluster.* metric the running service
+// actually registers must appear in OBSERVABILITY.md's tables, so the
+// doc cannot silently rot as instrumentation grows. The workload covers
+// the sequential and parallel explicit engines, the ZDD-backed GPO
+// engine, the result cache (hit + miss), a reduced run on a net every
+// reduction rule fires on, and a 3-peer cluster run (which also sweeps
+// the shared result tier), which together register every metric in
 // those namespaces.
 func TestRuntimeMetricsDocumented(t *testing.T) {
 	doc, err := os.ReadFile("../../OBSERVABILITY.md")
@@ -71,14 +74,48 @@ func TestRuntimeMetricsDocumented(t *testing.T) {
 		t.Fatalf("only %d documented metric names parsed — extraction broken?", len(documented))
 	}
 
+	// Peers need routable URLs before their Nodes exist, so bind the
+	// listeners first and build the membership list from their ports.
+	const nPeers = 3
+	listeners := make([]net.Listener, nPeers)
+	peers := make([]string, nPeers)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		peers[i] = "http://" + l.Addr().String()
+	}
+
 	reg := obs.New()
-	svc := server.New(server.Config{Workers: 1, Metrics: reg})
-	ts := httptest.NewServer(svc.Handler())
+	node0, err := cluster.New(cluster.Config{Self: peers[0], Peers: peers, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := server.New(server.Config{Workers: 1, Metrics: reg, Cluster: node0})
+	httpSrvs := make([]*http.Server, nPeers)
+	httpSrvs[0] = &http.Server{Handler: svc.Handler()}
+	for i := 1; i < nPeers; i++ {
+		nd, err := cluster.New(cluster.Config{Self: peers[i], Peers: peers, Metrics: obs.New()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		nd.Register(mux)
+		httpSrvs[i] = &http.Server{Handler: mux}
+	}
+	for i, hs := range httpSrvs {
+		go hs.Serve(listeners[i]) //nolint:errcheck
+	}
 	defer func() {
-		ts.Close()
+		for _, hs := range httpSrvs {
+			hs.Close()
+		}
 		svc.Close()
 	}()
-	c := client.New(ts.URL, ts.Client())
+
+	c := client.New(peers[0], http.DefaultClient)
 	ctx := context.Background()
 	for _, req := range []*server.Request{
 		{Model: "nsdp", Size: 4, Engine: "exhaustive"},             // reach.* (sequential)
@@ -86,6 +123,9 @@ func TestRuntimeMetricsDocumented(t *testing.T) {
 		{Model: "nsdp", Size: 4, Engine: "exhaustive"},             // server.cache_hits
 		{Model: "nsdp", Size: 4, Engine: "gpo"},                    // zdd.* via core.StatsReporter
 		{Model: "rw", Size: 6, Engine: "gpo", Reduce: true},        // reduce.* (rw reduces hard)
+		// cluster.* — a fresh key, so the shared-tier miss routes it to
+		// the distributed explorer rather than the result cache.
+		{Model: "rw", Size: 8, Engine: "exhaustive", Cluster: true},
 	} {
 		if _, err := c.Verify(ctx, req); err != nil {
 			t.Fatalf("verify %+v: %v", req, err)
@@ -109,7 +149,8 @@ func TestRuntimeMetricsDocumented(t *testing.T) {
 		case strings.HasPrefix(name, "server."),
 			strings.HasPrefix(name, "reach."),
 			strings.HasPrefix(name, "zdd."),
-			strings.HasPrefix(name, "reduce."):
+			strings.HasPrefix(name, "reduce."),
+			strings.HasPrefix(name, "cluster."):
 			checked++
 			if !documented[name] {
 				t.Errorf("runtime metric %q is not documented in OBSERVABILITY.md", name)

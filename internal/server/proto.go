@@ -38,6 +38,12 @@ type Request struct {
 	// Workers selects the exhaustive engine's parallel explorer. Results
 	// are bit-identical to sequential, so this does not key the cache.
 	Workers int `json:"workers,omitempty"`
+	// Cluster routes the run to the distributed sharded explorer
+	// (requires the server to be started with peers, and the exhaustive
+	// engine). Like Workers it changes how the answer is computed, never
+	// what it is — cluster results are bit-identical to sequential — so
+	// it does not key the result cache either.
+	Cluster bool `json:"cluster,omitempty"`
 	// Proviso applies the cycle proviso in the partial-order engine.
 	Proviso bool `json:"proviso,omitempty"`
 	// Reduce applies the structural reduction pre-pass before the engine
@@ -72,6 +78,11 @@ type Response struct {
 	// result (the original run, for cached responses).
 	ElapsedNS int64 `json:"elapsed_ns"`
 	Complete  bool  `json:"complete"`
+	// Peers is the cluster size when this run executed on the
+	// distributed explorer (0 = in-process). Set on the original run's
+	// response only, never on cached copies — the result bytes a run
+	// contributes to the cache are identical however it was computed.
+	Peers int `json:"peers,omitempty"`
 }
 
 // errorBody is the JSON error envelope for non-2xx responses.
@@ -110,6 +121,9 @@ type job struct {
 	// done channel orders the accesses).
 	enqNS       int64
 	queueWaitNS int64
+	// peers is the cluster size for cluster-executed jobs (0 otherwise),
+	// journaled in the run's ledger entry.
+	peers int
 }
 
 // transNames lists a net's transition names in index order, the table a
@@ -135,6 +149,11 @@ type parsedRequest struct {
 	opts    verify.Options // Ctx and Metrics filled in by the worker
 	key     cacheKey
 	timeout time.Duration
+	// cluster routes the run to the distributed explorer; lease marks
+	// that the handler holds the shared tier's single-flight lease for
+	// this key and the worker must put or release it.
+	cluster bool
+	lease   bool
 }
 
 // badRequestError marks request-resolution failures so the handler can
@@ -223,6 +242,14 @@ func (s *Server) parseRequest(req *Request) (*parsedRequest, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, badRequestf("%v", err)
 	}
+	if req.Cluster {
+		if s.cfg.Cluster == nil {
+			return nil, badRequestf("cluster requested but this server has no peers configured")
+		}
+		if engine != verify.Exhaustive {
+			return nil, badRequestf("cluster execution requires the exhaustive engine, not %q", engine)
+		}
+	}
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
@@ -239,6 +266,7 @@ func (s *Server) parseRequest(req *Request) (*parsedRequest, error) {
 		opts:    opts,
 		key:     requestKey(net, check, bad, opts),
 		timeout: timeout,
+		cluster: req.Cluster,
 	}, nil
 }
 

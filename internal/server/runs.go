@@ -307,6 +307,7 @@ func ledgerEntryOf(j *job, lr *liveRun, resp *Response, runErr error, startNS, e
 		MaxStates:   j.req.opts.MaxStates,
 		MaxNodes:    j.req.opts.MaxNodes,
 		Workers:     j.req.opts.Workers,
+		Peers:       j.peers,
 		StartUnixNS: startNS,
 		EndUnixNS:   endNS,
 		WallNS:      endNS - startNS,

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/obs/ledger"
 	"repro/internal/obs/trace"
@@ -89,6 +90,13 @@ type Config struct {
 	// load, and results are bit-identical either way.
 	ProgressEvery    int64
 	ProgressInterval time.Duration
+	// Cluster, if non-nil, makes this server a cluster member: the
+	// cluster protocol endpoints (/cluster/v1/*) are mounted on the
+	// handler, GET /v1/cluster reports membership and shard ranges,
+	// requests with "cluster": true execute on the distributed sharded
+	// explorer, and every request's result-cache lookup consults the
+	// consistent-hash shared tier after missing locally.
+	Cluster *cluster.Node
 }
 
 func (c Config) withDefaults() Config {
@@ -175,8 +183,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/runs", s.handleRuns)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleRun)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleRunEvents)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.Cluster != nil {
+		cfg.Cluster.Register(s.mux)
+	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -275,6 +287,13 @@ func (s *Server) runJob(j *job) {
 		opts.Trace = tr
 	}
 
+	// Cluster-flagged runs swap reach.Explore for the distributed
+	// sharded explorer; results are bit-identical, so nothing downstream
+	// (cache key, ledger verdict) changes with the execution mode.
+	if j.req.cluster && s.cfg.Cluster != nil {
+		opts.Explorer = s.cfg.Cluster.Explore
+	}
+
 	var (
 		rep *verify.Report
 		err error
@@ -308,6 +327,28 @@ func (s *Server) runJob(j *job) {
 			// statistics depend on where the deadline happened to land.
 			s.cache.put(j.req.key, resp)
 		}
+	}
+	// Settle the shared tier's single-flight lease: publish a complete
+	// result so blocked peers wake with it, or release so they compute
+	// themselves. Peers is stamped after the puts — the cached bytes are
+	// identical however the run was computed.
+	if j.req.lease {
+		runID := j.req.key.RunID()
+		if err == nil && resp != nil && resp.Status == StatusOK && resp.Complete {
+			if b, merr := json.Marshal(resp); merr == nil {
+				if perr := s.cfg.Cluster.PutResult(runID, b); perr != nil {
+					s.cfg.Cluster.ReleaseResult(runID)
+				}
+			} else {
+				s.cfg.Cluster.ReleaseResult(runID)
+			}
+		} else {
+			s.cfg.Cluster.ReleaseResult(runID)
+		}
+	}
+	if j.req.cluster && resp != nil {
+		j.peers = s.cfg.Cluster.NumPeers()
+		resp.Peers = j.peers
 	}
 
 	// Introspection epilogue, strictly ordered: final response stored
@@ -385,6 +426,28 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
+	// Local miss: consult the cluster's shared result tier. A hit is a
+	// result some peer already computed; "compute" hands this request
+	// the owner's single-flight lease (settled by the worker). Transport
+	// errors degrade to an ordinary local computation without a lease.
+	if s.cfg.Cluster != nil {
+		if data, hit, err := s.cfg.Cluster.AcquireResult(r.Context(), pr.key.RunID(), pr.timeout); err == nil {
+			if hit {
+				var resp Response
+				if jerr := json.Unmarshal(data, &resp); jerr == nil {
+					s.cache.put(pr.key, &resp)
+					resp.Cached = true
+					entry.Code, entry.Outcome = http.StatusOK, "cached"
+					entry.CacheHit = true
+					entry.States = resp.States
+					writeJSON(w, http.StatusOK, &resp)
+					return
+				}
+			} else {
+				pr.lease = true
+			}
+		}
+	}
 	j := &job{ctx: r.Context(), id: id, req: pr, done: make(chan jobResult, 1), enqNS: nowUnixNS()}
 	j.lr = &liveRun{
 		runID:  pr.key.RunID(),
@@ -400,6 +463,9 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	if !s.enqueue(j) {
 		s.deregisterRun(j.lr)
 		j.lr.pub.Close()
+		if pr.lease {
+			s.cfg.Cluster.ReleaseResult(pr.key.RunID())
+		}
 		s.shed.Inc()
 		w.Header().Set("Retry-After", "1")
 		fail(http.StatusTooManyRequests, "shed", "over capacity, retry later")
@@ -417,6 +483,21 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	entry.Code, entry.Outcome = http.StatusOK, res.resp.Status
 	entry.States = res.resp.States
 	writeJSON(w, http.StatusOK, res.resp)
+}
+
+// clusterStatusBody is the GET /v1/cluster document.
+type clusterStatusBody struct {
+	Enabled bool `json:"enabled"`
+	*cluster.Status
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	body := clusterStatusBody{}
+	if s.cfg.Cluster != nil {
+		body.Enabled = true
+		body.Status = s.cfg.Cluster.Status()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -116,6 +116,15 @@ type Options struct {
 	// flight-recorder events on it (states, firings, phase brackets,
 	// aborts; see OBSERVABILITY.md "Trace events"). Nil costs nothing.
 	Trace *trace.Tracer
+	// Explorer, if non-nil, replaces reach.Explore for the Exhaustive
+	// engine (other engines ignore it). bad lists the safety-check
+	// places, nil for deadlock checks; o carries the same options a
+	// reach.Explore call would get, including the equivalent Bad
+	// predicate. An Explorer must return Results bit-identical to
+	// reach.Explore — like Workers, it changes how the answer is
+	// computed, never what it is — so it does not participate in RunKey.
+	// The cluster explorer (internal/cluster) is the intended value.
+	Explorer func(n *petri.Net, bad []petri.Place, o reach.Options) (*reach.Result, error)
 }
 
 // Report is the engine-comparable outcome of a check.
@@ -192,7 +201,7 @@ func CheckDeadlock(n *petri.Net, opts Options) (*Report, error) {
 	rep := &Report{Net: n.Name(), Engine: opts.Engine}
 	switch opts.Engine {
 	case Exhaustive:
-		res, err := reach.Explore(n, reach.Options{
+		ro := reach.Options{
 			Ctx:            opts.Ctx,
 			MaxStates:      opts.MaxStates,
 			Workers:        opts.Workers,
@@ -200,7 +209,14 @@ func CheckDeadlock(n *petri.Net, opts Options) (*Report, error) {
 			Metrics:        opts.Metrics,
 			Progress:       opts.Progress,
 			Trace:          opts.Trace,
-		})
+		}
+		explore := reach.Explore
+		if opts.Explorer != nil {
+			explore = func(n *petri.Net, o reach.Options) (*reach.Result, error) {
+				return opts.Explorer(n, nil, o)
+			}
+		}
+		res, err := explore(n, ro)
 		if err != nil && !(aborted(err) && res != nil) {
 			return nil, err
 		}
@@ -348,7 +364,7 @@ func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error)
 	}
 	switch opts.Engine {
 	case Exhaustive:
-		res, err := reach.Explore(n, reach.Options{
+		ro := reach.Options{
 			Ctx:       opts.Ctx,
 			MaxStates: opts.MaxStates,
 			Workers:   opts.Workers,
@@ -357,7 +373,14 @@ func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error)
 			Metrics:   opts.Metrics,
 			Progress:  opts.Progress,
 			Trace:     opts.Trace,
-		})
+		}
+		explore := reach.Explore
+		if opts.Explorer != nil {
+			explore = func(n *petri.Net, o reach.Options) (*reach.Result, error) {
+				return opts.Explorer(n, bad, o)
+			}
+		}
+		res, err := explore(n, ro)
 		if err != nil && !(aborted(err) && res != nil) {
 			return nil, err
 		}

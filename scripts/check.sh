@@ -31,8 +31,11 @@ go run ./cmd/gpotrace "$TRACE_TMP/t.jsonl" | grep -q 'states:'
 # pays for the introspection surface.
 go test -run '^$' -bench BenchmarkProgressPublishNoSubscribers -benchtime=1x ./internal/obs |
 	tee /dev/stderr | grep -q 'BenchmarkProgressPublishNoSubscribers.* 0 allocs/op'
-# Fuzz smoke: 5 seconds of FuzzParse against the hardened pnio parser.
+# Fuzz smoke: 5 seconds of FuzzParse against the hardened pnio parser,
+# and 5 seconds of FuzzFrameRoundTrip against the cluster frame codec
+# (the bytes every peer accepts from the network).
 go test -fuzz=FuzzParse -fuzztime=5s -run '^$' ./internal/pnio
+go test -fuzz=FuzzFrameRoundTrip -fuzztime=5s -run '^$' ./internal/cluster
 # Ledger round-trip smoke: two gpoverify runs journal under the same
 # content-addressed run ID, gpostat -history reconstructs one group of
 # two runs from the journal, and repeated reads are deterministic.
@@ -64,3 +67,9 @@ done
 # SSE stream terminating in a verdict matching the response).
 go run ./cmd/gpod -smoke -ledger "$TRACE_TMP/gpod-runs.jsonl"
 go run ./cmd/gpostat -history -ledger "$TRACE_TMP/gpod-runs.jsonl" | grep -q 'NSDP(4)'
+# Cluster smoke: three full gpod servers on loopback ports as one
+# cluster — distributed nsdp(8)/rw(12) runs checked bit-identical
+# against in-process sequential BFS, then the repeated request answered
+# from the shared result tier with zero re-exploration anywhere.
+go run ./cmd/gpod -cluster-smoke -cluster-smoke-out "$TRACE_TMP/cluster.json"
+grep -q '"recomputed_states": 0' "$TRACE_TMP/cluster.json"
