@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the tier-1+ gate (see ROADMAP.md).
 
-.PHONY: check test serve watch cluster-smoke bench-micro bench-artifact benchdiff
+.PHONY: check test serve watch cluster-smoke jobs-smoke bench-micro bench-artifact benchdiff
 
 check:
 	./scripts/check.sh
@@ -25,6 +25,13 @@ watch:
 # (same check runs inside `make check`).
 cluster-smoke:
 	go run ./cmd/gpod -cluster-smoke
+
+# Durable-jobs self-check: submit an async job, kill the daemon after
+# its first checkpoint, restart over the same directory, auto-resume,
+# and compare the resumed verdict against a fresh uninterrupted run
+# (same check runs inside `make check`; see DESIGN.md D11).
+jobs-smoke:
+	go run ./cmd/gpod -jobs-smoke
 
 # Microbenchmarks of the GPO hot path: ZDD primitive ops and full
 # Analyze runs, with allocation counts (b.ReportAllocs).

@@ -1,0 +1,205 @@
+package main
+
+// The durable-jobs smoke (-jobs-smoke): the whole crash-safe arc of
+// DESIGN.md D11 against real daemons over the wire. A first daemon
+// accepts a job whose execution slice is far too small to finish, runs
+// it to the first checkpoint, and is then torn down abruptly — no
+// drain, exactly what a crash leaves behind: a jobs/v1 journal and a
+// ckpt/v1 file. A second daemon opens the same directory, re-admits
+// the interrupted job at startup (ResumeJobs), and is stepped through
+// resume slices until the verdict lands. The smoke passes only if that
+// verdict — states, deadlock, completeness — is identical to a fresh
+// uninterrupted in-process run of the same check, and the job really
+// did go through a mid-run checkpoint (Resumes > 0, a ckpt file on
+// disk) rather than finishing in one slice.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/models"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/verify"
+)
+
+// jobsSmokeReq is the workload: NSDP(8), 103682 states in ~200ms of
+// exhaustive exploration here — big enough that a 60ms slice reliably
+// suspends mid-run, small enough that the whole smoke stays ~1s.
+func jobsSmokeReq() *server.Request {
+	return &server.Request{
+		Model: "nsdp", Size: 8, Engine: "exhaustive",
+		Check: "deadlock", TimeoutMS: 60,
+	}
+}
+
+// runJobsSmoke drives the submit → crash → restart → resume → verdict
+// arc. cfg carries the daemon knobs from the command line; the jobs
+// directory is its own temp dir, removed on success.
+func runJobsSmoke(cfg server.Config) error {
+	dir, err := os.MkdirTemp("", "gpod-jobs-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Baseline: the same check, fresh and uninterrupted.
+	req := jobsSmokeReq()
+	net0, err := models.ByName(req.Model, req.Size)
+	if err != nil {
+		return err
+	}
+	fresh, err := verify.CheckDeadlock(net0, verify.Options{Engine: verify.Exhaustive})
+	if err != nil {
+		return fmt.Errorf("fresh baseline run: %w", err)
+	}
+
+	// Daemon A: accept the job, reach the first checkpoint, die abruptly.
+	ckptPath, err := jobsSmokeSuspend(ctx, cfg, dir, req)
+	if err != nil {
+		return fmt.Errorf("daemon A (suspend): %w", err)
+	}
+	if _, err := os.Stat(ckptPath); err != nil {
+		return fmt.Errorf("checkpoint file after daemon A died: %w", err)
+	}
+	fmt.Printf("gpod: jobs smoke: daemon A checkpointed to %s and was killed\n", ckptPath)
+
+	// Daemon B: same directory, pick the job back up, run it home.
+	rec, err := jobsSmokeResume(ctx, cfg, dir)
+	if err != nil {
+		return fmt.Errorf("daemon B (resume): %w", err)
+	}
+
+	var res server.Response
+	if err := json.Unmarshal(rec.Result, &res); err != nil {
+		return fmt.Errorf("resumed job result: %w", err)
+	}
+	if rec.Resumes == 0 {
+		return fmt.Errorf("job finished without ever resuming — slice too generous to test the crash arc")
+	}
+	if res.Status != server.StatusOK || !res.Complete ||
+		res.States != fresh.States || res.Deadlock != fresh.Deadlock {
+		return fmt.Errorf("resumed verdict diverges from fresh run: got status=%s complete=%v states=%d deadlock=%v, fresh states=%d deadlock=%v",
+			res.Status, res.Complete, res.States, res.Deadlock, fresh.States, fresh.Deadlock)
+	}
+	fmt.Printf("gpod: jobs smoke: resumed %d times to the fresh verdict (states=%d deadlock=%v)\n",
+		rec.Resumes, res.States, res.Deadlock)
+	return nil
+}
+
+// jobsSmokeBoot starts one daemon over the jobs directory and returns
+// its client plus a teardown. abrupt teardown (kill) closes the
+// listener and the store without draining — the crash.
+func jobsSmokeBoot(cfg server.Config, dir string) (*client.Client, *server.Server, func(), error) {
+	st, err := jobs.Open(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cfg.Jobs = st
+	if cfg.CkptInterval == 0 {
+		cfg.CkptInterval = 20 * time.Millisecond
+	}
+	svc := server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		st.Close()
+		return nil, nil, nil, err
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	kill := func() {
+		httpSrv.Close()
+		svc.Close()
+		st.Close()
+	}
+	return client.New("http://"+ln.Addr().String(), nil), svc, kill, nil
+}
+
+// jobsSmokeSuspend submits the job to a fresh daemon, waits for its
+// first checkpoint suspension, and kills the daemon without drain.
+func jobsSmokeSuspend(ctx context.Context, cfg server.Config, dir string, req *server.Request) (string, error) {
+	c, _, kill, err := jobsSmokeBoot(cfg, dir)
+	if err != nil {
+		return "", err
+	}
+	defer kill()
+
+	jb, err := c.SubmitJob(ctx, req)
+	if err != nil {
+		return "", fmt.Errorf("submit: %w", err)
+	}
+	rec, err := jobsSmokeWait(ctx, c, jb.ID, jobs.Checkpointed)
+	if err != nil {
+		return "", err
+	}
+	if rec.CkptPath == "" || rec.States == 0 {
+		return "", fmt.Errorf("checkpointed job has no snapshot: %+v", rec)
+	}
+	return rec.CkptPath, nil
+}
+
+// jobsSmokeResume boots a second daemon over the same directory,
+// requires startup auto-resume to re-admit the interrupted job, and
+// steps it through resume slices until it is done.
+func jobsSmokeResume(ctx context.Context, cfg server.Config, dir string) (*jobs.Record, error) {
+	c, svc, kill, err := jobsSmokeBoot(cfg, dir)
+	if err != nil {
+		return nil, err
+	}
+	defer kill()
+
+	if n := svc.ResumeJobs(); n != 1 {
+		return nil, fmt.Errorf("startup auto-resume re-admitted %d jobs, want 1", n)
+	}
+	list, err := c.Jobs(ctx)
+	if err != nil || len(list) != 1 {
+		return nil, fmt.Errorf("job list after restart: n=%d err=%v", len(list), err)
+	}
+	id := list[0].ID
+	for {
+		rec, err := jobsSmokeWait(ctx, c, id, jobs.Done, jobs.Checkpointed)
+		if err != nil {
+			return nil, err
+		}
+		if rec.State == jobs.Done {
+			return rec, nil
+		}
+		if _, err := c.ResumeJob(ctx, id); err != nil {
+			return nil, fmt.Errorf("resume: %w", err)
+		}
+	}
+}
+
+// jobsSmokeWait polls the job until it settles in one of the wanted
+// states; any other terminal state is a smoke failure.
+func jobsSmokeWait(ctx context.Context, c *client.Client, id string, want ...jobs.State) (*jobs.Record, error) {
+	for {
+		jb, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, fmt.Errorf("poll job %s: %w", id, err)
+		}
+		for _, w := range want {
+			if jb.State == w {
+				return &jb.Record, nil
+			}
+		}
+		if jb.State.Terminal() {
+			return nil, fmt.Errorf("job %s settled in %s (error %q), want one of %v", id, jb.State, jb.Error, want)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, errors.New("jobs smoke timed out waiting for " + id)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}

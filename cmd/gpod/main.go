@@ -9,6 +9,8 @@
 //	gpod -smoke                          # start, self-check, exit
 //	gpod -addr :8722 -peers URL,URL,URL -self URL   # cluster member
 //	gpod -cluster-smoke                  # 3-peer loopback self-check, exit
+//	gpod -addr :8722 -jobs /var/lib/gpod/jobs       # durable async jobs
+//	gpod -jobs-smoke                     # crash/resume self-check, exit
 //
 // Endpoints: POST /v1/verify, GET /healthz, GET /metrics (JSON dump of
 // the metric registry, or Prometheus text with ?format=prom; see
@@ -33,9 +35,21 @@
 // a deadline or disconnect aborts leaves <dir>/<id>.trace.jsonl holding
 // the flight recorder's last events (summarize with gpotrace).
 //
+// With -jobs DIR the daemon runs durable verification jobs (DESIGN.md
+// D11): POST /v1/jobs answers immediately with a content-addressed job
+// ID, the run auto-checkpoints on the -ckpt-interval/-ckpt-states
+// cadence and at its deadline, and GET/DELETE /v1/jobs/{id} and POST
+// /v1/jobs/{id}/resume observe, cancel and continue it. The journal
+// and the ckpt/v1 checkpoint files live in DIR; a restarted daemon
+// re-admits interrupted jobs at startup and replays nothing it cannot
+// prove intact (gpoverify -replay re-executes any checkpoint
+// deterministically).
+//
 // On SIGINT/SIGTERM the daemon drains: health flips to "draining", new
-// verification requests answer 503, in-flight and queued jobs finish
-// (bounded by their own deadlines), then the process exits.
+// verification requests answer 503, in-flight synchronous requests
+// finish (bounded by their own deadlines), running durable jobs
+// checkpoint and suspend, queued ones stay journaled for the next
+// start, then the process exits.
 package main
 
 import (
@@ -55,6 +69,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/obs/ledger"
 	"repro/internal/obs/trace"
@@ -76,6 +91,10 @@ func main() {
 		traceDump  = flag.String("trace-dump", "", "write aborted requests' flight-recorder tails to <dir>/<request-id>.trace.jsonl")
 		traceCap   = flag.Int("trace-events", 0, "per-track ring capacity of per-request traces (0 = default)")
 		smoke      = flag.Bool("smoke", false, "start on a random port, run one self-check request, shut down")
+		jobsDir    = flag.String("jobs", "", "enable durable jobs (POST /v1/jobs): journal and checkpoints live in this directory")
+		ckptEvery  = flag.Duration("ckpt-interval", 0, "auto-checkpoint running jobs this often (0 = 30s default, negative disables)")
+		ckptStates = flag.Int("ckpt-states", 0, "also auto-checkpoint every N newly explored states (0 disables)")
+		jobsSmk    = flag.Bool("jobs-smoke", false, "run the durable-jobs self-check: submit, kill the daemon mid-run, restart, resume, compare against a fresh run, exit")
 		reduceNet  = flag.Bool("reduce", false, "force the structural reduction pre-pass on every request")
 		peersList  = flag.String("peers", "", "comma-separated base URLs of every cluster member (enables cluster mode)")
 		selfURL    = flag.String("self", "", "this node's own base URL, one of -peers")
@@ -85,14 +104,31 @@ func main() {
 	flag.Parse()
 
 	cfg := server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		MaxStates:      *maxStates,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		CacheBytes:     *cacheBytes,
-		Reduce:         *reduceNet,
-		TraceEvents:    *traceCap,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		MaxStates:       *maxStates,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		CacheBytes:      *cacheBytes,
+		Reduce:          *reduceNet,
+		TraceEvents:     *traceCap,
+		CkptInterval:    *ckptEvery,
+		CkptEveryStates: *ckptStates,
+	}
+	if *jobsSmk {
+		if err := runJobsSmoke(cfg); err != nil {
+			fatal(err)
+		}
+		fmt.Println("gpod: jobs smoke ok")
+		return
+	}
+	if *jobsDir != "" {
+		st, err := jobs.Open(*jobsDir)
+		if err != nil {
+			fatal(fmt.Errorf("jobs: %w", err))
+		}
+		defer st.Close()
+		cfg.Jobs = st
 	}
 	if *accessLog != "" {
 		if *accessLog == "-" {
@@ -163,6 +199,11 @@ func main() {
 // serve runs the daemon until SIGINT/SIGTERM, then drains gracefully.
 func serve(cfg server.Config, addr string) error {
 	svc := server.New(cfg)
+	if cfg.Jobs != nil {
+		if n := svc.ResumeJobs(); n > 0 {
+			fmt.Printf("gpod: resumed %d interrupted job(s) from the journal\n", n)
+		}
+	}
 	httpSrv := &http.Server{
 		Addr:              addr,
 		Handler:           svc.Handler(),

@@ -216,6 +216,29 @@ func peerLabel(addr string) string {
 	return strings.TrimPrefix(strings.TrimPrefix(addr, "https://"), "http://")
 }
 
+// peerHealth is one watched daemon's reconnection state: consecutive
+// failures and the earliest next attempt under the capped backoff.
+type peerHealth struct {
+	fails   int
+	nextTry time.Time
+}
+
+// retryIn is the capped exponential backoff after the n-th consecutive
+// failure (n >= 1): interval, 2x, 4x, ... capped at maxFollowBackoff.
+const maxFollowBackoff = 30 * time.Second
+
+func retryIn(interval time.Duration, fails int) time.Duration {
+	shift := fails - 1
+	if shift > 6 {
+		shift = 6
+	}
+	d := interval << uint(shift)
+	if d > maxFollowBackoff || d <= 0 {
+		d = maxFollowBackoff
+	}
+	return d
+}
+
 // followRuns polls each peer's GET /v1/runs: every tick prints the
 // fleet's cluster table (when any peer is clustered) and the in-flight
 // runs, plus each completed run exactly once as it appears — runs are
@@ -223,22 +246,51 @@ func peerLabel(addr string) string {
 // not repeat itself. When a ledger file is given, completed walls are
 // checked against the journal's per-configuration medians and flagged
 // when they exceed twice it.
+//
+// A peer that stops answering does not end the watch (a daemon restart
+// mid-drain is exactly when watching matters): the peer gets a DOWN row
+// and is retried under a capped exponential backoff, rejoining the view
+// on its first successful answer. Only -once reports connection errors
+// as errors — a single snapshot of an unreachable daemon has nothing to
+// reconnect to.
 func followRuns(addrs []string, ledgerPath string, pat *regexp.Regexp, interval time.Duration, once bool) error {
 	medians := historyMedians(ledgerPath)
 	seen := make(map[string]bool)
 	multi := len(addrs) > 1
+	health := make(map[string]*peerHealth, len(addrs))
+	for _, addr := range addrs {
+		health[addr] = &peerHealth{}
+	}
 	for {
 		now := time.Now().UTC().Format("15:04:05")
-		printFleet(addrs, now)
+		// Peers in backoff are skipped wholesale this tick, cluster table
+		// included, so a dead peer costs one DOWN row, not two timeouts.
+		active := addrs[:0:0]
 		for _, addr := range addrs {
+			if h := health[addr]; time.Now().After(h.nextTry) {
+				active = append(active, addr)
+			}
+		}
+		printFleet(active, now)
+		for _, addr := range active {
 			var runs runsWire
 			if err := getJSON(addr+"/v1/runs", &runs); err != nil {
-				if !multi {
-					return err
+				if once {
+					if !multi {
+						return err
+					}
+					fmt.Printf("%s DOWN %-28s unreachable: %v\n", now, peerLabel(addr), err)
+					continue
 				}
-				fmt.Printf("%s PEER %-28s unreachable: %v\n", now, peerLabel(addr), err)
+				h := health[addr]
+				h.fails++
+				wait := retryIn(interval, h.fails)
+				h.nextTry = time.Now().Add(wait)
+				fmt.Printf("%s DOWN %-28s unreachable, retry in %s: %v\n", now, peerLabel(addr), wait, err)
 				continue
 			}
+			health[addr].fails = 0
+			health[addr].nextTry = time.Time{}
 			from := ""
 			if multi {
 				from = " @" + peerLabel(addr)

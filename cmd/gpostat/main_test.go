@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetryInCapped pins the -follow reconnect backoff: exponential in
+// the poll interval, capped at maxFollowBackoff, and never zero or
+// negative even for absurd failure counts (shift overflow).
+func TestRetryInCapped(t *testing.T) {
+	iv := time.Second
+	cases := []struct {
+		fails int
+		want  time.Duration
+	}{
+		{1, time.Second},
+		{2, 2 * time.Second},
+		{3, 4 * time.Second},
+		{5, 16 * time.Second},
+		{6, 30 * time.Second}, // 32s capped
+		{10, 30 * time.Second},
+		{1000, 30 * time.Second},
+	}
+	for _, tc := range cases {
+		if got := retryIn(iv, tc.fails); got != tc.want {
+			t.Errorf("retryIn(1s, %d) = %v, want %v", tc.fails, got, tc.want)
+		}
+	}
+	if got := retryIn(time.Hour, 3); got != maxFollowBackoff {
+		t.Errorf("retryIn(1h, 3) = %v, want cap %v", got, maxFollowBackoff)
+	}
+}
+
+// TestFollowOnceSemantics: -once against a live daemon succeeds even
+// when an earlier poll of the same process had failed (transient errors
+// must not be sticky), and -once against an unreachable single address
+// is an error — there is no later tick to reconnect on.
+func TestFollowOnceSemantics(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/cluster" {
+			json.NewEncoder(w).Encode(map[string]any{"enabled": false})
+			return
+		}
+		calls.Add(1)
+		json.NewEncoder(w).Encode(runsWire{})
+	}))
+	defer ts.Close()
+
+	if err := followRuns([]string{ts.URL}, "", nil, time.Millisecond, true); err != nil {
+		t.Fatalf("follow -once against live daemon: %v", err)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("follow -once never polled /v1/runs")
+	}
+
+	ts.Close()
+	if err := followRuns([]string{ts.URL}, "", nil, time.Millisecond, true); err == nil {
+		t.Fatal("follow -once against dead daemon should error")
+	}
+}

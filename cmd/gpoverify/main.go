@@ -8,10 +8,19 @@
 //	gpoverify -model nsdp -size 4 -engine exhaustive -compare
 //	gpoverify -net system.pn -safety "critA,critB"    # mutual exclusion check
 //	gpoverify -model rw -size 9 -reduce               # structural reduction pre-pass
+//	gpoverify -replay job.ckpt                        # deterministic checkpoint replay
 //
 // Engines: exhaustive, partial-order, symbolic, gpo (default), gpo-explicit,
 // unfolding. With -compare, all engines run and their statistics are
 // tabulated.
+//
+// With -replay, the checkpointed prefix in a ckpt/v1 file (written by
+// gpod's durable jobs, DESIGN.md D11) is re-executed from scratch and
+// must reproduce the stored snapshot bit for bit and the same flight-
+// recorder event stream across independent re-executions; -trace-ref
+// additionally compares event counts against a trace recorded when the
+// original run suspended, and -trace writes the replay's own trace for
+// gpotrace.
 //
 // Observability flags (see OBSERVABILITY.md): -metrics dumps the engine's
 // metric registry as JSON, -ledger journals every engine run to a
@@ -35,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/ckpt"
 	"repro/internal/models"
 	"repro/internal/obs"
 	"repro/internal/obs/ledger"
@@ -64,6 +74,11 @@ func main() {
 		compare   = flag.Bool("compare", false, "run all engines and tabulate")
 		explain   = flag.Bool("explain", true, "explain deadlock witnesses structurally (empty siphon)")
 
+		replayCkpt = flag.String("replay", "", "re-execute the checkpointed prefix in this ckpt/v1 file deterministically and verify snapshot + event-stream equality")
+		traceRef   = flag.String("trace-ref", "", "with -replay: reference flight-recorder trace to compare event counts against")
+		ckptOut    = flag.String("ckpt", "", "suspend the run at a checkpoint: stop at the first engine boundary with at least -ckpt-states interned states and write a ckpt/v1 file here (re-execute with -replay)")
+		ckptStates = flag.Int("ckpt-states", 1000, "with -ckpt: minimum interned states before suspending")
+
 		metricsOut = flag.String("metrics", "", "write the engine's metric registry as JSON to this file ('-' = stderr)")
 		ledgerOut  = flag.String("ledger", "", "append one ledger/v1 JSONL entry per engine run to this file (browse with gpostat -history)")
 		traceOut   = flag.String("trace", "", "record a flight-recorder trace to this file (.jsonl/.ndjson = JSON lines, else Chrome/Perfetto trace JSON)")
@@ -73,6 +88,13 @@ func main() {
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *replayCkpt != "" {
+		if err := runReplay(*replayCkpt, *traceRef, *traceOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -118,6 +140,10 @@ func main() {
 			fatal(err)
 		}
 		nets = append(nets, net)
+	}
+
+	if *ckptOut != "" && *compare {
+		fatal(fmt.Errorf("-ckpt suspends a single run; drop -compare"))
 	}
 
 	engines := []verify.Engine{}
@@ -181,7 +207,7 @@ func main() {
 			stop: *stop, maxStates: *maxStates, maxNodes: *maxNodes,
 			workers: *workers, proviso: *proviso, reduce: *reduceNet,
 			progress: *progress, explain: *explain, tracer: tracer,
-			ledger: ldg,
+			ledger: ldg, ckptOut: *ckptOut, ckptStates: *ckptStates,
 		})
 	}
 
@@ -220,6 +246,10 @@ type runOpts struct {
 	explain   bool
 	tracer    *trace.Tracer
 	ledger    *ledger.Log
+	// ckptOut, when set, suspends the run at the first boundary with at
+	// least ckptStates interned states and writes a ckpt/v1 file there.
+	ckptOut    string
+	ckptStates int
 }
 
 // runEngines verifies one net with each selected engine and prints the
@@ -244,6 +274,21 @@ func runEngines(net *petri.Net, engines []verify.Engine, bad []petri.Place, reg 
 				Interval: 2 * time.Second,
 			}
 		}
+		var ckptSnap *verify.EngineSnapshot
+		if ro.ckptOut != "" {
+			opts.Ckpt = &verify.Checkpointer{
+				Poll: func(states int, boundary int64) verify.CkptAction {
+					if states >= ro.ckptStates {
+						return verify.CkptStop
+					}
+					return verify.CkptNone
+				},
+				Save: func(sn *verify.EngineSnapshot) error {
+					ckptSnap = sn
+					return nil
+				},
+			}
+		}
 		var rep *verify.Report
 		var err error
 		startNS := time.Now().UnixNano()
@@ -255,6 +300,37 @@ func runEngines(net *petri.Net, engines []verify.Engine, bad []petri.Place, reg 
 		journal(ro.ledger, net, bad, opts, rep, err, startNS, time.Now().UnixNano())
 		if err != nil {
 			fmt.Printf("%-14s error: %v\n", eng, err)
+			continue
+		}
+		if rep.Checkpointed {
+			if ckptSnap == nil {
+				fmt.Printf("%-14s error: checkpoint suspension without a snapshot\n", eng)
+				continue
+			}
+			check := "deadlock"
+			if len(bad) > 0 {
+				check = "safety"
+			}
+			f := &ckpt.File{
+				Key:         verify.RunKey(net, check, bad, opts),
+				Check:       check,
+				Bad:         bad,
+				Net:         net,
+				Engine:      opts.Engine,
+				StopAtFirst: opts.StopAtFirst,
+				Proviso:     opts.Proviso,
+				Reduce:      opts.Reduce,
+				MaxStates:   opts.MaxStates,
+				MaxNodes:    opts.MaxNodes,
+				Snap:        ckptSnap,
+			}
+			if err := ckpt.Write(ro.ckptOut, f); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-14s %-10s %10d %12s %12s %10v\n",
+				eng, "suspended", rep.States, dash(rep.PeakBDD), dashF(rep.PeakSets), rep.Elapsed.Round(10e3))
+			fmt.Printf("  checkpoint: %s (boundary %d, %d states; re-execute with -replay)\n",
+				ro.ckptOut, ckptSnap.Boundary(), ckptSnap.States())
 			continue
 		}
 		verdict := "ok"
@@ -318,6 +394,11 @@ func journal(l *ledger.Log, net *petri.Net, bad []petri.Place, opts verify.Optio
 	case runErr != nil:
 		e.Status = "error"
 		e.AbortReason = runErr.Error()
+	case rep.Checkpointed:
+		e.Status = "checkpointed"
+		e.States = int64(rep.States)
+		e.PeakBDD = int64(rep.PeakBDD)
+		e.PeakSets = int64(rep.PeakSets)
 	case rep.Aborted:
 		e.Status = "aborted"
 		e.States = int64(rep.States)

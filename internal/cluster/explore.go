@@ -301,7 +301,7 @@ func (nd *Node) Explore(n *petri.Net, bad []petri.Place, o reach.Options) (*reac
 			}
 			defer cancel()
 			defer resp.Body.Close()
-			typ, _, err := readFrame(resp.Body, nd.maxFrame)
+			typ, _, err := ReadFrame(resp.Body, nd.maxFrame)
 			if err != nil {
 				return err
 			}

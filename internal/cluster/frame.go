@@ -47,8 +47,10 @@ var ErrFrameTooLarge = errors.New("cluster: frame exceeds size limit")
 // or body — the wire-level analogue of the ledger's torn tail.
 var ErrTornFrame = errors.New("cluster: torn frame")
 
-// writeFrame emits one length-prefixed frame.
-func writeFrame(w io.Writer, typ byte, payload []byte) error {
+// WriteFrame emits one length-prefixed frame. The codec is exported for
+// reuse by the checkpoint container (internal/ckpt), whose segments are
+// the same length-prefixed frames as the cluster wire protocol.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 	var hdr [5]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
 	hdr[4] = typ
@@ -59,10 +61,10 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	return err
 }
 
-// readFrame reads one frame, rejecting declared lengths above max. A
+// ReadFrame reads one frame, rejecting declared lengths above max. A
 // clean EOF at a frame boundary returns io.EOF; an EOF inside a frame
 // returns ErrTornFrame.
-func readFrame(r io.Reader, max int) (typ byte, payload []byte, err error) {
+func ReadFrame(r io.Reader, max int) (typ byte, payload []byte, err error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
 		if err == io.EOF {
@@ -84,15 +86,15 @@ func readFrame(r io.Reader, max int) (typ byte, payload []byte, err error) {
 	return body[0], body[1:], nil
 }
 
-// appendBytes appends a uvarint-length-prefixed byte string, the same
+// AppendBytes appends a uvarint-length-prefixed byte string, the same
 // self-delimiting style as verify's canonical net encoding.
-func appendBytes(b []byte, s string) []byte {
+func AppendBytes(b []byte, s string) []byte {
 	b = binary.AppendUvarint(b, uint64(len(s)))
 	return append(b, s...)
 }
 
-// next reads one uvarint from *b, advancing it.
-func nextUvarint(b *[]byte) (uint64, error) {
+// NextUvarint reads one uvarint from *b, advancing it.
+func NextUvarint(b *[]byte) (uint64, error) {
 	v, n := binary.Uvarint(*b)
 	if n <= 0 {
 		return 0, fmt.Errorf("cluster: bad uvarint in frame payload")
@@ -101,9 +103,9 @@ func nextUvarint(b *[]byte) (uint64, error) {
 	return v, nil
 }
 
-// nextBytes reads one length-prefixed byte string from *b.
-func nextBytes(b *[]byte) (string, error) {
-	n, err := nextUvarint(b)
+// NextBytes reads one length-prefixed byte string from *b.
+func NextBytes(b *[]byte) (string, error) {
+	n, err := NextUvarint(b)
 	if err != nil {
 		return "", err
 	}

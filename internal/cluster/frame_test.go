@@ -122,7 +122,7 @@ func TestTornFrameRejected(t *testing.T) {
 		t.Fatalf("clean stream: %v", err)
 	}
 	// A raw readFrame on an empty stream is a clean boundary.
-	if _, _, err := readFrame(bytes.NewReader(nil), MaxFrame); err != io.EOF {
+	if _, _, err := ReadFrame(bytes.NewReader(nil), MaxFrame); err != io.EOF {
 		t.Fatalf("empty stream: want io.EOF, got %v", err)
 	}
 }
@@ -131,19 +131,19 @@ func TestTornFrameRejected(t *testing.T) {
 // rejected before any allocation happens.
 func TestOversizedFrameRejected(t *testing.T) {
 	raw := []byte{0xFF, 0xFF, 0xFF, 0xFF, frameIntern}
-	_, _, err := readFrame(bytes.NewReader(raw), MaxFrame)
+	_, _, err := ReadFrame(bytes.NewReader(raw), MaxFrame)
 	if !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("want ErrFrameTooLarge, got %v", err)
 	}
 	// At exactly the limit the frame is only torn (no body follows), not
 	// oversized.
 	at := []byte{0x00, 0x00, 0x00, 0x10, frameIntern}
-	if _, _, err := readFrame(bytes.NewReader(at), 16); !errors.Is(err, ErrTornFrame) {
+	if _, _, err := ReadFrame(bytes.NewReader(at), 16); !errors.Is(err, ErrTornFrame) {
 		t.Fatalf("at-limit header: want ErrTornFrame, got %v", err)
 	}
 	// A zero-length frame cannot even carry its type byte.
 	zero := []byte{0x00, 0x00, 0x00, 0x00}
-	if _, _, err := readFrame(bytes.NewReader(zero), 16); !errors.Is(err, ErrTornFrame) {
+	if _, _, err := ReadFrame(bytes.NewReader(zero), 16); !errors.Is(err, ErrTornFrame) {
 		t.Fatalf("zero-length: want ErrTornFrame, got %v", err)
 	}
 }

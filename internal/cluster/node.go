@@ -382,7 +382,7 @@ func (nd *Node) handleIntern(w http.ResponseWriter, r *http.Request) {
 	for _, e := range entries {
 		j.internLocal(e.key, e.order)
 	}
-	_ = writeFrame(w, frameAck, nil)
+	_ = WriteFrame(w, frameAck, nil)
 }
 
 // handleCollect returns the owned pending discoveries of the current
@@ -426,7 +426,7 @@ func (nd *Node) handleCommit(w http.ResponseWriter, r *http.Request) {
 	}
 	clear(j.pend)
 	j.mu.Unlock()
-	_ = writeFrame(w, frameAck, nil)
+	_ = WriteFrame(w, frameAck, nil)
 }
 
 // countingReader tallies bytes for the frontier byte metrics.
@@ -496,7 +496,7 @@ func (nd *Node) postIntern(ctx context.Context, jobID string, owner int, batch [
 	}
 	defer cancel()
 	defer resp.Body.Close()
-	typ, _, err := readFrame(resp.Body, nd.maxFrame)
+	typ, _, err := ReadFrame(resp.Body, nd.maxFrame)
 	if err != nil {
 		return err
 	}

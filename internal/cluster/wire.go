@@ -61,14 +61,14 @@ func encodeExpand(w io.Writer, entries []expandEntry) error {
 		b := binary.AppendUvarint(nil, uint64(hi-lo))
 		for _, e := range entries[lo:hi] {
 			b = binary.AppendUvarint(b, uint64(e.pos))
-			b = appendBytes(b, e.key)
+			b = AppendBytes(b, e.key)
 		}
-		if err := writeFrame(w, frameExpand, b); err != nil {
+		if err := WriteFrame(w, frameExpand, b); err != nil {
 			return err
 		}
 	}
 	if len(entries) == 0 {
-		return writeFrame(w, frameExpand, binary.AppendUvarint(nil, 0))
+		return WriteFrame(w, frameExpand, binary.AppendUvarint(nil, 0))
 	}
 	return nil
 }
@@ -77,7 +77,7 @@ func encodeExpand(w io.Writer, entries []expandEntry) error {
 func decodeExpand(r io.Reader, max int) ([]expandEntry, error) {
 	var out []expandEntry
 	for {
-		typ, payload, err := readFrame(r, max)
+		typ, payload, err := ReadFrame(r, max)
 		if err == io.EOF {
 			return out, nil
 		}
@@ -87,16 +87,16 @@ func decodeExpand(r io.Reader, max int) ([]expandEntry, error) {
 		if typ != frameExpand {
 			return nil, errUnexpectedFrame(typ, frameExpand)
 		}
-		n, err := nextUvarint(&payload)
+		n, err := NextUvarint(&payload)
 		if err != nil {
 			return nil, err
 		}
 		for i := uint64(0); i < n; i++ {
-			pos, err := nextUvarint(&payload)
+			pos, err := NextUvarint(&payload)
 			if err != nil {
 				return nil, err
 			}
-			key, err := nextBytes(&payload)
+			key, err := NextBytes(&payload)
 			if err != nil {
 				return nil, err
 			}
@@ -120,11 +120,11 @@ func encodeExpandReply(w io.Writer, re *expandReply) error {
 	} else {
 		b = append(b, 0)
 	}
-	return writeFrame(w, frameExpandRe, b)
+	return WriteFrame(w, frameExpandRe, b)
 }
 
 func decodeExpandReply(r io.Reader, max int) (*expandReply, error) {
-	typ, payload, err := readFrame(r, max)
+	typ, payload, err := ReadFrame(r, max)
 	if err != nil {
 		return nil, err
 	}
@@ -132,7 +132,7 @@ func decodeExpandReply(r io.Reader, max int) (*expandReply, error) {
 		return nil, errUnexpectedFrame(typ, frameExpandRe)
 	}
 	re := &expandReply{}
-	n, err := nextUvarint(&payload)
+	n, err := NextUvarint(&payload)
 	if err != nil {
 		return nil, err
 	}
@@ -141,13 +141,13 @@ func decodeExpandReply(r io.Reader, max int) (*expandReply, error) {
 	}
 	re.flags = append([]byte(nil), payload[:n]...)
 	payload = payload[n:]
-	no, err := nextUvarint(&payload)
+	no, err := NextUvarint(&payload)
 	if err != nil {
 		return nil, err
 	}
 	re.orders = make([]uint64, 0, no)
 	for i := uint64(0); i < no; i++ {
-		o, err := nextUvarint(&payload)
+		o, err := NextUvarint(&payload)
 		if err != nil {
 			return nil, err
 		}
@@ -158,7 +158,7 @@ func decodeExpandReply(r io.Reader, max int) (*expandReply, error) {
 	}
 	if payload[0] == 1 {
 		payload = payload[1:]
-		re.vioOrder, err = nextUvarint(&payload)
+		re.vioOrder, err = NextUvarint(&payload)
 		if err != nil {
 			return nil, err
 		}
@@ -174,15 +174,15 @@ func encodeKeyOrders(w io.Writer, typ byte, entries []internEntry) error {
 		hi := min(lo+chunkEntries, len(entries))
 		b := binary.AppendUvarint(nil, uint64(hi-lo))
 		for _, e := range entries[lo:hi] {
-			b = appendBytes(b, e.key)
+			b = AppendBytes(b, e.key)
 			b = binary.AppendUvarint(b, e.order)
 		}
-		if err := writeFrame(w, typ, b); err != nil {
+		if err := WriteFrame(w, typ, b); err != nil {
 			return err
 		}
 	}
 	if len(entries) == 0 {
-		return writeFrame(w, typ, binary.AppendUvarint(nil, 0))
+		return WriteFrame(w, typ, binary.AppendUvarint(nil, 0))
 	}
 	return nil
 }
@@ -190,7 +190,7 @@ func encodeKeyOrders(w io.Writer, typ byte, entries []internEntry) error {
 func decodeKeyOrders(r io.Reader, typ byte, max int) ([]internEntry, error) {
 	var out []internEntry
 	for {
-		ft, payload, err := readFrame(r, max)
+		ft, payload, err := ReadFrame(r, max)
 		if err == io.EOF {
 			return out, nil
 		}
@@ -200,16 +200,16 @@ func decodeKeyOrders(r io.Reader, typ byte, max int) ([]internEntry, error) {
 		if ft != typ {
 			return nil, errUnexpectedFrame(ft, typ)
 		}
-		n, err := nextUvarint(&payload)
+		n, err := NextUvarint(&payload)
 		if err != nil {
 			return nil, err
 		}
 		for i := uint64(0); i < n; i++ {
-			key, err := nextBytes(&payload)
+			key, err := NextBytes(&payload)
 			if err != nil {
 				return nil, err
 			}
-			o, err := nextUvarint(&payload)
+			o, err := NextUvarint(&payload)
 			if err != nil {
 				return nil, err
 			}
@@ -224,15 +224,15 @@ func encodeCommit(w io.Writer, entries []commitEntry) error {
 		hi := min(lo+chunkEntries, len(entries))
 		b := binary.AppendUvarint(nil, uint64(hi-lo))
 		for _, e := range entries[lo:hi] {
-			b = appendBytes(b, e.key)
+			b = AppendBytes(b, e.key)
 			b = binary.AppendUvarint(b, uint64(e.id))
 		}
-		if err := writeFrame(w, frameCommit, b); err != nil {
+		if err := WriteFrame(w, frameCommit, b); err != nil {
 			return err
 		}
 	}
 	if len(entries) == 0 {
-		return writeFrame(w, frameCommit, binary.AppendUvarint(nil, 0))
+		return WriteFrame(w, frameCommit, binary.AppendUvarint(nil, 0))
 	}
 	return nil
 }
@@ -240,7 +240,7 @@ func encodeCommit(w io.Writer, entries []commitEntry) error {
 func decodeCommit(r io.Reader, max int) ([]commitEntry, error) {
 	var out []commitEntry
 	for {
-		typ, payload, err := readFrame(r, max)
+		typ, payload, err := ReadFrame(r, max)
 		if err == io.EOF {
 			return out, nil
 		}
@@ -250,16 +250,16 @@ func decodeCommit(r io.Reader, max int) ([]commitEntry, error) {
 		if typ != frameCommit {
 			return nil, errUnexpectedFrame(typ, frameCommit)
 		}
-		n, err := nextUvarint(&payload)
+		n, err := NextUvarint(&payload)
 		if err != nil {
 			return nil, err
 		}
 		for i := uint64(0); i < n; i++ {
-			key, err := nextBytes(&payload)
+			key, err := NextBytes(&payload)
 			if err != nil {
 				return nil, err
 			}
-			id, err := nextUvarint(&payload)
+			id, err := NextUvarint(&payload)
 			if err != nil {
 				return nil, err
 			}

@@ -64,6 +64,19 @@ type Options struct {
 	// costs one branch per event and zero allocations (pinned by
 	// TestAnalyzeDisabledTracerZeroAlloc).
 	Trace *trace.Tracer
+	// Ckpt, if non-nil, enables checkpointing: the hook is polled at the
+	// top of every DFS iteration and can save a Snapshot (CkptSave) or
+	// save one and suspend the run (CkptStop, returning the partial
+	// Result with ErrCheckpointStop). Requires the algebra to implement
+	// SnapshotCodec; incompatible with StoreGraph. Like Metrics and
+	// Trace, the hook only observes and suspends — it never changes
+	// which states an uninterrupted run explores.
+	Ckpt *CkptHook
+	// Resume, if non-nil, restores the analysis from a Snapshot instead
+	// of starting at the initial state, re-entering the DFS at the saved
+	// step boundary with Results bit-identical to the uninterrupted run.
+	// Requires SnapshotCodec; incompatible with StoreGraph.
+	Resume *Snapshot
 }
 
 // StatsReporter is implemented by family algebras that can export
@@ -239,6 +252,16 @@ func (e *Engine[F]) Analyze(opts Options) (*Result, *Graph[F], error) {
 	if opts.WitnessLimit == 0 {
 		opts.WitnessLimit = 1
 	}
+	if err := validateCkptOptions(opts); err != nil {
+		return nil, nil, err
+	}
+	var codec SnapshotCodec[F]
+	if opts.Ckpt != nil || opts.Resume != nil {
+		var err error
+		if codec, err = e.snapshotCodec(); err != nil {
+			return nil, nil, err
+		}
+	}
 	defer opts.Metrics.StartSpan("core.analyze").End()
 	var (
 		cStates    = opts.Metrics.Counter("core.states")
@@ -278,7 +301,13 @@ func (e *Engine[F]) Analyze(opts Options) (*Result, *Graph[F], error) {
 	index := make(map[string]int)
 	onStack := make(map[int]bool)
 	var states []*State[F]
+	var stack []*frame[F]
 	limited := false
+	// steps counts completed DFS iterations — the checkpoint boundary
+	// coordinate. resumedBoundary suppresses the first poll after a
+	// resume: that boundary is the one the checkpoint was taken at.
+	var steps int64
+	resumedBoundary := false
 
 	intern := func(s *State[F]) (int, bool) {
 		k := e.key(s)
@@ -308,14 +337,8 @@ func (e *Engine[F]) Analyze(opts Options) (*Result, *Graph[F], error) {
 		return id, true
 	}
 
-	s0 := e.InitialState()
-	intern(s0)
-
 	// Created before the local `stop` flag shadows the package name.
 	cancel := stop.Every(opts.Ctx, 16)
-
-	stack := []*frame[F]{{id: 0, state: s0}}
-	onStack[0] = true
 	stop := false
 
 	processFrame := func(f *frame[F]) bool {
@@ -350,13 +373,49 @@ func (e *Engine[F]) Analyze(opts Options) (*Result, *Graph[F], error) {
 		f.succs, f.postponed = e.successors(f.state, opts, sEn)
 		return false
 	}
-	if processFrame(stack[0]) {
-		res.States = len(states)
-		res.Complete = false
-		return res, g, nil
+
+	if sn := opts.Resume; sn != nil {
+		var rerr error
+		states, index, onStack, stack, rerr = e.restoreSnapshot(sn, codec)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		restoreResult(res, sn)
+		steps = sn.Steps
+		resumedBoundary = true
+		cStates.Add(int64(len(states)))
+		gPeakValid.SetMax(int64(res.PeakValid))
+		opts.Progress.Tick(int64(len(states)))
+	} else {
+		s0 := e.InitialState()
+		intern(s0)
+		stack = []*frame[F]{{id: 0, state: s0}}
+		onStack[0] = true
+		if processFrame(stack[0]) {
+			res.States = len(states)
+			res.Complete = false
+			return res, g, nil
+		}
 	}
 
 	for len(stack) > 0 && !stop {
+		if !resumedBoundary {
+			if act := opts.Ckpt.poll(len(states), steps); act != CkptNone {
+				snp := e.snapshotAt(states, stack, res, steps, codec)
+				if opts.Ckpt.Save != nil {
+					if err := opts.Ckpt.Save(snp); err != nil {
+						return nil, nil, fmt.Errorf("core: checkpoint save: %w", err)
+					}
+				}
+				if act == CkptStop {
+					res.States = len(states)
+					res.Complete = false
+					return res, g, ErrCheckpointStop
+				}
+			}
+		}
+		resumedBoundary = false
+		steps++
 		if err := cancel.Poll(); err != nil {
 			res.States = len(states)
 			res.Complete = false

@@ -1,0 +1,135 @@
+package family
+
+// Checkpoint support for the explicit representation: the reference
+// counterpart of the ZDD family snapshot (internal/zdd/snapshot.go).
+// Families are serialized as their member sets, deduplicated by
+// canonical key so a family shared by many states is encoded once.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/tset"
+)
+
+// ErrBadSnapshot is wrapped by every decode failure.
+var ErrBadSnapshot = errors.New("family: bad family snapshot")
+
+// EncodeFamilies serializes the given families into a self-contained
+// blob: universe size, a deduplicated family table (each family as its
+// member sets, each set as sorted element indices), and one table
+// reference per root.
+func (a Alg) EncodeFamilies(roots []*Family) []byte {
+	table := make([]*Family, 0, len(roots))
+	refOf := make(map[string]uint64, len(roots))
+	refs := make([]uint64, len(roots))
+	for i, f := range roots {
+		k := f.Key()
+		ref, ok := refOf[k]
+		if !ok {
+			ref = uint64(len(table))
+			refOf[k] = ref
+			table = append(table, f)
+		}
+		refs[i] = ref
+	}
+	b := binary.AppendUvarint(nil, uint64(a.n))
+	b = binary.AppendUvarint(b, uint64(len(table)))
+	for _, f := range table {
+		b = binary.AppendUvarint(b, uint64(len(f.sets)))
+		for _, s := range f.sets {
+			els := s.Members()
+			b = binary.AppendUvarint(b, uint64(len(els)))
+			for _, e := range els {
+				b = binary.AppendUvarint(b, uint64(e))
+			}
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(roots)))
+	for _, r := range refs {
+		b = binary.AppendUvarint(b, r)
+	}
+	return b
+}
+
+// DecodeFamilies rebuilds the families of an EncodeFamilies blob and
+// returns the roots in encoding order. Malformed input — universe
+// mismatch, out-of-range elements or references, truncation — is
+// rejected with an error wrapping ErrBadSnapshot.
+func (a Alg) DecodeFamilies(blob []byte) ([]*Family, error) {
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(blob)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: truncated", ErrBadSnapshot)
+		}
+		blob = blob[n:]
+		return v, nil
+	}
+	u, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if int(u) != a.n {
+		return nil, fmt.Errorf("%w: universe %d, algebra has %d", ErrBadSnapshot, u, a.n)
+	}
+	nf, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if nf > uint64(len(blob)) {
+		return nil, fmt.Errorf("%w: family count %d exceeds payload", ErrBadSnapshot, nf)
+	}
+	table := make([]*Family, nf)
+	for i := range table {
+		ns, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if ns > uint64(len(blob))+1 {
+			return nil, fmt.Errorf("%w: set count %d exceeds payload", ErrBadSnapshot, ns)
+		}
+		sets := make([]tset.TSet, ns)
+		for j := range sets {
+			ne, err := next()
+			if err != nil {
+				return nil, err
+			}
+			if ne > uint64(a.n) {
+				return nil, fmt.Errorf("%w: set size %d exceeds universe", ErrBadSnapshot, ne)
+			}
+			s := tset.New(a.n)
+			for k := uint64(0); k < ne; k++ {
+				e, err := next()
+				if err != nil {
+					return nil, err
+				}
+				if e >= uint64(a.n) {
+					return nil, fmt.Errorf("%w: element %d out of range", ErrBadSnapshot, e)
+				}
+				s.Add(int(e))
+			}
+			sets[j] = s
+		}
+		table[i] = Of(a.n, sets...)
+	}
+	nr, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if nr > uint64(len(blob))+1 {
+		return nil, fmt.Errorf("%w: root count %d exceeds payload", ErrBadSnapshot, nr)
+	}
+	roots := make([]*Family, nr)
+	for i := range roots {
+		ref, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if ref >= nf {
+			return nil, fmt.Errorf("%w: root %d out of range", ErrBadSnapshot, i)
+		}
+		roots[i] = table[ref]
+	}
+	return roots, nil
+}

@@ -116,6 +116,29 @@ func (n *Net) MarkingFromKey(key string) (Marking, bool) {
 	return m, true
 }
 
+// MarkingFromKeyBytes reconstructs a Marking from a Key() byte string
+// without a Net: the width is taken from the key itself (8 bytes per
+// word). Callers that know which net the marking belongs to should use
+// Net.MarkingFromKey, which also validates the width; this form is for
+// containers (internal/ckpt) that carry markings of a derived net — a
+// monitored or structurally reduced one — whose shape is only
+// reconstructed later. A key whose length is not a multiple of 8
+// returns ok=false.
+func MarkingFromKeyBytes(key string) (Marking, bool) {
+	if len(key)%8 != 0 || len(key) == 0 {
+		return nil, false
+	}
+	m := make(Marking, len(key)/8)
+	for wi := range m {
+		var w uint64
+		for i := 0; i < 8; i++ {
+			w |= uint64(key[wi*8+i]) << (8 * uint(i))
+		}
+		m[wi] = w
+	}
+	return m, true
+}
+
 // Places returns the marked places in increasing order.
 func (m Marking) Places() []Place {
 	var out []Place

@@ -115,18 +115,59 @@ func exploreParallel(n *petri.Net, opts Options) (*Result, error) {
 	}
 
 	var states []petri.Marking
-	m0 := n.InitialMarking()
-	k0, h0 := m0.KeyHash()
-	shards[ShardOf(h0)].ids[k0] = 0
-	states = append(states, m0)
-	if opts.StoreGraph {
-		g.Edges = append(g.Edges, nil)
+	var level []int
+	// levels counts fully expanded BFS levels: at the top of the loop,
+	// `level` holds level number `levels`, exactly the boundary
+	// coordinate of the sequential engine's snapshots. The verdict id
+	// lists mirror res.Deadlocks/res.BadStates for checkpointing.
+	levels := 0
+	var deadIDs, badIDs []int
+	// On resume the frontier's verdicts were restored from the snapshot,
+	// so the first level's parent-verdict pass must not re-record them;
+	// the resume point itself is the boundary the checkpoint was taken
+	// at, so its poll is skipped too.
+	skipParentVerdicts := false
+	resumedBoundary := false
+
+	if sn := opts.Resume; sn != nil {
+		if err := validateResume(n, sn); err != nil {
+			return nil, err
+		}
+		states = append(states, sn.States...)
+		for id, m := range states {
+			k, h := m.KeyHash()
+			s := &shards[ShardOf(h)]
+			if _, dup := s.ids[k]; dup {
+				return nil, fmt.Errorf("reach: resume: duplicate marking at state %d", id)
+			}
+			s.ids[k] = id
+		}
+		res.Arcs = sn.Arcs
+		restoreVerdicts(res, states, sn)
+		deadIDs = append(deadIDs, sn.DeadIDs...)
+		badIDs = append(badIDs, sn.BadIDs...)
+		level = make([]int, 0, len(states)-sn.FrontierStart)
+		for id := sn.FrontierStart; id < len(states); id++ {
+			level = append(level, id)
+		}
+		levels = sn.Levels
+		skipParentVerdicts = true
+		resumedBoundary = true
+		opts.Progress.Tick(int64(len(states)))
+	} else {
+		m0 := n.InitialMarking()
+		k0, h0 := m0.KeyHash()
+		shards[ShardOf(h0)].ids[k0] = 0
+		states = append(states, m0)
+		if opts.StoreGraph {
+			g.Edges = append(g.Edges, nil)
+		}
+		opts.Progress.Tick(1)
+		tk.State(0, 0)
+		level = []int{0}
 	}
-	opts.Progress.Tick(1)
-	tk.State(0, 0)
 
 	nt := n.NumTrans()
-	level := []int{0}
 
 	// Per-level scratch, reused so steady-state exploration does not
 	// reallocate with every batch.
@@ -151,6 +192,45 @@ func exploreParallel(n *petri.Net, opts Options) (*Result, error) {
 		if opts.Ctx != nil && opts.Ctx.Err() != nil {
 			return abort()
 		}
+		// Level boundary: every state below the frontier is expanded and
+		// `level` is the contiguous id suffix about to be. The snapshot
+		// must cover verdicts of ALL interned states the way the
+		// sequential engine records them at discovery, so the frontier's
+		// verdicts — which this engine only records when the states are
+		// expanded as parents — are computed into the snapshot's copies
+		// here without touching the live Result.
+		if !resumedBoundary {
+			if act := opts.Ckpt.poll(len(states), levels); act != CkptNone {
+				sn := &Snapshot{
+					States:        append([]petri.Marking(nil), states...),
+					FrontierStart: len(states) - len(level),
+					Arcs:          res.Arcs,
+					DeadIDs:       append([]int(nil), deadIDs...),
+					BadIDs:        append([]int(nil), badIDs...),
+					Levels:        levels,
+				}
+				for _, id := range level {
+					m := states[id]
+					if opts.Bad != nil && opts.Bad(m) {
+						sn.BadIDs = append(sn.BadIDs, id)
+					}
+					if n.IsDeadlock(m) {
+						sn.DeadIDs = append(sn.DeadIDs, id)
+					}
+				}
+				if opts.Ckpt.Save != nil {
+					if err := opts.Ckpt.Save(sn); err != nil {
+						return nil, fmt.Errorf("reach: checkpoint save: %w", err)
+					}
+				}
+				if act == CkptStop {
+					res.States = len(states)
+					res.Complete = false
+					return res, ErrCheckpointStop
+				}
+			}
+		}
+		resumedBoundary = false
 		batches++
 		if len(level) > qPeak {
 			qPeak = len(level)
@@ -281,15 +361,22 @@ func exploreParallel(n *petri.Net, opts Options) (*Result, error) {
 		// Verdicts of this level's parents. They were interned (and in the
 		// sequential engine, checked) in id order before any state of the
 		// next level, so appending here preserves the global id order of
-		// the Deadlocks and BadStates lists.
-		for pos, id := range level {
-			if badFlags[pos] {
-				res.BadFound = true
-				res.BadStates = append(res.BadStates, states[id])
-			}
-			if deadFlags[pos] {
-				res.Deadlock = true
-				res.Deadlocks = append(res.Deadlocks, states[id])
+		// the Deadlocks and BadStates lists. On the first level after a
+		// resume the verdicts were already restored from the snapshot.
+		if skipParentVerdicts {
+			skipParentVerdicts = false
+		} else {
+			for pos, id := range level {
+				if badFlags[pos] {
+					res.BadFound = true
+					res.BadStates = append(res.BadStates, states[id])
+					badIDs = append(badIDs, id)
+				}
+				if deadFlags[pos] {
+					res.Deadlock = true
+					res.Deadlocks = append(res.Deadlocks, states[id])
+					deadIDs = append(deadIDs, id)
+				}
 			}
 		}
 
@@ -362,10 +449,12 @@ func exploreParallel(n *petri.Net, opts Options) (*Result, error) {
 				if opts.Bad != nil && opts.Bad(m) {
 					res.BadFound = true
 					res.BadStates = append(res.BadStates, m)
+					badIDs = append(badIDs, id)
 				}
 				if n.IsDeadlock(m) {
 					res.Deadlock = true
 					res.Deadlocks = append(res.Deadlocks, m)
+					deadIDs = append(deadIDs, id)
 				}
 			}
 			res.States = len(states)
@@ -377,6 +466,7 @@ func exploreParallel(n *petri.Net, opts Options) (*Result, error) {
 		}
 
 		level = nextLevel
+		levels++
 	}
 
 	res.States = len(states)

@@ -30,6 +30,12 @@ func (q *intQueue) pop() int {
 
 func (q *intQueue) len() int { return len(q.buf) - q.head }
 
+// peek returns the next value pop would return without consuming it;
+// the sequential BFS uses it to detect level boundaries (state ids are
+// popped in increasing order, so the boundary is visible before the
+// first state of a level is expanded).
+func (q *intQueue) peek() int { return q.buf[q.head] }
+
 // spare reports the backing array's capacity, for tests pinning that the
 // queue does not accumulate consumed slots.
 func (q *intQueue) spare() int { return cap(q.buf) }

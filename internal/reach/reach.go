@@ -74,6 +74,19 @@ type Options struct {
 	// explorer records firings on one track per worker. Nil costs one
 	// branch per event.
 	Trace *trace.Tracer
+	// Ckpt, if non-nil, enables checkpointing: the hook is polled at
+	// every BFS level boundary and can save a Snapshot (CkptSave) or
+	// save one and suspend the run (CkptStop, returning the partial
+	// Result with ErrCheckpointStop). Incompatible with StoreGraph.
+	// Like Metrics and Trace, the hook only observes and suspends — it
+	// never changes which states an uninterrupted run explores.
+	Ckpt *CkptHook
+	// Resume, if non-nil, restores the exploration from a Snapshot
+	// instead of starting at the initial marking; both the sequential
+	// and the parallel engine re-enter at the saved level boundary and
+	// produce Results bit-identical to the uninterrupted run.
+	// Incompatible with StoreGraph.
+	Resume *Snapshot
 }
 
 // Edge is one arc of the reachability graph: firing T from the source
@@ -108,6 +121,9 @@ type Result struct {
 // explored by a pool of workers over a sharded visited store; the Result
 // is identical to the sequential one.
 func Explore(n *petri.Net, opts Options) (*Result, error) {
+	if err := validateCkptOptions(opts); err != nil {
+		return nil, err
+	}
 	if opts.Workers > 0 && !opts.StopAtDeadlock && !opts.StopAtBad {
 		return exploreParallel(n, opts)
 	}
@@ -145,6 +161,10 @@ func exploreSeq(n *petri.Net, opts Options) (*Result, error) {
 	index := make(map[string]int)
 	var states []petri.Marking
 	limited := false
+	// Verdict ids mirror res.Deadlocks/res.BadStates for the snapshot;
+	// maintained unconditionally (two appends per verdict is noise next
+	// to the per-state hash insert).
+	var deadIDs, badIDs []int
 
 	add := func(m petri.Marking) (int, bool) {
 		k := m.Key()
@@ -166,17 +186,12 @@ func exploreSeq(n *petri.Net, opts Options) (*Result, error) {
 		return id, true
 	}
 
-	m0 := n.InitialMarking()
-	add(m0)
-
-	var queue intQueue
-	queue.push(0)
-
 	checkState := func(id int) (stop bool) {
 		m := states[id]
 		if opts.Bad != nil && opts.Bad(m) {
 			res.BadFound = true
 			res.BadStates = append(res.BadStates, m)
+			badIDs = append(badIDs, id)
 			if opts.StopAtBad {
 				return true
 			}
@@ -184,23 +199,79 @@ func exploreSeq(n *petri.Net, opts Options) (*Result, error) {
 		if n.IsDeadlock(m) {
 			res.Deadlock = true
 			res.Deadlocks = append(res.Deadlocks, m)
+			deadIDs = append(deadIDs, id)
 			if opts.StopAtDeadlock {
 				return true
 			}
 		}
 		return false
 	}
-	if checkState(0) {
-		res.States = len(states)
-		res.Complete = false
-		if opts.StoreGraph {
-			g.States = states
+
+	var queue intQueue
+	// levelEnd is the id at which the next level boundary fires: once
+	// the BFS is about to pop it, every state below it has been expanded
+	// and the states from it onward are exactly the unexpanded frontier.
+	// levels counts boundaries passed = fully expanded levels.
+	levelEnd := 0
+	levels := 0
+
+	if sn := opts.Resume; sn != nil {
+		if err := validateResume(n, sn); err != nil {
+			return nil, err
 		}
-		return res, nil
+		states = append(states, sn.States...)
+		for id, m := range states {
+			k := m.Key()
+			if _, dup := index[k]; dup {
+				return nil, fmt.Errorf("reach: resume: duplicate marking at state %d", id)
+			}
+			index[k] = id
+		}
+		res.Arcs = sn.Arcs
+		restoreVerdicts(res, states, sn)
+		deadIDs = append(deadIDs, sn.DeadIDs...)
+		badIDs = append(badIDs, sn.BadIDs...)
+		for id := sn.FrontierStart; id < len(states); id++ {
+			queue.push(id)
+		}
+		// The restored frontier is level number sn.Levels; the next
+		// boundary — after expanding it — has sn.Levels+1 levels done.
+		levelEnd = len(states)
+		levels = sn.Levels + 1
+		opts.Progress.Tick(int64(len(states)))
+	} else {
+		m0 := n.InitialMarking()
+		add(m0)
+		queue.push(0)
+		if checkState(0) {
+			res.States = len(states)
+			res.Complete = false
+			if opts.StoreGraph {
+				g.States = states
+			}
+			return res, nil
+		}
 	}
 
 	cancel := stop.Every(opts.Ctx, 64)
 	for queue.len() > 0 {
+		if next := queue.peek(); next >= levelEnd {
+			if act := opts.Ckpt.poll(len(states), levels); act != CkptNone {
+				sn := snapshotAt(states, next, res.Arcs, deadIDs, badIDs, levels)
+				if opts.Ckpt.Save != nil {
+					if err := opts.Ckpt.Save(sn); err != nil {
+						return nil, fmt.Errorf("reach: checkpoint save: %w", err)
+					}
+				}
+				if act == CkptStop {
+					res.States = len(states)
+					res.Complete = false
+					return res, ErrCheckpointStop
+				}
+			}
+			levels++
+			levelEnd = len(states)
+		}
 		if err := cancel.Poll(); err != nil {
 			res.States = len(states)
 			res.Complete = false

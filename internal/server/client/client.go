@@ -12,6 +12,7 @@ import (
 	"io"
 	"net/http"
 
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -121,4 +122,66 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 		return nil
 	}
 	return json.Unmarshal(data, out)
+}
+
+// Job is one durable verification job (POST /v1/jobs): its journal
+// record plus, while queued or running, the live-run status document.
+type Job struct {
+	jobs.Record
+	Run json.RawMessage `json:"run,omitempty"`
+}
+
+// SubmitJob admits a durable asynchronous job. Submission is
+// idempotent: the job ID is the content address of the work, so
+// resubmitting returns the existing record (at whatever state it
+// reached) instead of running twice.
+func (c *Client) SubmitJob(ctx context.Context, req *server.Request) (*Job, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var job Job
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", bytes.NewReader(body), &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// Job fetches one job by ID.
+func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
+	var job Job
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// Jobs lists every job, oldest first.
+func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
+	var out struct {
+		Jobs []Job `json:"jobs"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// CancelJob stops a job at its next engine boundary, keeping any
+// checkpoint so the job stays resumable.
+func (c *Client) CancelJob(ctx context.Context, id string) (*Job, error) {
+	var job Job
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// ResumeJob re-admits a checkpointed, canceled or queued job.
+func (c *Client) ResumeJob(ctx context.Context, id string) (*Job, error) {
+	var job Job
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/resume", nil, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
 }

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/server/client"
@@ -93,7 +94,12 @@ func TestRuntimeMetricsDocumented(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc := server.New(server.Config{Workers: 1, Metrics: reg, Cluster: node0})
+	st, err := jobs.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	svc := server.New(server.Config{Workers: 1, Metrics: reg, Cluster: node0, Jobs: st})
 	httpSrvs := make([]*http.Server, nPeers)
 	httpSrvs[0] = &http.Server{Handler: svc.Handler()}
 	for i := 1; i < nPeers; i++ {
@@ -132,6 +138,13 @@ func TestRuntimeMetricsDocumented(t *testing.T) {
 		}
 	}
 
+	// jobs.* and ckpt.* — one durable job through submit → done.
+	jb, err := c.SubmitJob(ctx, &server.Request{Model: "nsdp", Size: 4, Engine: "gpo", Check: "deadlock", StopAtFirst: true})
+	if err != nil {
+		t.Fatalf("submit job: %v", err)
+	}
+	waitJob(t, c, jb.ID, jobs.Done)
+
 	snap := reg.Snapshot()
 	var runtimeNames []string
 	for name := range snap.Counters {
@@ -150,7 +163,9 @@ func TestRuntimeMetricsDocumented(t *testing.T) {
 			strings.HasPrefix(name, "reach."),
 			strings.HasPrefix(name, "zdd."),
 			strings.HasPrefix(name, "reduce."),
-			strings.HasPrefix(name, "cluster."):
+			strings.HasPrefix(name, "cluster."),
+			strings.HasPrefix(name, "jobs."),
+			strings.HasPrefix(name, "ckpt."):
 			checked++
 			if !documented[name] {
 				t.Errorf("runtime metric %q is not documented in OBSERVABILITY.md", name)

@@ -1,0 +1,345 @@
+package server_test
+
+// End-to-end tests of the durable jobs surface (DESIGN.md D11): the
+// full submit → checkpoint → suspend → resume arc over real HTTP, a
+// restart picking up where the dead server left off, cancel keeping the
+// checkpoint, and drain leaving queued jobs durable instead of burning
+// them. The soundness anchor throughout: a resumed job's final numbers
+// equal a fresh uninterrupted run's exactly.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// jobsService boots a jobs-enabled server over dir and returns the
+// client plus the server handle (for Drain) and its store.
+func jobsService(t *testing.T, dir string, cfg server.Config) (*client.Client, *server.Server, *jobs.Store) {
+	t.Helper()
+	st, err := jobs.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Jobs = st
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.New()
+	}
+	svc := server.New(cfg)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+		st.Close()
+	})
+	return client.New(ts.URL, ts.Client()), svc, st
+}
+
+// waitJob polls until the job reaches one of the wanted states.
+func waitJob(t *testing.T, c *client.Client, id string, want ...jobs.State) *client.Job {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		j, err := c.Job(context.Background(), id)
+		if err != nil {
+			t.Fatalf("job %s: %v", id, err)
+		}
+		for _, w := range want {
+			if j.State == w {
+				return j
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q, want one of %v", id, j.State, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestE2EJobsLifecycle: a small job runs to completion, its result
+// lands in the record AND the result cache, and resubmission is an
+// idempotent lookup.
+func TestE2EJobsLifecycle(t *testing.T) {
+	c, _, _ := jobsService(t, t.TempDir(), server.Config{Workers: 2})
+	ctx := context.Background()
+	req := &server.Request{Model: "nsdp", Size: 6, Engine: "exhaustive"}
+
+	j, err := c.SubmitJob(ctx, req)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if j.ID == "" || j.Net != "NSDP(6)" || j.Check != "deadlock" {
+		t.Fatalf("submitted record: %+v", j.Record)
+	}
+	done := waitJob(t, c, j.ID, jobs.Done)
+	var res server.Response
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	if res.Status != server.StatusOK || !res.Complete || res.States != 5778 || !res.Deadlock {
+		t.Fatalf("job result: %+v", res)
+	}
+
+	// The job populated the shared result cache: a synchronous request
+	// for the same work is a cache hit, not a second run.
+	sync, err := c.Verify(ctx, req)
+	if err != nil {
+		t.Fatalf("verify after job: %v", err)
+	}
+	if !sync.Cached || sync.States != res.States {
+		t.Fatalf("sync after job should be the cached job result: %+v", sync)
+	}
+
+	// Idempotent resubmission: same content address, same (finished) job.
+	again, err := c.SubmitJob(ctx, req)
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if again.ID != j.ID || again.State != jobs.Done {
+		t.Fatalf("resubmit: %+v", again.Record)
+	}
+
+	list, err := c.Jobs(ctx)
+	if err != nil || len(list) != 1 || list[0].ID != j.ID {
+		t.Fatalf("jobs list: %v %+v", err, list)
+	}
+}
+
+// TestE2EJobSuspendResume: a job whose time slice is far too small for
+// the work suspends at a boundary with a checkpoint; resuming finishes
+// it and the final numbers are exactly a fresh full run's.
+func TestE2EJobSuspendResume(t *testing.T) {
+	c, _, _ := jobsService(t, t.TempDir(), server.Config{Workers: 2})
+	ctx := context.Background()
+	// NSDP(8) explores 103682 states in ~hundreds of ms; a 1ms slice
+	// guarantees suspension at an early boundary.
+	req := &server.Request{Model: "nsdp", Size: 8, Engine: "exhaustive", TimeoutMS: 1}
+
+	j, err := c.SubmitJob(ctx, req)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	sus := waitJob(t, c, j.ID, jobs.Checkpointed)
+	if sus.CkptPath == "" || sus.States <= 0 || sus.Boundary <= 0 {
+		t.Fatalf("suspended without checkpoint coordinates: %+v", sus.Record)
+	}
+	if _, err := os.Stat(sus.CkptPath); err != nil {
+		t.Fatalf("checkpoint file: %v", err)
+	}
+	if sus.States >= 103682 {
+		t.Fatalf("suspended job claims full exploration: %+v", sus.Record)
+	}
+
+	// Resume with a workable slice: override nothing — the stored
+	// request still says 1ms, so the job makes boundary-to-boundary
+	// progress across multiple resumes until it completes. Exercise two
+	// of those, then confirm monotone progress and eventual completion.
+	states := sus.States
+	var fin *client.Job
+	for i := 0; i < 200; i++ {
+		if _, err := c.ResumeJob(ctx, j.ID); err != nil {
+			t.Fatalf("resume %d: %v", i, err)
+		}
+		fin = waitJob(t, c, j.ID, jobs.Checkpointed, jobs.Done)
+		if fin.States < states {
+			t.Fatalf("resume %d went backwards: %d -> %d states", i, states, fin.States)
+		}
+		states = fin.States
+		if fin.State == jobs.Done {
+			break
+		}
+	}
+	if fin.State != jobs.Done {
+		t.Fatalf("job never completed: %+v", fin.Record)
+	}
+	if fin.Resumes == 0 {
+		t.Fatalf("Resumes not counted: %+v", fin.Record)
+	}
+	var res server.Response
+	if err := json.Unmarshal(fin.Result, &res); err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	// The acceptance bar: identical to an uninterrupted run.
+	if res.States != 103682 || !res.Deadlock || !res.Complete || res.Status != server.StatusOK {
+		t.Fatalf("resumed result differs from a fresh run: %+v", res)
+	}
+}
+
+// TestE2EJobRestartResume is the crash-safe arc: the job suspends on
+// server A, A shuts down, server B opens the same directory and
+// ResumeJobs picks the job back up to completion.
+func TestE2EJobRestartResume(t *testing.T) {
+	dir := t.TempDir()
+	stA, err := jobs.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcA := server.New(server.Config{Workers: 2, Jobs: stA})
+	tsA := httptest.NewServer(svcA.Handler())
+	cA := client.New(tsA.URL, tsA.Client())
+	ctx := context.Background()
+
+	req := &server.Request{Model: "nsdp", Size: 8, Engine: "exhaustive", TimeoutMS: 1}
+	j, err := cA.SubmitJob(ctx, req)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	sus := waitJob(t, cA, j.ID, jobs.Checkpointed)
+	tsA.Close()
+	svcA.Close()
+	stA.Close()
+
+	// Server B: same directory, generous slices. ResumeJobs re-admits
+	// the suspended job without any client involvement.
+	stB, err := jobs.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcB := server.New(server.Config{Workers: 2, Jobs: stB})
+	tsB := httptest.NewServer(svcB.Handler())
+	cB := client.New(tsB.URL, tsB.Client())
+	t.Cleanup(func() {
+		tsB.Close()
+		svcB.Close()
+		stB.Close()
+	})
+	// The stored request's 1ms slice would just re-suspend; a restart
+	// keeps the stored request verbatim, so step it with resumes like a
+	// client would. First, the automatic re-admission:
+	if n := svcB.ResumeJobs(); n != 1 {
+		t.Fatalf("ResumeJobs = %d, want 1", n)
+	}
+	fin := waitJob(t, cB, j.ID, jobs.Checkpointed, jobs.Done)
+	if fin.States < sus.States {
+		t.Fatalf("restart went backwards: %d -> %d states", sus.States, fin.States)
+	}
+	for i := 0; fin.State != jobs.Done && i < 200; i++ {
+		if _, err := cB.ResumeJob(ctx, j.ID); err != nil {
+			t.Fatalf("resume: %v", err)
+		}
+		fin = waitJob(t, cB, j.ID, jobs.Checkpointed, jobs.Done)
+	}
+	var res server.Response
+	if err := json.Unmarshal(fin.Result, &res); err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	if res.States != 103682 || !res.Deadlock || !res.Complete {
+		t.Fatalf("post-restart result differs from a fresh run: %+v", res)
+	}
+}
+
+// TestE2EJobCancelKeepsCheckpoint: DELETE suspends the job at its next
+// boundary, the checkpoint survives, and a resume still completes with
+// fresh-run numbers.
+func TestE2EJobCancel(t *testing.T) {
+	c, _, _ := jobsService(t, t.TempDir(), server.Config{Workers: 2, CkptEveryStates: 1})
+	ctx := context.Background()
+	req := &server.Request{Model: "nsdp", Size: 8, Engine: "exhaustive"}
+
+	j, err := c.SubmitJob(ctx, req)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := c.CancelJob(ctx, j.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	got := waitJob(t, c, j.ID, jobs.Canceled, jobs.Done)
+	if got.State == jobs.Done {
+		t.Skip("job finished before the cancel landed (loaded machine); nothing to assert")
+	}
+	// Canceled is resumable; with CkptEveryStates=1 a checkpoint exists
+	// unless the cancel landed before the very first boundary.
+	if _, err := c.ResumeJob(ctx, j.ID); err != nil {
+		t.Fatalf("resume after cancel: %v", err)
+	}
+	fin := waitJob(t, c, j.ID, jobs.Done)
+	var res server.Response
+	if err := json.Unmarshal(fin.Result, &res); err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	if res.States != 103682 || !res.Deadlock || !res.Complete {
+		t.Fatalf("post-cancel result differs from a fresh run: %+v", res)
+	}
+}
+
+// TestE2EJobDrain pins satellite 1: draining suspends the running job
+// with a checkpoint and leaves queued jobs queued — both durable, both
+// resumable by the next process.
+func TestE2EJobDrain(t *testing.T) {
+	dir := t.TempDir()
+	c, svc, _ := jobsService(t, dir, server.Config{Workers: 1})
+	ctx := context.Background()
+
+	runReq := &server.Request{Model: "nsdp", Size: 8, Engine: "exhaustive"}
+	queuedReq := &server.Request{Model: "nsdp", Size: 6, Engine: "exhaustive"}
+	running, err := c.SubmitJob(ctx, runReq)
+	if err != nil {
+		t.Fatalf("submit running: %v", err)
+	}
+	queued, err := c.SubmitJob(ctx, queuedReq)
+	if err != nil {
+		t.Fatalf("submit queued: %v", err)
+	}
+	waitJob(t, c, running.ID, jobs.Running, jobs.Done)
+	svc.Drain()
+	got := waitJob(t, c, running.ID, jobs.Checkpointed, jobs.Done)
+	if got.State == jobs.Checkpointed && got.CkptPath == "" {
+		t.Fatalf("drain-suspended job has no checkpoint: %+v", got.Record)
+	}
+	// New submissions and resumes shed with 503 while draining.
+	if _, err := c.SubmitJob(ctx, &server.Request{Model: "nsdp", Size: 4}); err == nil {
+		t.Fatal("submit during drain succeeded")
+	}
+	svc.Close() // workers drain the queue; the queued job must survive it
+
+	// The queued job was not burned: the store still says queued (or
+	// checkpointed, had a worker started it before the drain flag rose).
+	st2, err := jobs.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rec, ok := st2.Get(queued.ID)
+	if !ok || (rec.State != jobs.Queued && rec.State != jobs.Checkpointed && rec.State != jobs.Done) {
+		t.Fatalf("queued job after drain+close: %+v", rec)
+	}
+	if rec.State == jobs.Queued && rec.Resumes != 0 {
+		t.Fatalf("queued job should be untouched: %+v", rec)
+	}
+	res := st2.Resumable()
+	if len(res) == 0 {
+		t.Fatalf("nothing resumable after drain; store: %+v", st2.List())
+	}
+}
+
+// TestE2EJobValidation: jobs reject cluster execution and engines
+// without deterministic checkpoint boundaries, as client errors.
+func TestE2EJobValidation(t *testing.T) {
+	c, _, _ := jobsService(t, t.TempDir(), server.Config{Workers: 1})
+	ctx := context.Background()
+	for _, req := range []*server.Request{
+		{Model: "nsdp", Size: 4, Engine: "symbolic"},
+		{Model: "nsdp", Size: 4, Engine: "partial-order"},
+		{Model: "nsdp", Size: 4, Engine: "exhaustive", Cluster: true},
+	} {
+		_, err := c.SubmitJob(ctx, req)
+		apiErr, ok := err.(*client.APIError)
+		if !ok || apiErr.StatusCode != 400 {
+			t.Errorf("submit %+v: err = %v, want 400", req, err)
+		}
+	}
+	if _, err := c.Job(ctx, "rdeadbeef"); err == nil {
+		t.Error("GET of unknown job succeeded")
+	}
+	if _, err := c.ResumeJob(ctx, "rdeadbeef"); err == nil {
+		t.Error("resume of unknown job succeeded")
+	}
+}

@@ -91,9 +91,13 @@ type errorBody struct {
 }
 
 const (
-	// StatusOK and StatusAborted are the Response.Status values.
-	StatusOK      = "ok"
-	StatusAborted = "aborted"
+	// StatusOK, StatusAborted and StatusCheckpointed are the
+	// Response.Status values. Checkpointed marks a job suspended cleanly
+	// at an engine boundary with a resumable checkpoint on disk — its
+	// statistics are partial like an abort's, but the run can continue.
+	StatusOK           = "ok"
+	StatusAborted      = "aborted"
+	StatusCheckpointed = "checkpointed"
 
 	// CheckDeadlock and CheckSafety are the Request.Check values.
 	CheckDeadlock = "deadlock"
@@ -124,6 +128,10 @@ type job struct {
 	// peers is the cluster size for cluster-executed jobs (0 otherwise),
 	// journaled in the run's ledger entry.
 	peers int
+	// jr marks an asynchronous durable job (POST /v1/jobs): the worker
+	// routes it through runAsyncJob, which answers no done channel and
+	// settles the jobs store instead. Nil for synchronous /v1/verify.
+	jr *asyncRun
 }
 
 // transNames lists a net's transition names in index order, the table a
@@ -286,6 +294,9 @@ func responseOf(pr *parsedRequest, rep *verify.Report) *Response {
 	}
 	if rep.Aborted {
 		resp.Status = StatusAborted
+	}
+	if rep.Checkpointed {
+		resp.Status = StatusCheckpointed
 	}
 	if rep.Witness != nil {
 		for _, p := range rep.Witness.Places() {

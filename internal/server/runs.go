@@ -323,6 +323,13 @@ func ledgerEntryOf(j *job, lr *liveRun, resp *Response, runErr error, startNS, e
 		e.States = int64(resp.States)
 		e.PeakBDD = int64(resp.PeakBDD)
 		e.PeakSets = int64(resp.PeakSets)
+	case resp.Status == StatusCheckpointed:
+		// A job suspended at a boundary: partial statistics like an
+		// abort, but resumable — no abort reason, no verdict.
+		e.Status = "checkpointed"
+		e.States = int64(resp.States)
+		e.PeakBDD = int64(resp.PeakBDD)
+		e.PeakSets = int64(resp.PeakSets)
 	default:
 		e.Status = "ok"
 		e.Deadlock = resp.Deadlock

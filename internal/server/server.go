@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/obs/ledger"
 	"repro/internal/obs/trace"
@@ -90,6 +91,18 @@ type Config struct {
 	// load, and results are bit-identical either way.
 	ProgressEvery    int64
 	ProgressInterval time.Duration
+	// Jobs, if non-nil, enables durable asynchronous jobs (DESIGN.md
+	// D11): POST /v1/jobs admits a verification that outlives the HTTP
+	// request, checkpoints at engine boundaries, survives crashes via the
+	// store's journal, and resumes bit-identically. The store directory
+	// also holds the per-job ckpt/v1 checkpoint files.
+	Jobs *jobs.Store
+	// CkptInterval is the auto-checkpoint wall-clock cadence of running
+	// jobs (default 30s; negative disables time-based auto-checkpoints).
+	CkptInterval time.Duration
+	// CkptEveryStates additionally auto-checkpoints a job every N newly
+	// interned states (0 disables state-based auto-checkpoints).
+	CkptEveryStates int
 	// Cluster, if non-nil, makes this server a cluster member: the
 	// cluster protocol endpoints (/cluster/v1/*) are mounted on the
 	// handler, GET /v1/cluster reports membership and shard ranges,
@@ -124,6 +137,9 @@ func (c Config) withDefaults() Config {
 	if c.ProgressInterval <= 0 {
 		c.ProgressInterval = 200 * time.Millisecond
 	}
+	if c.CkptInterval == 0 {
+		c.CkptInterval = 30 * time.Second
+	}
 	return c
 }
 
@@ -148,10 +164,21 @@ type Server struct {
 	runsMu sync.Mutex          // guards runs
 	runs   map[string]*liveRun // queued + running verifications by run ID
 
+	jobsMu  sync.Mutex           // guards jobRuns
+	jobRuns map[string]*asyncRun // queued + running async jobs by job ID
+
 	requests, shed, aborts, failures, completed *obs.Counter
 	ledgerErrors                                *obs.Counter
 	queueDepth, inflight                        *obs.Gauge
 	reqWall, queueWait                          *obs.Histogram
+
+	// Jobs-mode metrics, registered only when cfg.Jobs is set (nil and
+	// untouched otherwise — every use is behind a jobs-only code path).
+	jobsSubmitted, jobsResumed, jobsDone, jobsFailed *obs.Counter
+	jobsCanceled, jobsCheckpointed                   *obs.Counter
+	ckptSaves, ckptSaveErrors, ckptBytes             *obs.Counter
+	ckptLoads, ckptLoadErrors                        *obs.Counter
+	jobsActive                                       *obs.Gauge
 }
 
 // New starts a Server's worker pool and returns it ready to serve.
@@ -188,6 +215,26 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	if cfg.Cluster != nil {
 		cfg.Cluster.Register(s.mux)
+	}
+	if cfg.Jobs != nil {
+		s.jobRuns = make(map[string]*asyncRun)
+		s.jobsSubmitted = cfg.Metrics.Counter("jobs.submitted")
+		s.jobsResumed = cfg.Metrics.Counter("jobs.resumed")
+		s.jobsDone = cfg.Metrics.Counter("jobs.done")
+		s.jobsFailed = cfg.Metrics.Counter("jobs.failed")
+		s.jobsCanceled = cfg.Metrics.Counter("jobs.canceled")
+		s.jobsCheckpointed = cfg.Metrics.Counter("jobs.checkpointed")
+		s.jobsActive = cfg.Metrics.Gauge("jobs.active")
+		s.ckptSaves = cfg.Metrics.Counter("ckpt.saves")
+		s.ckptSaveErrors = cfg.Metrics.Counter("ckpt.save_errors")
+		s.ckptBytes = cfg.Metrics.Counter("ckpt.bytes")
+		s.ckptLoads = cfg.Metrics.Counter("ckpt.loads")
+		s.ckptLoadErrors = cfg.Metrics.Counter("ckpt.load_errors")
+		s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+		s.mux.HandleFunc("GET /v1/jobs", s.handleJobsList)
+		s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+		s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+		s.mux.HandleFunc("POST /v1/jobs/{id}/resume", s.handleJobResume)
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -247,7 +294,11 @@ func (s *Server) worker() {
 		j.queueWaitNS = nowUnixNS() - j.enqNS
 		s.queueWait.Observe(j.queueWaitNS)
 		s.inflight.Add(1)
-		s.runJob(j)
+		if j.jr != nil {
+			s.runAsyncJob(j)
+		} else {
+			s.runJob(j)
+		}
 		s.inflight.Add(-1)
 		s.completed.Inc()
 	}

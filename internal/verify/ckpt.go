@@ -1,0 +1,196 @@
+package verify
+
+// Engine-agnostic checkpoint/resume plumbing: one Checkpointer bridges
+// the per-engine hooks (reach.CkptHook at BFS level boundaries,
+// core.CkptHook at DFS step boundaries) and one EngineSnapshot union
+// carries whichever snapshot the selected engine produced. The durable
+// on-disk format lives in internal/ckpt; this layer only decides which
+// engine speaks and translates verdicts.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/reach"
+)
+
+// ErrCkptUnsupported is returned when Options.Ckpt or Options.Resume is
+// set for an engine (or engine configuration) that cannot checkpoint:
+// only Exhaustive, GPO and GPOExplicit have deterministic boundary
+// snapshots; PartialOrder, Symbolic and Unfolding do not, and neither
+// does a custom cluster Explorer.
+var ErrCkptUnsupported = errors.New("verify: engine does not support checkpoint/resume")
+
+// CkptAction is a Checkpointer's verdict at an engine boundary.
+type CkptAction int
+
+const (
+	// CkptNone continues without checkpointing.
+	CkptNone CkptAction = iota
+	// CkptSave saves a snapshot and continues.
+	CkptSave
+	// CkptStop saves a snapshot and suspends the run: the check returns
+	// a partial Report with Checkpointed set (and no error), the way
+	// cooperative aborts return Aborted.
+	CkptStop
+)
+
+// Checkpointer enables checkpointing for checkpoint-capable engines.
+// Poll is consulted at every engine boundary — a BFS level boundary for
+// Exhaustive, a DFS step for the GPO engines — with the states-explored
+// count and the boundary coordinate; Save receives the snapshot when
+// Poll answers CkptSave or CkptStop. A Save error fails the check.
+type Checkpointer struct {
+	Poll func(states int, boundary int64) CkptAction
+	Save func(*EngineSnapshot) error
+}
+
+// EngineSnapshot is the union of the engines' snapshot types; exactly
+// one field is non-nil, matching the engine that produced it. Boundary
+// returns the engine-appropriate resume coordinate.
+type EngineSnapshot struct {
+	Reach *reach.Snapshot
+	Core  *core.Snapshot
+}
+
+// Boundary returns the snapshot's deterministic boundary coordinate:
+// the BFS level for exhaustive snapshots, the DFS step for GPO ones.
+func (s *EngineSnapshot) Boundary() int64 {
+	switch {
+	case s == nil:
+		return -1
+	case s.Reach != nil:
+		return int64(s.Reach.Levels)
+	case s.Core != nil:
+		return s.Core.Steps
+	}
+	return -1
+}
+
+// States returns the number of interned states in the snapshot.
+func (s *EngineSnapshot) States() int {
+	switch {
+	case s == nil:
+		return 0
+	case s.Reach != nil:
+		return len(s.Reach.States)
+	case s.Core != nil:
+		return s.Core.NumStates
+	}
+	return 0
+}
+
+// save is the nil-safe Save invocation.
+func (c *Checkpointer) save(sn *EngineSnapshot) error {
+	if c == nil || c.Save == nil {
+		return nil
+	}
+	return c.Save(sn)
+}
+
+// reachHook adapts the Checkpointer to the exhaustive engine.
+func (c *Checkpointer) reachHook() *reach.CkptHook {
+	if c == nil {
+		return nil
+	}
+	return &reach.CkptHook{
+		Poll: func(states, levels int) reach.CkptAction {
+			if c.Poll == nil {
+				return reach.CkptNone
+			}
+			switch c.Poll(states, int64(levels)) {
+			case CkptSave:
+				return reach.CkptSave
+			case CkptStop:
+				return reach.CkptStop
+			}
+			return reach.CkptNone
+		},
+		Save: func(sn *reach.Snapshot) error {
+			return c.save(&EngineSnapshot{Reach: sn})
+		},
+	}
+}
+
+// coreHook adapts the Checkpointer to the GPO engines.
+func (c *Checkpointer) coreHook() *core.CkptHook {
+	if c == nil {
+		return nil
+	}
+	return &core.CkptHook{
+		Poll: func(states int, steps int64) core.CkptAction {
+			if c.Poll == nil {
+				return core.CkptNone
+			}
+			switch c.Poll(states, steps) {
+			case CkptSave:
+				return core.CkptSave
+			case CkptStop:
+				return core.CkptStop
+			}
+			return core.CkptNone
+		},
+		Save: func(sn *core.Snapshot) error {
+			return c.save(&EngineSnapshot{Core: sn})
+		},
+	}
+}
+
+// validateCkpt gates checkpoint/resume to the configurations whose
+// boundaries are deterministic, keeping the unsupported combinations a
+// typed, pre-flight error instead of a mid-run surprise.
+func (o Options) validateCkpt() error {
+	if o.Ckpt == nil && o.Resume == nil {
+		return nil
+	}
+	switch o.Engine {
+	case Exhaustive, GPO, GPOExplicit:
+	default:
+		return fmt.Errorf("%w: %s", ErrCkptUnsupported, o.Engine)
+	}
+	if o.Explorer != nil {
+		return fmt.Errorf("%w: custom Explorer", ErrCkptUnsupported)
+	}
+	if o.Resume != nil {
+		wantReach := o.Engine == Exhaustive
+		if wantReach && o.Resume.Reach == nil || !wantReach && o.Resume.Core == nil {
+			return fmt.Errorf("%w: resume snapshot does not match engine %s", ErrCkptUnsupported, o.Engine)
+		}
+	}
+	return nil
+}
+
+// Checkpointable reports (pre-flight) whether this option set could run
+// under a Checkpointer: the jobs layer uses it to reject unsupported
+// submissions with a client error instead of a mid-run surprise.
+func (o Options) Checkpointable() error {
+	probe := o
+	probe.Ckpt = &Checkpointer{}
+	probe.Resume = nil
+	return probe.validateCkpt()
+}
+
+// resumeReach returns the exhaustive-engine snapshot to resume from,
+// nil when starting fresh.
+func (o Options) resumeReach() *reach.Snapshot {
+	if o.Resume == nil {
+		return nil
+	}
+	return o.Resume.Reach
+}
+
+// resumeCore returns the GPO-engine snapshot to resume from, nil when
+// starting fresh.
+func (o Options) resumeCore() *core.Snapshot {
+	if o.Resume == nil {
+		return nil
+	}
+	return o.Resume.Core
+}
+
+// ckptStopped reports whether an engine error is a clean checkpoint
+// suspension rather than a failure.
+func ckptStopped(err error) bool {
+	return errors.Is(err, reach.ErrCheckpointStop) || errors.Is(err, core.ErrCheckpointStop)
+}

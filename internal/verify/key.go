@@ -64,15 +64,28 @@ func AppendNetKey(b []byte, n *petri.Net) []byte {
 	return b
 }
 
+// RunKeyFormat versions the RunKey encoding itself. It is folded into
+// every hash, so a deliberate change to how keys are computed (new
+// result-determining option, reordered encoding) is made by bumping
+// this constant: every RunID changes at once and stale cache lines,
+// ledger entries and checkpoints can never collide with keys of the
+// new scheme. TestRunKeyGolden pins the current values and explains
+// the bump procedure in its failure message.
+const RunKeyFormat = 2
+
 // RunKey hashes the net, the check, and the options that determine the
 // result. Workers is excluded: the parallel exhaustive explorer is
 // bit-identical to the sequential one (DESIGN.md D6), so both share one
 // content address. Timeouts and contexts are excluded because aborted
 // results are never cached and a run's identity should not depend on
-// where a deadline happened to land. bad must be sorted by the caller
-// (the server sorts during request resolution).
+// where a deadline happened to land. Ckpt and Resume are excluded
+// because a resumed run computes exactly what the uninterrupted run
+// would have — the checkpoint is keyed by the same RunKey it resumes.
+// bad must be sorted by the caller (the server sorts during request
+// resolution).
 func RunKey(n *petri.Net, check string, bad []petri.Place, o Options) Key {
 	b := make([]byte, 0, 1024)
+	b = binary.AppendUvarint(b, RunKeyFormat)
 	b = AppendNetKey(b, n)
 	b = appendString(b, check)
 	b = binary.AppendUvarint(b, uint64(len(bad)))

@@ -1,0 +1,78 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/petri"
+)
+
+// TestRunKeyGolden pins the RunKey encoding to golden values across the
+// option surface. The RunID is a durable identity: it keys the gpod
+// result cache, the run ledger, the cluster result tier and the ckpt/v1
+// checkpoint header, so an ACCIDENTAL change to the encoding (a
+// reordered field, a new option folded in without a version bump)
+// silently disconnects every stored artifact from its run. This test
+// makes such a change loud.
+//
+// To change the encoding DELIBERATELY: bump RunKeyFormat in key.go,
+// re-generate the golden values below (the failure output prints the
+// new ones), and note the bump in CHANGES.md — old cache lines, ledger
+// entries and checkpoints then refuse to match under the new scheme
+// instead of colliding with it, which is the intended migration.
+func TestRunKeyGolden(t *testing.T) {
+	fig7 := models.Fig7()
+	nsdp := models.NSDP(3)
+	eat0, _ := nsdp.PlaceByName("eat0")
+	eat1, _ := nsdp.PlaceByName("eat1")
+	bad := []petri.Place{eat0, eat1}
+
+	cases := []struct {
+		label string
+		net   *petri.Net
+		check string
+		bad   []petri.Place
+		opts  Options
+		want  string
+	}{
+		{"fig7/deadlock/exhaustive", fig7, "deadlock", nil, Options{Engine: Exhaustive}, "r7b36865fc837d191b8a54790"},
+		{"fig7/deadlock/gpo", fig7, "deadlock", nil, Options{Engine: GPO}, "r47f7b9ace18b3ae5acc0be3a"},
+		{"fig7/deadlock/gpo-explicit", fig7, "deadlock", nil, Options{Engine: GPOExplicit}, "r79fc4c2a3cd1681a49e39be2"},
+		{"fig7/deadlock/partial-order", fig7, "deadlock", nil, Options{Engine: PartialOrder}, "r123fdb66576330fe50aa12a3"},
+		{"fig7/deadlock/symbolic", fig7, "deadlock", nil, Options{Engine: Symbolic}, "r559787d2ef472d2401597977"},
+		{"fig7/deadlock/unfolding", fig7, "deadlock", nil, Options{Engine: Unfolding}, "rd6fcada242137323477b7ef2"},
+		{"fig7/deadlock/stop-at-first", fig7, "deadlock", nil, Options{Engine: Exhaustive, StopAtFirst: true}, "re8a4af3b53dcec2cef658412"},
+		{"fig7/deadlock/proviso", fig7, "deadlock", nil, Options{Engine: PartialOrder, Proviso: true}, "rf5faeae9967533500902c313"},
+		{"fig7/deadlock/reduce", fig7, "deadlock", nil, Options{Engine: Exhaustive, Reduce: true}, "r547d485285ee8f05e5eeb751"},
+		{"fig7/deadlock/max-states", fig7, "deadlock", nil, Options{Engine: Exhaustive, MaxStates: 1000}, "ra0e7ce4e6dcda80d88302037"},
+		{"fig7/deadlock/max-nodes", fig7, "deadlock", nil, Options{Engine: Symbolic, MaxNodes: 4096}, "r09466dbd20d501e58b6d30f9"},
+		{"nsdp3/safety/gpo", nsdp, "safety", bad, Options{Engine: GPO}, "r6a83f0f2b905f6aff7190b90"},
+		{"nsdp3/safety/exhaustive", nsdp, "safety", bad, Options{Engine: Exhaustive}, "ra1ad4a099d539ca0ef07b785"},
+	}
+	for _, tc := range cases {
+		if got := RunID(tc.net, tc.check, tc.bad, tc.opts); got != tc.want {
+			t.Errorf("%s: RunID = %q, want %q\n"+
+				"The RunKey encoding changed. If this is deliberate, bump RunKeyFormat in key.go,\n"+
+				"replace the golden values in this test with the new RunIDs (printed above), and\n"+
+				"record the format bump in CHANGES.md. If it is not deliberate, the change would\n"+
+				"orphan every cached result, ledger entry and checkpoint — undo it.",
+				tc.label, got, tc.want)
+		}
+	}
+
+	// Workers is a runtime knob, not an identity: the parallel explorer
+	// is bit-identical to the sequential one (DESIGN.md D6), so both
+	// share one cache line and one checkpoint key.
+	seq := RunID(fig7, "deadlock", nil, Options{Engine: Exhaustive})
+	par := RunID(fig7, "deadlock", nil, Options{Engine: Exhaustive, Workers: 8})
+	if seq != par {
+		t.Errorf("Workers changed the RunID (%s != %s); it must stay excluded", seq, par)
+	}
+	// Ckpt and Resume are excluded too: a resumed run computes exactly
+	// what the uninterrupted run would have.
+	ck := RunID(fig7, "deadlock", nil, Options{Engine: Exhaustive,
+		Ckpt: &Checkpointer{}, Resume: &EngineSnapshot{}})
+	if seq != ck {
+		t.Errorf("Ckpt/Resume changed the RunID (%s != %s); they must stay excluded", seq, ck)
+	}
+}

@@ -28,7 +28,7 @@ func checkDeadlockReduced(n *petri.Net, opts Options) (*Report, error) {
 	rep.Net = n.Name()
 	rep.PlacesRemoved = cert.PlacesRemoved()
 	rep.TransRemoved = cert.TransRemoved()
-	if !rep.Aborted {
+	if !rep.Aborted && !rep.Checkpointed {
 		rep.Witness = cert.ExpandMarking(rep.Witness)
 	}
 	rep.Elapsed = time.Since(start)
@@ -64,7 +64,7 @@ func checkSafetyReduced(n *petri.Net, bad []petri.Place, opts Options) (*Report,
 	rep.Net = n.Name()
 	rep.PlacesRemoved = cert.PlacesRemoved()
 	rep.TransRemoved = cert.TransRemoved()
-	if rep.Witness != nil && !rep.Aborted {
+	if rep.Witness != nil && !rep.Aborted && !rep.Checkpointed {
 		switch opts.Engine {
 		case Exhaustive, Symbolic:
 			// The witness is a reachable reduced marking with the bad

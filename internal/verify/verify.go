@@ -125,6 +125,21 @@ type Options struct {
 	// computed, never what it is — so it does not participate in RunKey.
 	// The cluster explorer (internal/cluster) is the intended value.
 	Explorer func(n *petri.Net, bad []petri.Place, o reach.Options) (*reach.Result, error)
+	// Ckpt, if non-nil, enables checkpointing on the checkpoint-capable
+	// engines (Exhaustive, GPO, GPOExplicit): the Checkpointer is polled
+	// at every engine boundary and may save a snapshot or suspend the
+	// run (the check then returns a partial Report with Checkpointed
+	// set). Other engines reject it with ErrCkptUnsupported. Like
+	// Metrics and Trace, checkpointing only observes and suspends — it
+	// never changes what an uninterrupted run computes, so it does not
+	// participate in RunKey.
+	Ckpt *Checkpointer
+	// Resume, if non-nil, restores the check from an engine snapshot
+	// instead of starting fresh; the snapshot's engine must match
+	// Options.Engine (for safety checks on monitoring engines it is a
+	// snapshot of the deterministic monitored net). The resumed run's
+	// Report is bit-identical to the uninterrupted run's.
+	Resume *EngineSnapshot
 }
 
 // Report is the engine-comparable outcome of a check.
@@ -142,6 +157,11 @@ type Report struct {
 	// partial account of the exploration up to the cancellation point and
 	// the verdict fields (Deadlock, Witness) are not meaningful.
 	Aborted bool
+	// Checkpointed marks a check suspended cleanly by Options.Ckpt
+	// (CkptStop): a snapshot was saved at the stop boundary and the
+	// statistics are a partial account up to it. Like Aborted, the
+	// verdict fields are not final.
+	Checkpointed bool
 	// PlacesRemoved and TransRemoved record what the Options.Reduce
 	// pre-pass removed (both zero when reduction is off or nothing
 	// applied).
@@ -194,6 +214,9 @@ func CheckDeadlock(n *petri.Net, opts Options) (*Report, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	if err := opts.validateCkpt(); err != nil {
+		return nil, err
+	}
 	if opts.Reduce {
 		return checkDeadlockReduced(n, opts)
 	}
@@ -209,6 +232,8 @@ func CheckDeadlock(n *petri.Net, opts Options) (*Report, error) {
 			Metrics:        opts.Metrics,
 			Progress:       opts.Progress,
 			Trace:          opts.Trace,
+			Ckpt:           opts.Ckpt.reachHook(),
+			Resume:         opts.resumeReach(),
 		}
 		explore := reach.Explore
 		if opts.Explorer != nil {
@@ -217,10 +242,11 @@ func CheckDeadlock(n *petri.Net, opts Options) (*Report, error) {
 			}
 		}
 		res, err := explore(n, ro)
-		if err != nil && !(aborted(err) && res != nil) {
+		if err != nil && !((aborted(err) || ckptStopped(err)) && res != nil) {
 			return nil, err
 		}
-		rep.Aborted = err != nil
+		rep.Checkpointed = ckptStopped(err)
+		rep.Aborted = err != nil && !rep.Checkpointed
 		rep.Deadlock = res.Deadlock
 		rep.States = res.States
 		rep.Complete = res.Complete
@@ -276,11 +302,14 @@ func CheckDeadlock(n *petri.Net, opts Options) (*Report, error) {
 			Metrics:        opts.Metrics,
 			Progress:       opts.Progress,
 			Trace:          opts.Trace,
+			Ckpt:           opts.Ckpt.coreHook(),
+			Resume:         opts.resumeCore(),
 		})
-		if err != nil && !(aborted(err) && res != nil) {
+		if err != nil && !((aborted(err) || ckptStopped(err)) && res != nil) {
 			return nil, err
 		}
-		rep.Aborted = err != nil
+		rep.Checkpointed = ckptStopped(err)
+		rep.Aborted = err != nil && !rep.Checkpointed
 		fillGPO(rep, res)
 	case GPOExplicit:
 		e, err := core.NewEngine[*family.Family](n, family.NewAlgebra(n.NumTrans()))
@@ -294,11 +323,14 @@ func CheckDeadlock(n *petri.Net, opts Options) (*Report, error) {
 			Metrics:        opts.Metrics,
 			Progress:       opts.Progress,
 			Trace:          opts.Trace,
+			Ckpt:           opts.Ckpt.coreHook(),
+			Resume:         opts.resumeCore(),
 		})
-		if err != nil && !(aborted(err) && res != nil) {
+		if err != nil && !((aborted(err) || ckptStopped(err)) && res != nil) {
 			return nil, err
 		}
-		rep.Aborted = err != nil
+		rep.Checkpointed = ckptStopped(err)
+		rep.Aborted = err != nil && !rep.Checkpointed
 		fillGPO(rep, res)
 	case Unfolding:
 		px, err := unfold.Build(n, unfold.Options{
@@ -349,6 +381,9 @@ func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error)
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	if err := opts.validateCkpt(); err != nil {
+		return nil, err
+	}
 	if opts.Reduce {
 		return checkSafetyReduced(n, bad, opts)
 	}
@@ -373,6 +408,8 @@ func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error)
 			Metrics:   opts.Metrics,
 			Progress:  opts.Progress,
 			Trace:     opts.Trace,
+			Ckpt:      opts.Ckpt.reachHook(),
+			Resume:    opts.resumeReach(),
 		}
 		explore := reach.Explore
 		if opts.Explorer != nil {
@@ -381,10 +418,11 @@ func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error)
 			}
 		}
 		res, err := explore(n, ro)
-		if err != nil && !(aborted(err) && res != nil) {
+		if err != nil && !((aborted(err) || ckptStopped(err)) && res != nil) {
 			return nil, err
 		}
-		rep.Aborted = err != nil
+		rep.Checkpointed = ckptStopped(err)
+		rep.Aborted = err != nil && !rep.Checkpointed
 		rep.Deadlock = res.BadFound
 		rep.States = res.States
 		rep.Complete = res.Complete
@@ -480,6 +518,8 @@ func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error)
 			Metrics:        opts.Metrics,
 			Progress:       opts.Progress,
 			Trace:          opts.Trace,
+			Ckpt:           opts.Ckpt.coreHook(),
+			Resume:         opts.resumeCore(),
 		}
 		var res *core.Result
 		if opts.Engine == GPO {
@@ -488,20 +528,22 @@ func CheckSafety(n *petri.Net, bad []petri.Place, opts Options) (*Report, error)
 				return nil, err
 			}
 			res, _, err = e.Analyze(copts)
-			if err != nil && !(aborted(err) && res != nil) {
+			if err != nil && !((aborted(err) || ckptStopped(err)) && res != nil) {
 				return nil, err
 			}
-			rep.Aborted = err != nil
+			rep.Checkpointed = ckptStopped(err)
+			rep.Aborted = err != nil && !rep.Checkpointed
 		} else {
 			e, err := core.NewEngine[*family.Family](mon, family.NewAlgebra(mon.NumTrans()))
 			if err != nil {
 				return nil, err
 			}
 			res, _, err = e.Analyze(copts)
-			if err != nil && !(aborted(err) && res != nil) {
+			if err != nil && !((aborted(err) || ckptStopped(err)) && res != nil) {
 				return nil, err
 			}
-			rep.Aborted = err != nil
+			rep.Checkpointed = ckptStopped(err)
+			rep.Aborted = err != nil && !rep.Checkpointed
 		}
 		fillGPO(rep, res)
 	}

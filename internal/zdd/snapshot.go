@@ -1,0 +1,148 @@
+package zdd
+
+// Checkpoint support: serializing the subset of the unique table
+// reachable from a set of live roots (the place/valid-set families of
+// the GPO engine's interned states) and rebuilding it on another
+// manager. Node ids are not stable across managers — the unique table
+// interns in creation order — so the encoding renumbers reachable
+// internal nodes 2,3,… in ascending old-id order (children are created
+// before parents, so every child reference points backwards) and the
+// decoder replays them through mk, which re-canonicalizes on the target
+// manager. Anything keyed by node id (the core engine's state index)
+// must therefore be rebuilt after a restore; the families themselves
+// are reproduced exactly.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrBadSnapshot is wrapped by every decode failure: a truncated,
+// corrupt or wrong-universe family snapshot.
+var ErrBadSnapshot = errors.New("zdd: bad family snapshot")
+
+// EncodeFamilies serializes the families rooted at roots into a
+// self-contained blob: universe size, the reachable internal nodes in
+// renumbered topological order, and one renumbered reference per root.
+// Duplicate roots cost one reference each, not a re-encoding.
+func (a *Alg) EncodeFamilies(roots []Node) []byte {
+	m := a.m
+	reach := make(map[Node]bool)
+	var mark func(Node)
+	mark = func(n Node) {
+		if n <= Top || reach[n] {
+			return
+		}
+		reach[n] = true
+		mark(m.nodes[n].lo)
+		mark(m.nodes[n].hi)
+	}
+	for _, r := range roots {
+		mark(r)
+	}
+	order := make([]Node, 0, len(reach))
+	for n := range reach {
+		order = append(order, n)
+	}
+	// Ascending old id is a topological order: mk appends nodes after
+	// their children, so lo/hi always reference smaller ids.
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	renum := make(map[Node]uint64, len(order)+2)
+	renum[Bot], renum[Top] = 0, 1
+	for i, n := range order {
+		renum[n] = uint64(i + 2)
+	}
+	b := binary.AppendUvarint(nil, uint64(m.n))
+	b = binary.AppendUvarint(b, uint64(len(order)))
+	for _, n := range order {
+		nd := m.nodes[n]
+		b = binary.AppendUvarint(b, uint64(nd.level))
+		b = binary.AppendUvarint(b, renum[nd.lo])
+		b = binary.AppendUvarint(b, renum[nd.hi])
+	}
+	b = binary.AppendUvarint(b, uint64(len(roots)))
+	for _, r := range roots {
+		b = binary.AppendUvarint(b, renum[r])
+	}
+	return b
+}
+
+// DecodeFamilies rebuilds the families of an EncodeFamilies blob on this
+// algebra's manager and returns the root nodes in encoding order. The
+// nodes are replayed through the canonicalizing constructor, so decoding
+// onto a non-empty manager is sound (existing equal nodes are reused);
+// structural violations — universe mismatch, out-of-range level, forward
+// or zero-suppression-violating child references — are rejected with an
+// error wrapping ErrBadSnapshot.
+func (a *Alg) DecodeFamilies(blob []byte) ([]Node, error) {
+	m := a.m
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(blob)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: truncated", ErrBadSnapshot)
+		}
+		blob = blob[n:]
+		return v, nil
+	}
+	u, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if int(u) != m.n {
+		return nil, fmt.Errorf("%w: universe %d, manager has %d", ErrBadSnapshot, u, m.n)
+	}
+	cnt, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if cnt > uint64(len(blob)) { // ≥1 byte per field; cheap pre-allocation guard
+		return nil, fmt.Errorf("%w: node count %d exceeds payload", ErrBadSnapshot, cnt)
+	}
+	ids := make([]Node, cnt+2)
+	ids[0], ids[1] = Bot, Top
+	for i := uint64(0); i < cnt; i++ {
+		level, err := next()
+		if err != nil {
+			return nil, err
+		}
+		lo, err := next()
+		if err != nil {
+			return nil, err
+		}
+		hi, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if level >= uint64(m.n) {
+			return nil, fmt.Errorf("%w: node %d level %d out of range", ErrBadSnapshot, i, level)
+		}
+		if lo >= i+2 || hi >= i+2 {
+			return nil, fmt.Errorf("%w: node %d references a later node", ErrBadSnapshot, i)
+		}
+		if hi == 0 {
+			return nil, fmt.Errorf("%w: node %d violates zero-suppression (hi = Bot)", ErrBadSnapshot, i)
+		}
+		ids[i+2] = m.mk(int32(level), ids[lo], ids[hi])
+	}
+	nr, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if nr > uint64(len(blob))+1 {
+		return nil, fmt.Errorf("%w: root count %d exceeds payload", ErrBadSnapshot, nr)
+	}
+	roots := make([]Node, nr)
+	for i := range roots {
+		ref, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if ref >= uint64(len(ids)) {
+			return nil, fmt.Errorf("%w: root %d out of range", ErrBadSnapshot, i)
+		}
+		roots[i] = ids[ref]
+	}
+	return roots, nil
+}

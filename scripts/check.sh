@@ -32,10 +32,13 @@ go run ./cmd/gpotrace "$TRACE_TMP/t.jsonl" | grep -q 'states:'
 go test -run '^$' -bench BenchmarkProgressPublishNoSubscribers -benchtime=1x ./internal/obs |
 	tee /dev/stderr | grep -q 'BenchmarkProgressPublishNoSubscribers.* 0 allocs/op'
 # Fuzz smoke: 5 seconds of FuzzParse against the hardened pnio parser,
-# and 5 seconds of FuzzFrameRoundTrip against the cluster frame codec
-# (the bytes every peer accepts from the network).
+# 5 seconds of FuzzFrameRoundTrip against the cluster frame codec
+# (the bytes every peer accepts from the network), and 5 seconds of
+# FuzzCkptRead against the ckpt/v1 checkpoint reader (the bytes a
+# restarted daemon trusts enough to resume from).
 go test -fuzz=FuzzParse -fuzztime=5s -run '^$' ./internal/pnio
 go test -fuzz=FuzzFrameRoundTrip -fuzztime=5s -run '^$' ./internal/cluster
+go test -fuzz=FuzzCkptRead -fuzztime=5s -run '^$' ./internal/ckpt
 # Ledger round-trip smoke: two gpoverify runs journal under the same
 # content-addressed run ID, gpostat -history reconstructs one group of
 # two runs from the journal, and repeated reads are deterministic.
@@ -73,3 +76,16 @@ go run ./cmd/gpostat -history -ledger "$TRACE_TMP/gpod-runs.jsonl" | grep -q 'NS
 # from the shared result tier with zero re-exploration anywhere.
 go run ./cmd/gpod -cluster-smoke -cluster-smoke-out "$TRACE_TMP/cluster.json"
 grep -q '"recomputed_states": 0' "$TRACE_TMP/cluster.json"
+# Durable-jobs smoke: submit an async job, kill the daemon after its
+# first checkpoint, restart over the same directory, auto-resume, and
+# require the resumed verdict to be identical to a fresh uninterrupted
+# run (DESIGN.md D11).
+go run ./cmd/gpod -jobs-smoke
+# Replay smoke: suspend a run at a checkpoint, then re-execute the
+# prefix deterministically — bit-identical snapshot, same event stream,
+# and event counts matching the suspended run's own flight recorder.
+go run ./cmd/gpoverify -model nsdp -size 6 -engine exhaustive \
+	-ckpt "$TRACE_TMP/nsdp6.ckpt" -ckpt-states 500 \
+	-trace "$TRACE_TMP/suspend.trace.jsonl" | grep -q 'suspended'
+go run ./cmd/gpoverify -replay "$TRACE_TMP/nsdp6.ckpt" \
+	-trace-ref "$TRACE_TMP/suspend.trace.jsonl" | grep -q 'replay: OK'
