@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the tier-1+ gate (see ROADMAP.md).
 
-.PHONY: check test serve watch cluster-smoke jobs-smoke bench-micro bench-artifact benchdiff
+.PHONY: check test serve watch cluster-smoke jobs-smoke trace-smoke bench-micro bench-artifact benchdiff
 
 check:
 	./scripts/check.sh
@@ -32,6 +32,13 @@ cluster-smoke:
 # (same check runs inside `make check`; see DESIGN.md D11).
 jobs-smoke:
 	go run ./cmd/gpod -jobs-smoke
+
+# Distributed-tracing self-check: a traced 3-peer loopback cluster run,
+# fleet bundle fetched from GET /v1/runs/{id}/trace, merged timeline
+# reconstructing exactly the fleet-wide state count, attribution table
+# rendered (same check runs inside `make check`).
+trace-smoke:
+	go run ./cmd/gpod -trace-smoke
 
 # Microbenchmarks of the GPO hot path: ZDD primitive ops and full
 # Analyze runs, with allocation counts (b.ReportAllocs).

@@ -90,6 +90,7 @@ func main() {
 		ledgerPath = flag.String("ledger", "", "append one ledger/v1 JSONL entry per executed verification to this file (backs GET /v1/runs history)")
 		traceDump  = flag.String("trace-dump", "", "write aborted requests' flight-recorder tails to <dir>/<request-id>.trace.jsonl")
 		traceCap   = flag.Int("trace-events", 0, "per-track ring capacity of per-request traces (0 = default)")
+		traceRuns  = flag.Int("trace-runs", 0, "retain the last N runs' flight-recorder dumps in memory and serve them on GET /v1/runs/{id}/trace (0 disables)")
 		smoke      = flag.Bool("smoke", false, "start on a random port, run one self-check request, shut down")
 		jobsDir    = flag.String("jobs", "", "enable durable jobs (POST /v1/jobs): journal and checkpoints live in this directory")
 		ckptEvery  = flag.Duration("ckpt-interval", 0, "auto-checkpoint running jobs this often (0 = 30s default, negative disables)")
@@ -100,6 +101,8 @@ func main() {
 		selfURL    = flag.String("self", "", "this node's own base URL, one of -peers")
 		clusterSmk = flag.Bool("cluster-smoke", false, "boot a 3-peer loopback cluster, check bit-identical distributed results and the shared result tier, exit")
 		clusterOut = flag.String("cluster-smoke-out", "", "write the cluster smoke's JSON artifact to this file ('-' = stdout)")
+		traceSmk   = flag.Bool("trace-smoke", false, "boot a 3-peer loopback cluster with tracing on, fetch and merge the fleet trace bundle, check it reconstructs the run, exit")
+		traceOut   = flag.String("trace-smoke-out", "", "write the trace smoke's bundle artifact to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -112,6 +115,7 @@ func main() {
 		CacheBytes:      *cacheBytes,
 		Reduce:          *reduceNet,
 		TraceEvents:     *traceCap,
+		TraceRuns:       *traceRuns,
 		CkptInterval:    *ckptEvery,
 		CkptEveryStates: *ckptStates,
 	}
@@ -167,6 +171,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("gpod: cluster smoke ok")
+		return
+	}
+	if *traceSmk {
+		if err := runTraceSmoke(cfg, *traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Println("gpod: trace smoke ok")
 		return
 	}
 	if *peersList != "" || *selfURL != "" {

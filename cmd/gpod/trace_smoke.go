@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// runTraceSmoke boots a 3-peer loopback cluster with trace retention
+// on, runs one distributed verification, fetches the fleet trace bundle
+// from GET /v1/runs/{id}/trace, and checks the distributed-tracing
+// contract end to end: the bundle carries the coordinator plus every
+// peer's node-side slice, the merged timeline reconstructs exactly the
+// fleet's reach.states state count, no coordinator-involving wire edge
+// runs backwards after clock alignment, and the per-level attribution
+// table renders. The raw bundle is written to outPath so the CI gate
+// can feed it straight to `gpotrace -merge`.
+func runTraceSmoke(cfg server.Config, outPath string) error {
+	const nPeers = 3
+	listeners := make([]net.Listener, nPeers)
+	peers := make([]string, nPeers)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		listeners[i] = l
+		peers[i] = "http://" + l.Addr().String()
+	}
+	regs := make([]*obs.Registry, nPeers)
+	svcs := make([]*server.Server, nPeers)
+	srvs := make([]*http.Server, nPeers)
+	for i := range peers {
+		regs[i] = obs.New()
+		nd, err := cluster.New(cluster.Config{Self: peers[i], Peers: peers, Metrics: regs[i]})
+		if err != nil {
+			return err
+		}
+		c := cfg
+		c.Metrics = regs[i]
+		c.Cluster = nd
+		c.Ledger = nil
+		if c.TraceRuns <= 0 {
+			c.TraceRuns = 4
+		}
+		svcs[i] = server.New(c)
+		srvs[i] = &http.Server{Handler: svcs[i].Handler()}
+		go srvs[i].Serve(listeners[i]) //nolint:errcheck
+	}
+	defer func() {
+		for i := range srvs {
+			srvs[i].Close()
+			svcs[i].Close()
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	fleetStates := func() int64 {
+		var sum int64
+		for _, reg := range regs {
+			sum += reg.Snapshot().Counters["reach.states"]
+		}
+		return sum
+	}
+	before := fleetStates()
+
+	resp, err := client.New(peers[0], nil).Verify(ctx, &server.Request{
+		Model: "nsdp", Size: 6,
+		Engine: "exhaustive", Cluster: true,
+		TimeoutMS: time.Minute.Milliseconds(),
+	})
+	if err != nil {
+		return fmt.Errorf("traced cluster run: %w", err)
+	}
+	if resp.Status != server.StatusOK || !resp.Complete {
+		return fmt.Errorf("traced cluster run: status=%s complete=%v", resp.Status, resp.Complete)
+	}
+	if resp.RunID == "" {
+		return fmt.Errorf("traced cluster run: response carries no run_id")
+	}
+	explored := fleetStates() - before
+
+	// Fetch the fleet bundle from the coordinator.
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peers[0]+"/v1/runs/"+resp.RunID+"/trace", nil)
+	if err != nil {
+		return err
+	}
+	hr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("GET trace: %w", err)
+	}
+	raw, err := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	if err != nil || hr.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET trace: code=%d err=%v", hr.StatusCode, err)
+	}
+
+	b, err := trace.ReadBundle(bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("trace bundle: %w", err)
+	}
+	// Coordinator recorder + each peer's node-side slice (the
+	// coordinating process worked its own shard too, so its node dump is
+	// a separate entry on the same clock).
+	if len(b.Peers) != nPeers+1 {
+		return fmt.Errorf("trace bundle: %d entries, want %d (coordinator + %d peers)", len(b.Peers), nPeers+1, nPeers)
+	}
+	m, err := trace.Merge(b)
+	if err != nil {
+		return fmt.Errorf("trace merge: %w", err)
+	}
+	if m.States != int64(resp.States) {
+		return fmt.Errorf("merged timeline reconstructs %d states, response says %d", m.States, resp.States)
+	}
+	if explored != int64(resp.States) {
+		return fmt.Errorf("fleet reach.states delta = %d, response says %d", explored, resp.States)
+	}
+	coord := 0
+	for i := range m.Peers {
+		if m.Peers[i].Coordinator {
+			coord = i
+		}
+	}
+	negative := 0
+	for _, e := range m.Edges {
+		if (e.From == coord || e.To == coord) && e.EndNS < e.StartNS {
+			negative++
+		}
+	}
+	if negative > 0 {
+		return fmt.Errorf("%d coordinator-involving wire edges run backwards after alignment", negative)
+	}
+	if len(m.Levels) == 0 {
+		return fmt.Errorf("merged timeline has no level attribution")
+	}
+	var table strings.Builder
+	m.WriteText(&table)
+	if !strings.Contains(table.String(), "slowest") {
+		return fmt.Errorf("attribution table did not render:\n%s", table.String())
+	}
+	fmt.Printf("gpod: traced cluster nsdp(6): %d states reconstructed from %d dumps, %d wire edges, %d levels attributed\n",
+		m.States, len(b.Peers), len(m.Edges), len(m.Levels))
+	fmt.Print(table.String())
+
+	if outPath != "" {
+		if outPath == "-" {
+			_, err = os.Stdout.Write(raw)
+		} else {
+			err = os.WriteFile(outPath, raw, 0o644)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -118,6 +118,15 @@ func printHistory(path string, pat *regexp.Regexp) error {
 		fmt.Println("gpostat: no matching ledger entries")
 		return nil
 	}
+	// Configurations with at least one retained flight-recorder dump
+	// (single-node TracePath or cluster TracePeers) get a trace marker,
+	// so history answers "can I pull a timeline for this?" at a glance.
+	traced := make(map[string]bool)
+	for _, e := range entries {
+		if e.TracePath != "" || len(e.TracePeers) > 0 {
+			traced[groupKey(e.Net, e.Engine, e.Check)] = true
+		}
+	}
 	fmt.Printf("%-12s %-22s %-9s %5s %5s %12s %10s %10s %12s\n",
 		"net", "engine", "check", "runs", "abort", "states", "median", "p90", "states/s")
 	for _, g := range ledger.Summarize(entries) {
@@ -130,9 +139,13 @@ func printHistory(path string, pat *regexp.Regexp) error {
 		case g.Completed == 0:
 			states = "-"
 		}
-		fmt.Printf("%-12s %-22s %-9s %5d %5d %12s %10s %10s %12.0f\n",
+		mark := ""
+		if traced[groupKey(g.Net, g.Engine, g.Check)] {
+			mark = " trace=yes"
+		}
+		fmt.Printf("%-12s %-22s %-9s %5d %5d %12s %10s %10s %12.0f%s\n",
 			g.Net, g.Engine, g.Check, g.Runs, g.Aborted, states,
-			fmtDur(g.MedianWallNS), fmtDur(g.P90WallNS), g.StatesPerSec)
+			fmtDur(g.MedianWallNS), fmtDur(g.P90WallNS), g.StatesPerSec, mark)
 		for _, o := range g.Outliers {
 			fmt.Printf("  outlier %s: wall %s (> 2x median %s) at %s\n",
 				o.RunID, fmtDur(o.WallNS), fmtDur(g.MedianWallNS),

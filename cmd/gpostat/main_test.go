@@ -2,11 +2,17 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/obs/ledger"
 )
 
 // TestRetryInCapped pins the -follow reconnect backoff: exponential in
@@ -62,5 +68,65 @@ func TestFollowOnceSemantics(t *testing.T) {
 	ts.Close()
 	if err := followRuns([]string{ts.URL}, "", nil, time.Millisecond, true); err == nil {
 		t.Fatal("follow -once against dead daemon should error")
+	}
+}
+
+// TestHistoryTraceMarker: configurations with at least one traced run
+// (cluster TracePeers or a single-node TracePath) carry the trace=yes
+// marker in -history output; untraced configurations stay unmarked.
+func TestHistoryTraceMarker(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "runs.jsonl")
+	lg, err := ledger.Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ledger.Entry{
+		Schema: ledger.Schema, Source: "gpod", Check: "deadlock",
+		Status: "ok", Complete: true, States: 322,
+		StartUnixNS: 1, EndUnixNS: 2, WallNS: 1e6,
+	}
+	traced := base
+	traced.RunID, traced.Net, traced.Engine = "r1", "NSDP(4)", "exhaustive"
+	traced.TracePeers = []string{"http://p0/v1/runs/r1/trace", "http://p1/v1/runs/r1/trace"}
+	plain := base
+	plain.RunID, plain.Net, plain.Engine = "r2", "RW(6)", "gpo"
+	for _, e := range []ledger.Entry{traced, plain} {
+		if err := lg.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lg.Close()
+
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	histErr := printHistory(path, nil)
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if histErr != nil {
+		t.Fatalf("printHistory: %v", histErr)
+	}
+	var nsdpLine, rwLine string
+	for _, line := range strings.Split(string(out), "\n") {
+		if strings.HasPrefix(line, "NSDP(4)") {
+			nsdpLine = line
+		}
+		if strings.HasPrefix(line, "RW(6)") {
+			rwLine = line
+		}
+	}
+	if !strings.HasSuffix(nsdpLine, "trace=yes") {
+		t.Errorf("traced group line lacks trace=yes marker: %q", nsdpLine)
+	}
+	if rwLine == "" || strings.Contains(rwLine, "trace=yes") {
+		t.Errorf("untraced group line wrong: %q", rwLine)
 	}
 }

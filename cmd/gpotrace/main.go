@@ -9,9 +9,19 @@
 //	gpotrace trace.json                # Chrome/Perfetto trace
 //	gpotrace -top 20 dump.trace.jsonl  # JSONL dump, longer table
 //	gpotrace -json trace.json          # machine-readable summary
+//	gpotrace -merge bundle.json        # fleet bundle: aligned timeline
+//	gpotrace -merge -o merged.json b.json  # + one Perfetto file, one
+//	                                       # track group per peer
 //
-// Both formats are auto-detected. The same files open visually in
-// Perfetto (ui.perfetto.dev) or chrome://tracing.
+// Both single-dump formats are auto-detected. -merge consumes the
+// bundle GET /v1/runs/{id}/trace serves for a traced cluster run:
+// peer clocks are aligned against the coordinator (RPC-midpoint offset
+// estimates, causally clamped against the matched frame send/recv
+// edges), and the output is the peer roster with applied offsets and
+// per-peer throughput followed by the per-level attribution table
+// (compute / serialize / wire / steal / stall shares of each level's
+// wall clock, with the slowest peer named). The same files open
+// visually in Perfetto (ui.perfetto.dev) or chrome://tracing.
 package main
 
 import (
@@ -28,6 +38,8 @@ func main() {
 		top     = flag.Int("top", 10, "rows in the top-transitions table")
 		asJSON  = flag.Bool("json", false, "print the summary as JSON instead of text")
 		summary = flag.Bool("summary", true, "print the summary (disable to just validate the file)")
+		merge   = flag.Bool("merge", false, "input is a fleet trace bundle (GET /v1/runs/{id}/trace): align peer clocks and print the attribution table")
+		outPath = flag.String("o", "", "with -merge: also write the aligned timeline as one Chrome/Perfetto JSON file")
 	)
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: gpotrace [flags] <trace-file>")
@@ -37,6 +49,33 @@ func main() {
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *merge {
+		b, err := trace.ReadBundleFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		m, err := trace.Merge(b)
+		if err != nil {
+			fatal(err)
+		}
+		m.WriteText(os.Stdout)
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := trace.WriteChromeMerged(f, b, m); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("merged timeline: %s (%d peers, %d wire edges)\n", *outPath, len(m.Peers), len(m.Edges))
+		}
+		return
 	}
 
 	d, err := trace.ReadFile(flag.Arg(0))

@@ -299,7 +299,7 @@ func (nd *Node) publishCacheStats() {
 func (nd *Node) AcquireResult(ctx context.Context, runKey string, wait time.Duration) ([]byte, bool, error) {
 	owner := nd.cache.owner(runKey)
 	body, _ := json.Marshal(cacheAcquireReq{Run: runKey, WaitMS: int(wait / time.Millisecond)})
-	resp, cancel, err := nd.post(ctx, owner, "/cluster/v1/cache/acquire", "", bytes.NewBuffer(body), "application/json")
+	resp, cancel, err := nd.post(ctx, owner, "/cluster/v1/cache/acquire", "", 0, bytes.NewBuffer(body), "application/json")
 	if err != nil {
 		return nil, false, err
 	}
@@ -336,7 +336,7 @@ func (nd *Node) ReleaseResult(runKey string) error {
 }
 
 func (nd *Node) postBody(owner int, path string, body []byte) error {
-	resp, cancel, err := nd.post(context.Background(), owner, path, "", bytes.NewBuffer(body), "application/json")
+	resp, cancel, err := nd.post(context.Background(), owner, path, "", 0, bytes.NewBuffer(body), "application/json")
 	if err != nil {
 		return err
 	}

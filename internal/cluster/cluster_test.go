@@ -232,7 +232,7 @@ func TestAssignLevelStealing(t *testing.T) {
 		level[i] = i
 		stateShard[i] = uint32(i % 40) // 40 distinct shards, all owned by peer 0
 	}
-	assign, steals := nd.assignLevel(level, stateShard)
+	assign, steals := nd.assignLevel(level, stateShard, nil, 0)
 	if steals == 0 {
 		t.Fatal("expected steals for a fully skewed level")
 	}
@@ -256,7 +256,7 @@ func TestAssignLevelStealing(t *testing.T) {
 	for i := range level {
 		stateShard[i] = uint32(i % reach.NumShards)
 	}
-	_, steals = nd.assignLevel(level, stateShard)
+	_, steals = nd.assignLevel(level, stateShard, nil, 0)
 	if steals != 0 {
 		t.Errorf("balanced level stole %d buckets", steals)
 	}

@@ -28,10 +28,12 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/obs/trace"
 	"repro/internal/petri"
 	"repro/internal/pnio"
 	"repro/internal/reach"
@@ -63,12 +65,27 @@ func (nd *Node) Explore(n *petri.Net, bad []petri.Place, o reach.Options) (*reac
 	jobID := fmt.Sprintf("j-%d-%d-%d", nd.self, time.Now().UnixNano(), nd.seq)
 	nd.mu.Unlock()
 
+	// Trace context: the content-addressed run ID (stamped into the
+	// tracer's meta by the server) rides on startReq so every peer's
+	// recorder shares the run's identity; the coordinator additionally
+	// stamps its wall-clock base so merged timelines can align dumps.
+	runID := ""
+	if o.Trace != nil {
+		runID = o.Trace.Meta()["run_id"]
+		if runID == "" {
+			runID = jobID
+		}
+		o.Trace.SetMeta("role", "coordinator")
+		o.Trace.SetMeta("coordinator", nd.Self())
+		o.Trace.SetMeta("base_unix_ns", strconv.FormatInt(o.Trace.Base().UnixNano(), 10))
+	}
+
 	ctx := o.Ctx
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := nd.broadcast(func(peer int) error {
-		return nd.postJSON(ctx, peer, "/cluster/v1/start", startReq{Job: jobID, Net: netText.String(), Bad: badNames})
+		return nd.postJSON(ctx, peer, "/cluster/v1/start", startReq{Job: jobID, Net: netText.String(), Bad: badNames, TraceRun: runID})
 	}); err != nil {
 		return nil, fmt.Errorf("cluster: start broadcast: %w", err)
 	}
@@ -101,7 +118,20 @@ func (nd *Node) Explore(n *petri.Net, bad []petri.Place, o reach.Options) (*reac
 	}
 	tk := o.Trace.NewTrack("cluster")
 	phExplore := o.Trace.Intern("explore")
+	phAssign := o.Trace.Intern("assign")
+	phSerialize := o.Trace.Intern("serialize")
+	phWait := o.Trace.Intern("expand_wait")
+	phMerge := o.Trace.Intern("merge")
 	tk.Begin(phExplore)
+	// One wire lane per peer: each broadcast goroutine records its own
+	// serialize spans and frame edges, so the single-writer contract of
+	// Track holds (phases within a level are sequential per peer).
+	wire := make([]*trace.Track, len(nd.peers))
+	if o.Trace != nil {
+		for i := range wire {
+			wire[i] = o.Trace.NewTrack("wire:" + nd.peers[i])
+		}
+	}
 
 	var states []petri.Marking
 	var stateShard []uint32
@@ -125,14 +155,18 @@ func (nd *Node) Explore(n *petri.Net, bad []petri.Place, o reach.Options) (*reac
 		if ctx.Err() != nil {
 			return abort()
 		}
+		lvl := levels
 		levels++
 		if len(level) > qPeak {
 			qPeak = len(level)
 		}
+		tk.Level(lvl, int64(len(level)))
 
 		// Assign: bucket positions by parent shard, owner first, then
 		// steal whole buckets for starving peers.
-		assign, nSteals := nd.assignLevel(level, stateShard)
+		tk.Emit(trace.KindPhaseBegin, phAssign, lvl)
+		assign, nSteals := nd.assignLevel(level, stateShard, tk, lvl)
+		tk.Emit(trace.KindPhaseEnd, phAssign, lvl)
 		steals += nSteals
 
 		// Expand all peers in parallel.
@@ -151,17 +185,23 @@ func (nd *Node) Explore(n *petri.Net, bad []petri.Place, o reach.Options) (*reac
 			}
 			batches[peer] = &peerBatch{entries: entries}
 		}
+		tk.Emit(trace.KindPhaseBegin, phWait, lvl)
 		err := nd.broadcast(func(peer int) error {
 			pb := batches[peer]
 			if pb == nil {
 				return nil
 			}
+			wt := wire[peer]
+			wt.Emit(trace.KindPhaseBegin, phSerialize, lvl)
 			buf, err := encodeBuf(func(w io.Writer) error { return encodeExpand(w, pb.entries) })
+			wt.Emit(trace.KindPhaseEnd, phSerialize, lvl)
 			if err != nil {
 				return err
 			}
 			nd.addBytes(&bytesOut, int64(buf.Len()))
-			resp, cancel, err := nd.post(ctx, peer, "/cluster/v1/expand", jobID, buf, "application/octet-stream")
+			pid := trace.PairID(lvl, trace.RPCExpand, nd.self, peer)
+			wt.FrameSend(pid, int64(buf.Len()))
+			resp, cancel, err := nd.post(ctx, peer, "/cluster/v1/expand", jobID, pid, buf, "application/octet-stream")
 			if err != nil {
 				return err
 			}
@@ -173,12 +213,14 @@ func (nd *Node) Explore(n *petri.Net, bad []petri.Place, o reach.Options) (*reac
 				return err
 			}
 			nd.addBytes(&bytesIn, cr.n)
+			wt.FrameRecv(pid, cr.n)
 			if len(re.flags) != len(pb.entries) {
 				return fmt.Errorf("expand reply flag count %d != batch size %d", len(re.flags), len(pb.entries))
 			}
 			pb.reply = re
 			return nil
 		})
+		tk.Emit(trace.KindPhaseEnd, phWait, lvl)
 		if err != nil {
 			if ctx.Err() != nil {
 				return abort()
@@ -223,7 +265,9 @@ func (nd *Node) Explore(n *petri.Net, bad []petri.Place, o reach.Options) (*reac
 		// Collect pending discoveries from every owner.
 		collected := make([][]internEntry, len(nd.peers))
 		err = nd.broadcast(func(peer int) error {
-			resp, cancel, err := nd.post(ctx, peer, "/cluster/v1/collect", jobID, bytes.NewBuffer(nil), "application/octet-stream")
+			pid := trace.PairID(lvl, trace.RPCCollect, nd.self, peer)
+			wire[peer].FrameSend(pid, 0)
+			resp, cancel, err := nd.post(ctx, peer, "/cluster/v1/collect", jobID, pid, bytes.NewBuffer(nil), "application/octet-stream")
 			if err != nil {
 				return err
 			}
@@ -235,6 +279,7 @@ func (nd *Node) Explore(n *petri.Net, bad []petri.Place, o reach.Options) (*reac
 				return err
 			}
 			nd.addBytes(&bytesIn, cr.n)
+			wire[peer].FrameRecv(pid, cr.n)
 			collected[peer] = list
 			return nil
 		})
@@ -244,6 +289,7 @@ func (nd *Node) Explore(n *petri.Net, bad []petri.Place, o reach.Options) (*reac
 			}
 			return nil, fmt.Errorf("cluster: collect: %w", err)
 		}
+		tk.Emit(trace.KindPhaseBegin, phMerge, lvl)
 		var discovered []*reach.Discovery
 		for _, list := range collected {
 			for _, e := range list {
@@ -287,27 +333,35 @@ func (nd *Node) Explore(n *petri.Net, bad []petri.Place, o reach.Options) (*reac
 			tk.State(int64(d.ID), 0)
 			nextLevel = append(nextLevel, d.ID)
 		}
+		tk.Emit(trace.KindPhaseEnd, phMerge, lvl)
 		// Every peer gets a commit — an empty one still clears the
 		// level's pending set.
 		err = nd.broadcast(func(peer int) error {
+			wt := wire[peer]
+			wt.Emit(trace.KindPhaseBegin, phSerialize, lvl)
 			buf, err := encodeBuf(func(w io.Writer) error { return encodeCommit(w, commitByOwner[peer]) })
+			wt.Emit(trace.KindPhaseEnd, phSerialize, lvl)
 			if err != nil {
 				return err
 			}
 			nd.addBytes(&bytesOut, int64(buf.Len()))
-			resp, cancel, err := nd.post(ctx, peer, "/cluster/v1/commit", jobID, buf, "application/octet-stream")
+			pid := trace.PairID(lvl, trace.RPCCommit, nd.self, peer)
+			wt.FrameSend(pid, int64(buf.Len()))
+			resp, cancel, err := nd.post(ctx, peer, "/cluster/v1/commit", jobID, pid, buf, "application/octet-stream")
 			if err != nil {
 				return err
 			}
 			defer cancel()
 			defer resp.Body.Close()
-			typ, _, err := ReadFrame(resp.Body, nd.maxFrame)
+			cr := &countingReader{r: resp.Body}
+			typ, _, err := ReadFrame(cr, nd.maxFrame)
 			if err != nil {
 				return err
 			}
 			if typ != frameAck {
 				return errUnexpectedFrame(typ, frameAck)
 			}
+			wt.FrameRecv(pid, cr.n)
 			return nil
 		})
 		if err != nil {
@@ -363,8 +417,9 @@ func (nd *Node) Explore(n *petri.Net, bad []petri.Place, o reach.Options) (*reac
 // each bucket to the shard's owner, then steals whole buckets from the
 // most-loaded peer for any peer under the watermark
 // max(1, len(level)/(4*peers)). Returns positions per peer and the
-// steal count.
-func (nd *Node) assignLevel(level []int, stateShard []uint32) ([][]int, int64) {
+// steal count. Each steal is stamped on tk (nil for untraced runs)
+// with the positions moved.
+func (nd *Node) assignLevel(level []int, stateShard []uint32, tk *trace.Track, lvl int64) ([][]int, int64) {
 	nPeers := len(nd.peers)
 	buckets := make([][]int, reach.NumShards)
 	for pos, id := range level {
@@ -412,6 +467,7 @@ func (nd *Node) assignLevel(level []int, stateShard []uint32) ([][]int, int64) {
 		loads[donor] -= bestSz
 		loads[starving] += bestSz
 		steals++
+		tk.Steal(lvl, int64(bestSz))
 	}
 
 	assign := make([][]int, nPeers)

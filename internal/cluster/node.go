@@ -9,11 +9,13 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/petri"
 	"repro/internal/pnio"
 	"repro/internal/reach"
@@ -57,7 +59,8 @@ type Node struct {
 	jobs map[string]*peerJob
 	seq  int64
 
-	cache *sharedCache
+	cache  *sharedCache
+	traces *traceStore
 }
 
 // peerJob is this node's slice of one in-flight exploration: the
@@ -70,6 +73,40 @@ type peerJob struct {
 	bad  []petri.Place
 	ids  map[string]int
 	pend map[string]uint64
+
+	// Tracing, enabled when the coordinator propagated a run ID in
+	// startReq.TraceRun. tk is the expand/collect/commit lane — those
+	// handlers are serialized by the coordinator's level protocol —
+	// while inbound intern batches arrive concurrently from sibling
+	// peers and land on tkIntern under internMu. All fields stay zero
+	// for untraced jobs; every emit is a nil-track no-op then.
+	run         string
+	tr          *trace.Tracer
+	tk          *trace.Track
+	phExpand    int64
+	phSerialize int64
+	internMu    sync.Mutex
+	tkIntern    *trace.Track
+}
+
+// internRecv/internSend record inbound-intern wire halves under the
+// mutex, since sibling peers post interns concurrently.
+func (j *peerJob) internRecv(pid, bytes int64) {
+	if j.tkIntern == nil {
+		return
+	}
+	j.internMu.Lock()
+	j.tkIntern.FrameRecv(pid, bytes)
+	j.internMu.Unlock()
+}
+
+func (j *peerJob) internSend(pid, bytes int64) {
+	if j.tkIntern == nil {
+		return
+	}
+	j.internMu.Lock()
+	j.tkIntern.FrameSend(pid, bytes)
+	j.internMu.Unlock()
 }
 
 // startReq is the JSON body of /cluster/v1/start. The net travels in
@@ -79,6 +116,10 @@ type startReq struct {
 	Job string   `json:"job"`
 	Net string   `json:"net"`
 	Bad []string `json:"bad,omitempty"`
+	// TraceRun is the content-addressed run ID when the coordinator is
+	// recording; peers that see it record their own slice of the run
+	// under the same identity. Empty = tracing off.
+	TraceRun string `json:"trace_run,omitempty"`
 }
 
 type finishReq struct {
@@ -138,6 +179,7 @@ func New(cfg Config) (*Node, error) {
 		cb = defaultCacheBytes
 	}
 	nd.cache = newSharedCache(nd.peers, cb)
+	nd.traces = newTraceStore()
 
 	// Static shard ownership: contiguous ranges, remainder spread over
 	// the leading peers.
@@ -165,11 +207,13 @@ func New(cfg Config) (*Node, error) {
 		"cluster.cache_store_puts",
 		"cluster.cache_store_evictions",
 		"cluster.singleflight_waits",
+		"cluster.trace_collects",
 	} {
 		nd.reg.Counter(name)
 	}
 	nd.reg.Gauge("cluster.cache_store_bytes").Set(0)
 	nd.reg.Gauge("cluster.jobs").Set(0)
+	nd.reg.Gauge("cluster.trace_dumps").Set(0)
 	return nd, nil
 }
 
@@ -192,6 +236,7 @@ func (nd *Node) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /cluster/v1/collect", nd.handleCollect)
 	mux.HandleFunc("POST /cluster/v1/commit", nd.handleCommit)
 	mux.HandleFunc("POST /cluster/v1/finish", nd.handleFinish)
+	mux.HandleFunc("POST /cluster/v1/trace", nd.handleTrace)
 	mux.HandleFunc("POST /cluster/v1/cache/acquire", nd.handleCacheAcquire)
 	mux.HandleFunc("POST /cluster/v1/cache/put", nd.handleCachePut)
 	mux.HandleFunc("POST /cluster/v1/cache/release", nd.handleCacheRelease)
@@ -238,6 +283,18 @@ func (nd *Node) handleStart(w http.ResponseWriter, r *http.Request) {
 		ids:  make(map[string]int),
 		pend: make(map[string]uint64),
 	}
+	if req.TraceRun != "" {
+		j.run = req.TraceRun
+		j.tr = trace.New(trace.Options{})
+		j.tr.SetMeta("run_id", req.TraceRun)
+		j.tr.SetMeta("peer", nd.peers[nd.self])
+		j.tr.SetMeta("role", "peer")
+		j.tr.SetMeta("base_unix_ns", strconv.FormatInt(j.tr.Base().UnixNano(), 10))
+		j.tk = j.tr.NewTrack("peer")
+		j.tkIntern = j.tr.NewTrack("peer-intern")
+		j.phExpand = j.tr.Intern("expand")
+		j.phSerialize = j.tr.Intern("serialize")
+	}
 	// Seed the root: every peer derives the same initial key; only the
 	// owner stores it (the coordinator assigned it id 0 by construction).
 	k0, h0 := n.InitialMarking().KeyHash()
@@ -258,9 +315,16 @@ func (nd *Node) handleFinish(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	nd.mu.Lock()
+	j := nd.jobs[req.Job]
 	delete(nd.jobs, req.Job)
 	nd.reg.Gauge("cluster.jobs").Set(int64(len(nd.jobs)))
 	nd.mu.Unlock()
+	// A traced job's node-side dump outlives the job so the collector
+	// can fetch it after the verdict.
+	if j != nil && j.tr != nil {
+		nd.traces.put(j.run, j.tr.Dump())
+		nd.reg.Gauge("cluster.trace_dumps").Set(int64(nd.traces.len()))
+	}
 	w.WriteHeader(http.StatusOK)
 }
 
@@ -283,6 +347,10 @@ func (nd *Node) handleExpand(w http.ResponseWriter, r *http.Request) {
 	}
 	nd.reg.Counter("cluster.expand_batches_in").Inc()
 	nd.reg.Counter("cluster.expand_bytes_in").Add(cr.n)
+	pid := seqHeader(r)
+	lvl := trace.PairLevel(pid)
+	j.tk.FrameRecv(pid, cr.n)
+	j.tk.Emit(trace.KindPhaseBegin, j.phExpand, lvl)
 
 	n := j.net
 	nt := n.NumTrans()
@@ -337,18 +405,31 @@ func (nd *Node) handleExpand(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	j.tk.Emit(trace.KindPhaseEnd, j.phExpand, lvl)
+	j.tk.Expanded(int64(len(entries)), lvl)
+
 	// Route fresh successors to their owners before acking, so by the
 	// time the coordinator sees this reply every discovery from this
 	// batch is pending somewhere.
 	for owner, batch := range outbound {
-		if err := nd.postIntern(r.Context(), jobID, owner, batch); err != nil {
+		if err := nd.postIntern(r.Context(), j, jobID, owner, lvl, batch); err != nil {
 			httpError(w, http.StatusBadGateway, "cluster: intern to %s: %v", nd.peers[owner], err)
 			return
 		}
 	}
-	if err := encodeExpandReply(w, re); err != nil {
+	cw := &countingWriter{w: w}
+	if err := encodeExpandReply(cw, re); err != nil {
 		return // client gone; nothing to salvage
 	}
+	j.tk.FrameSend(pid, cw.n)
+}
+
+// seqHeader reads the wire-edge pair id the coordinator stamped on the
+// RPC (0 when absent or malformed — every emit keyed by it no-ops on
+// untraced jobs anyway).
+func seqHeader(r *http.Request) int64 {
+	v, _ := strconv.ParseInt(r.Header.Get("X-Cluster-Seq"), 10, 64)
+	return v
 }
 
 // internLocal merges one discovered successor into the owned pending
@@ -379,10 +460,13 @@ func (nd *Node) handleIntern(w http.ResponseWriter, r *http.Request) {
 	}
 	nd.reg.Counter("cluster.intern_batches_in").Inc()
 	nd.reg.Counter("cluster.intern_bytes_in").Add(cr.n)
+	pid := seqHeader(r)
+	j.internRecv(pid, cr.n)
 	for _, e := range entries {
 		j.internLocal(e.key, e.order)
 	}
 	_ = WriteFrame(w, frameAck, nil)
+	j.internSend(pid, ackFrameBytes)
 }
 
 // handleCollect returns the owned pending discoveries of the current
@@ -395,6 +479,8 @@ func (nd *Node) handleCollect(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "cluster: unknown job %q", jobID)
 		return
 	}
+	pid := seqHeader(r)
+	j.tk.FrameRecv(pid, 0)
 	j.mu.Lock()
 	out := make([]internEntry, 0, len(j.pend))
 	for key, order := range j.pend {
@@ -402,7 +488,9 @@ func (nd *Node) handleCollect(w http.ResponseWriter, r *http.Request) {
 	}
 	j.mu.Unlock()
 	sort.Slice(out, func(a, b int) bool { return out[a].order < out[b].order })
-	_ = encodeKeyOrders(w, frameCollect, out)
+	cw := &countingWriter{w: w}
+	_ = encodeKeyOrders(cw, frameCollect, out)
+	j.tk.FrameSend(pid, cw.n)
 }
 
 // handleCommit installs the coordinator's id assignments and clears the
@@ -415,11 +503,14 @@ func (nd *Node) handleCommit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "cluster: unknown job %q", jobID)
 		return
 	}
-	entries, err := decodeCommit(r.Body, nd.maxFrame)
+	cr := &countingReader{r: r.Body}
+	entries, err := decodeCommit(cr, nd.maxFrame)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "cluster: commit body: %v", err)
 		return
 	}
+	pid := seqHeader(r)
+	j.tk.FrameRecv(pid, cr.n)
 	j.mu.Lock()
 	for _, e := range entries {
 		j.ids[e.key] = e.id
@@ -427,6 +518,7 @@ func (nd *Node) handleCommit(w http.ResponseWriter, r *http.Request) {
 	clear(j.pend)
 	j.mu.Unlock()
 	_ = WriteFrame(w, frameAck, nil)
+	j.tk.FrameSend(pid, ackFrameBytes)
 }
 
 // countingReader tallies bytes for the frontier byte metrics.
@@ -442,8 +534,10 @@ func (c *countingReader) Read(p []byte) (int, error) {
 }
 
 // post runs one cluster RPC against a peer with the node's timeout.
-// The body reader is handed to the caller, which must close it.
-func (nd *Node) post(ctx context.Context, peer int, path, jobID string, body *bytes.Buffer, contentType string) (*http.Response, context.CancelFunc, error) {
+// seq is the wire-edge pair id stamped as X-Cluster-Seq (0 = untraced,
+// no header). The body reader is handed to the caller, which must
+// close it.
+func (nd *Node) post(ctx context.Context, peer int, path, jobID string, seq int64, body *bytes.Buffer, contentType string) (*http.Response, context.CancelFunc, error) {
 	ctx, cancel := context.WithTimeout(ctx, nd.timeout)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, nd.peers[peer]+path, body)
 	if err != nil {
@@ -452,6 +546,9 @@ func (nd *Node) post(ctx context.Context, peer int, path, jobID string, body *by
 	}
 	if jobID != "" {
 		req.Header.Set("X-Cluster-Job", jobID)
+	}
+	if seq != 0 {
+		req.Header.Set("X-Cluster-Seq", strconv.FormatInt(seq, 10))
 	}
 	req.Header.Set("Content-Type", contentType)
 	resp, err := nd.client.Do(req)
@@ -474,7 +571,7 @@ func (nd *Node) postJSON(ctx context.Context, peer int, path string, v any) erro
 	if err != nil {
 		return err
 	}
-	resp, cancel, err := nd.post(ctx, peer, path, "", bytes.NewBuffer(b), "application/json")
+	resp, cancel, err := nd.post(ctx, peer, path, "", 0, bytes.NewBuffer(b), "application/json")
 	if err != nil {
 		return err
 	}
@@ -484,25 +581,32 @@ func (nd *Node) postJSON(ctx context.Context, peer int, path string, v any) erro
 	return err
 }
 
-// postIntern routes a successor batch to its owning peer.
-func (nd *Node) postIntern(ctx context.Context, jobID string, owner int, batch []internEntry) error {
+// postIntern routes a successor batch to its owning peer, stamping the
+// intern wire edge on the sending job's trace.
+func (nd *Node) postIntern(ctx context.Context, j *peerJob, jobID string, owner int, lvl int64, batch []internEntry) error {
+	pid := trace.PairID(lvl, trace.RPCIntern, nd.self, owner)
+	j.tk.Emit(trace.KindPhaseBegin, j.phSerialize, lvl)
 	buf, err := encodeBuf(func(w io.Writer) error { return encodeKeyOrders(w, frameIntern, batch) })
+	j.tk.Emit(trace.KindPhaseEnd, j.phSerialize, lvl)
 	if err != nil {
 		return err
 	}
-	resp, cancel, err := nd.post(ctx, owner, "/cluster/v1/intern", jobID, buf, "application/octet-stream")
+	j.tk.FrameSend(pid, int64(buf.Len()))
+	resp, cancel, err := nd.post(ctx, owner, "/cluster/v1/intern", jobID, pid, buf, "application/octet-stream")
 	if err != nil {
 		return err
 	}
 	defer cancel()
 	defer resp.Body.Close()
-	typ, _, err := ReadFrame(resp.Body, nd.maxFrame)
+	cr := &countingReader{r: resp.Body}
+	typ, _, err := ReadFrame(cr, nd.maxFrame)
 	if err != nil {
 		return err
 	}
 	if typ != frameAck {
 		return errUnexpectedFrame(typ, frameAck)
 	}
+	j.tk.FrameRecv(pid, cr.n)
 	return nil
 }
 

@@ -84,6 +84,11 @@ type Entry struct {
 	// TracePath points at the flight-recorder dump for this run, when
 	// one was written (aborted daemon runs with a trace sink).
 	TracePath string `json:"trace_path,omitempty"`
+	// TracePeers lists the per-peer trace endpoints of a traced cluster
+	// run — "<peerURL>/v1/runs/<id>/trace" joined under the run ID, the
+	// way TracePath joins single-node dumps. Empty for untraced and
+	// in-process runs.
+	TracePeers []string `json:"trace_peers,omitempty"`
 	// Metrics is the run's final counter/gauge snapshot (per-run
 	// registry), keyed by the dot-separated names OBSERVABILITY.md
 	// documents.

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -12,11 +13,36 @@ import (
 	"strings"
 )
 
+// FormatVersion is the dump format version the writers stamp. Version
+// 1 (files without a version field) added the original kinds; version
+// 2 added the distributed-tracing kinds (frame_send/frame_recv/steal/
+// level/expand/job). Parsers accept any version ≤ FormatVersion and
+// refuse newer files with ErrVersionMismatch rather than silently
+// dropping events they cannot name.
+const FormatVersion = 2
+
+// Typed refusal errors from ReadDump and ReadBundle. Callers match
+// with errors.Is; all are wrapped with file context where available.
+var (
+	// ErrEmptyTrace means the input held no bytes (or only whitespace).
+	ErrEmptyTrace = errors.New("trace: empty input")
+	// ErrBadHeader means the header (JSONL meta line or Chrome JSON
+	// envelope) was missing, truncated, or unparseable.
+	ErrBadHeader = errors.New("trace: bad or truncated header")
+	// ErrVersionMismatch means the dump was written by a newer format
+	// version than this reader understands.
+	ErrVersionMismatch = errors.New("trace: unsupported format version")
+	// ErrMixedVersions means a bundle's per-peer dumps disagree on the
+	// format version, so a merge would silently misread some of them.
+	ErrMixedVersions = errors.New("trace: mixed format versions in bundle")
+)
+
 // Dump is a tracer frozen for export: the metadata, string table and
 // transition names plus every track's surviving events oldest-first.
 // Both wire formats (Chrome trace JSON and JSONL) serialize a Dump and
 // ReadDump reconstructs one, so the summarizer works on either.
 type Dump struct {
+	Version int               `json:"v,omitempty"`
 	Meta    map[string]string `json:"meta,omitempty"`
 	Strings []string          `json:"strings,omitempty"`
 	Trans   []string          `json:"trans,omitempty"`
@@ -39,6 +65,7 @@ func (t *Tracer) Dump() *Dump {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	d := &Dump{
+		Version: FormatVersion,
 		Meta:    make(map[string]string, len(t.meta)),
 		Strings: append([]string(nil), t.strs...),
 		Trans:   append([]string(nil), t.trans...),
@@ -91,7 +118,7 @@ func (d *Dump) transName(id int64) string {
 // exporters resolve it and parsers re-intern it.
 func internedArg0(k Kind) bool {
 	switch k {
-	case KindPhaseBegin, KindPhaseEnd, KindZDDGrow, KindCacheHit, KindCacheMiss, KindAbort:
+	case KindPhaseBegin, KindPhaseEnd, KindZDDGrow, KindCacheHit, KindCacheMiss, KindAbort, KindJob:
 		return true
 	}
 	return false
@@ -102,6 +129,7 @@ func internedArg0(k Kind) bool {
 // keys, and it spares the parser from reconstructing string tables out
 // of display names.
 type chromeSidecar struct {
+	V       int               `json:"v,omitempty"`
 	Meta    map[string]string `json:"meta,omitempty"`
 	Strings []string          `json:"strings,omitempty"`
 	Trans   []string          `json:"trans,omitempty"`
@@ -137,6 +165,7 @@ func WriteChrome(w io.Writer, d *Dump) error {
 		DisplayTimeUnit: "ns",
 		OtherData:       map[string]any{},
 		Sidecar: &chromeSidecar{
+			V:       FormatVersion,
 			Meta:    d.Meta,
 			Strings: d.Strings,
 			Trans:   d.Trans,
@@ -192,6 +221,7 @@ func WriteChrome(w io.Writer, d *Dump) error {
 // jsonlMeta is the first line of a JSONL dump.
 type jsonlMeta struct {
 	Type    string            `json:"type"` // "meta"
+	V       int               `json:"v,omitempty"`
 	Meta    map[string]string `json:"meta,omitempty"`
 	Strings []string          `json:"strings,omitempty"`
 	Trans   []string          `json:"trans,omitempty"`
@@ -215,7 +245,7 @@ type jsonlEvent struct {
 func WriteJSONL(w io.Writer, d *Dump) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	head := jsonlMeta{Type: "meta", Meta: d.Meta, Strings: d.Strings, Trans: d.Trans}
+	head := jsonlMeta{Type: "meta", V: FormatVersion, Meta: d.Meta, Strings: d.Strings, Trans: d.Trans}
 	for _, tk := range d.Tracks {
 		head.Tracks = append(head.Tracks, tk.Name)
 		head.Dropped = append(head.Dropped, tk.Dropped)
@@ -271,7 +301,7 @@ func ReadDump(r io.Reader) (*Dump, error) {
 	}
 	trimmed := bytes.TrimLeft(data, " \t\r\n")
 	if len(trimmed) == 0 {
-		return nil, fmt.Errorf("trace: empty input")
+		return nil, ErrEmptyTrace
 	}
 	first := trimmed
 	if i := bytes.IndexByte(trimmed, '\n'); i >= 0 {
@@ -300,13 +330,17 @@ func readJSONL(data []byte) (*Dump, error) {
 	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	if !sc.Scan() {
-		return nil, fmt.Errorf("trace: missing jsonl meta line")
+		return nil, fmt.Errorf("%w: missing jsonl meta line", ErrBadHeader)
 	}
 	var head jsonlMeta
 	if err := json.Unmarshal(sc.Bytes(), &head); err != nil || head.Type != "meta" {
-		return nil, fmt.Errorf("trace: bad jsonl meta line")
+		return nil, fmt.Errorf("%w: bad jsonl meta line", ErrBadHeader)
 	}
-	d := &Dump{Meta: head.Meta, Strings: head.Strings, Trans: head.Trans}
+	if head.V > FormatVersion {
+		return nil, fmt.Errorf("%w: jsonl dump is v%d, reader understands ≤ v%d",
+			ErrVersionMismatch, head.V, FormatVersion)
+	}
+	d := &Dump{Version: versionOr1(head.V), Meta: head.Meta, Strings: head.Strings, Trans: head.Trans}
 	for i, name := range head.Tracks {
 		tk := DumpTrack{Name: name}
 		if i < len(head.Dropped) {
@@ -348,13 +382,18 @@ func readJSONL(data []byte) (*Dump, error) {
 func readChrome(data []byte) (*Dump, error) {
 	var f chromeFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("trace: not chrome trace json: %v", err)
+		return nil, fmt.Errorf("%w: not chrome trace json: %v", ErrBadHeader, err)
 	}
 	if f.TraceEvents == nil {
-		return nil, fmt.Errorf("trace: chrome trace json has no traceEvents")
+		return nil, fmt.Errorf("%w: chrome trace json has no traceEvents", ErrBadHeader)
 	}
-	d := &Dump{}
+	d := &Dump{Version: 1}
 	if f.Sidecar != nil {
+		if f.Sidecar.V > FormatVersion {
+			return nil, fmt.Errorf("%w: chrome sidecar is v%d, reader understands ≤ v%d",
+				ErrVersionMismatch, f.Sidecar.V, FormatVersion)
+		}
+		d.Version = versionOr1(f.Sidecar.V)
 		d.Meta = f.Sidecar.Meta
 		d.Strings = f.Sidecar.Strings
 		d.Trans = f.Sidecar.Trans
@@ -419,6 +458,14 @@ func readChrome(data []byte) (*Dump, error) {
 		}
 	}
 	return d, nil
+}
+
+// versionOr1 maps an absent (zero) version field to legacy v1.
+func versionOr1(v int) int {
+	if v <= 0 {
+		return 1
+	}
+	return v
 }
 
 // nsOfMicros undoes the microsecond scaling of Chrome trace timestamps

@@ -73,7 +73,32 @@ const (
 	// KindAbort is the terminal event of a cancelled run. Arg0 is the
 	// interned reason (the context error text).
 	KindAbort
+	// KindFrameSend/KindFrameRecv are paired wire edges: one cluster
+	// frame leaving or entering a process. Arg0 is the pair id
+	// (PairID — level, RPC, source and destination peer), Arg1 the byte
+	// count on the wire. A request/reply exchange emits four events
+	// under one pair id: the client's send and recv, the server's recv
+	// and send. Matching them across dumps reconstructs wire latency.
+	KindFrameSend
+	KindFrameRecv
+	// KindSteal marks the coordinator moving work between peers during
+	// level assignment. Arg0 is the BFS level, Arg1 the number of
+	// frontier positions moved.
+	KindSteal
+	// KindLevel marks a BFS level boundary on the coordinator. Arg0 is
+	// the level number (0-based), Arg1 the frontier size.
+	KindLevel
+	// KindExpand marks a peer finishing one expand batch. Arg0 is the
+	// number of frontier entries expanded, Arg1 the BFS level.
+	KindExpand
+	// KindJob marks a durable-job lifecycle step (slice begin/end,
+	// checkpoint save, resume). Arg0 is the interned step name, Arg1 a
+	// step detail (typically the state count at the boundary).
+	KindJob
 )
+
+// kindMax is the last valid kind; parsers iterate KindPhaseBegin..kindMax.
+const kindMax = KindJob
 
 // String returns the kind's wire name, used by both export formats.
 func (k Kind) String() string {
@@ -104,13 +129,25 @@ func (k Kind) String() string {
 		return "cache_miss"
 	case KindAbort:
 		return "abort"
+	case KindFrameSend:
+		return "frame_send"
+	case KindFrameRecv:
+		return "frame_recv"
+	case KindSteal:
+		return "steal"
+	case KindLevel:
+		return "level"
+	case KindExpand:
+		return "expand"
+	case KindJob:
+		return "job"
 	}
 	return "none"
 }
 
 // kindByName inverts String for the parsers.
 func kindByName(s string) Kind {
-	for k := KindPhaseBegin; k <= KindAbort; k++ {
+	for k := KindPhaseBegin; k <= kindMax; k++ {
 		if k.String() == s {
 			return k
 		}
@@ -301,6 +338,24 @@ func (tk *Track) End(nameID int64)   { tk.Emit(KindPhaseEnd, nameID, 0) }
 // Intern).
 func (tk *Track) Abort(reasonID int64) { tk.Emit(KindAbort, reasonID, 0) }
 
+// FrameSend/FrameRecv record one side of a cluster wire edge: a frame
+// of the given byte count leaving or entering this process under pair
+// id pid (see PairID).
+func (tk *Track) FrameSend(pid, bytes int64) { tk.Emit(KindFrameSend, pid, bytes) }
+func (tk *Track) FrameRecv(pid, bytes int64) { tk.Emit(KindFrameRecv, pid, bytes) }
+
+// Steal records the coordinator moving n frontier positions at level.
+func (tk *Track) Steal(level, n int64) { tk.Emit(KindSteal, level, n) }
+
+// Level records a BFS level boundary of the given frontier size.
+func (tk *Track) Level(level, size int64) { tk.Emit(KindLevel, level, size) }
+
+// Expanded records a peer finishing an expand batch of n entries.
+func (tk *Track) Expanded(n, level int64) { tk.Emit(KindExpand, n, level) }
+
+// Job records a durable-job lifecycle step (stepID from Intern).
+func (tk *Track) Job(stepID, detail int64) { tk.Emit(KindJob, stepID, detail) }
+
 // Len returns the number of events currently held (≤ cap).
 func (tk *Track) Len() int {
 	if tk == nil {
@@ -337,6 +392,39 @@ func (tk *Track) snapshot() []Event {
 	head := tk.n % c
 	out = append(out, tk.events[head:]...)
 	return append(out, tk.events[:head]...)
+}
+
+// RPC codes carried inside wire-edge pair ids, identifying which
+// cluster exchange a frame belongs to.
+const (
+	RPCExpand  = 1
+	RPCIntern  = 2
+	RPCCollect = 3
+	RPCCommit  = 4
+)
+
+// PairID packs a wire edge's identity — BFS level, RPC code, source
+// and destination peer index — into one int64 so both ends of an
+// exchange can stamp the same id without coordination. Layout:
+// level<<20 | rpc<<16 | src<<8 | dst.
+func PairID(level int64, rpc, src, dst int) int64 {
+	return level<<20 | int64(rpc&0xf)<<16 | int64(src&0xff)<<8 | int64(dst&0xff)
+}
+
+// PairLevel/PairRPC/PairSrc/PairDst unpack a PairID.
+func PairLevel(pid int64) int64 { return pid >> 20 }
+func PairRPC(pid int64) int     { return int(pid>>16) & 0xf }
+func PairSrc(pid int64) int     { return int(pid>>8) & 0xff }
+func PairDst(pid int64) int     { return int(pid) & 0xff }
+
+// Base returns the tracer's start time (zero on a nil tracer). The
+// cluster layer stamps it into trace metadata (base_unix_ns) so merged
+// timelines can place each dump on an absolute clock.
+func (t *Tracer) Base() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.base
 }
 
 // Meta returns a copy of the tracer's metadata (nil-safe).

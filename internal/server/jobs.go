@@ -27,7 +27,6 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/jobs"
 	"repro/internal/obs"
-	"repro/internal/obs/trace"
 	"repro/internal/verify"
 )
 
@@ -427,18 +426,19 @@ func (s *Server) runAsyncJob(j *job) {
 		Report:   lr.pub.Publish,
 	}
 	opts.Progress = prog
-	var tr *trace.Tracer
-	if s.cfg.TraceSink != nil {
-		tr = trace.New(trace.Options{Cap: s.cfg.TraceEvents})
-		tr.SetMeta("request_id", j.id)
-		tr.SetMeta("run_id", lr.runID)
-		tr.SetMeta("engine", opts.Engine.String())
-		tr.SetMeta("net", j.req.net.Name())
-		tr.SetMeta("check", j.req.check)
-		tr.SetTransNames(transNames(j.req.net))
-		opts.Trace = tr
-	}
+	tr := s.newRunTracer(j, lr, &opts)
 	opts.Resume = ar.resume
+
+	// Job lifecycle events on their own track: each execution slice
+	// opens with slice_begin (Arg1 = states already explored), notes
+	// whether it re-entered from a checkpoint, stamps every checkpoint
+	// save, and closes with its outcome — so a merged timeline shows
+	// where a durable run's wall time went across suspensions.
+	jt := s.newJobTraceEmitter(tr)
+	jt.emit("slice_begin", int64(ar.resume.States()))
+	if ar.resume != nil {
+		jt.emit("resume", int64(ar.resume.States()))
+	}
 
 	deadline := time.Now().Add(slice)
 	lastSave := time.Now()
@@ -490,6 +490,7 @@ func (s *Server) runAsyncJob(j *job) {
 			}
 			lastSave = time.Now()
 			lastStates = snap.States()
+			jt.emit("ckpt_save", int64(snap.States()))
 			s.cfg.Jobs.Update(id, func(r *jobs.Record) {
 				r.States = snap.States()
 				r.Boundary = snap.Boundary()
@@ -516,6 +517,7 @@ func (s *Server) runAsyncJob(j *job) {
 	case err != nil:
 		s.failures.Inc()
 		s.jobsFailed.Inc()
+		jt.emit("slice_end:error", 0)
 		s.cfg.Jobs.Update(id, func(r *jobs.Record) {
 			r.State = jobs.Failed
 			r.Error = err.Error()
@@ -533,13 +535,15 @@ func (s *Server) runAsyncJob(j *job) {
 			} else {
 				s.jobsCheckpointed.Inc()
 			}
+			jt.emit("slice_end:"+stopReason, int64(resp.States))
 			s.cfg.Jobs.Update(id, func(r *jobs.Record) { r.State = final })
 		case StatusAborted:
 			// The hard backstop killed the run between boundaries: no
 			// checkpoint was cut at stop time. If an auto-checkpoint
 			// exists the job resumes from it; otherwise it re-queues.
 			s.aborts.Inc()
-			if tr != nil {
+			jt.emit("slice_end:abort", int64(resp.States))
+			if tr != nil && s.cfg.TraceSink != nil {
 				s.cfg.TraceSink(j.id, tr.Dump())
 				if s.cfg.TracePath != nil {
 					tracePath = s.cfg.TracePath(j.id)
@@ -556,6 +560,7 @@ func (s *Server) runAsyncJob(j *job) {
 			})
 		default:
 			s.jobsDone.Inc()
+			jt.emit("done", int64(resp.States))
 			if resp.Complete {
 				s.cache.put(j.req.key, resp)
 			}
@@ -574,10 +579,11 @@ func (s *Server) runAsyncJob(j *job) {
 
 	// Same introspection epilogue as runJob: verdict stored, stream
 	// closed, ledger appended, metrics folded, registration dropped.
+	tracePeers := s.retainTrace(j, lr, tr)
 	lr.finish(resp, err)
 	prog.Done()
 	lr.pub.Close()
-	if lerr := s.cfg.Ledger.Append(ledgerEntryOf(j, lr, resp, err, startNS, endNS, tracePath)); lerr != nil {
+	if lerr := s.cfg.Ledger.Append(ledgerEntryOf(j, lr, resp, err, startNS, endNS, tracePath, tracePeers)); lerr != nil {
 		s.ledgerErrors.Inc()
 	}
 	s.reg.Merge(lr.reg)

@@ -58,6 +58,11 @@ type Request struct {
 
 // Response is the Table-1-style result of a verification request.
 type Response struct {
+	// RunID is the content address of the work (verify.RunKey): the
+	// handle GET /v1/runs/{id}, the ledger and GET /v1/runs/{id}/trace
+	// all share. Identical for cached copies — it addresses the work,
+	// not the execution.
+	RunID string `json:"run_id,omitempty"`
 	// Status is "ok" for a completed analysis and "aborted" when the
 	// request deadline or a client disconnect stopped the exploration;
 	// aborted statistics are partial and the verdict fields are not
@@ -281,6 +286,7 @@ func (s *Server) parseRequest(req *Request) (*parsedRequest, error) {
 // responseOf converts a verify Report into the wire Response.
 func responseOf(pr *parsedRequest, rep *verify.Report) *Response {
 	resp := &Response{
+		RunID:     pr.key.RunID(),
 		Status:    StatusOK,
 		Net:       rep.Net,
 		Engine:    rep.Engine.String(),

@@ -293,7 +293,7 @@ func sseHeaders(w http.ResponseWriter) {
 // ledgerEntryOf assembles the journal record for a finished job from
 // the per-run registry and the outcome. Counters and gauges land in the
 // Metrics map under their documented names.
-func ledgerEntryOf(j *job, lr *liveRun, resp *Response, runErr error, startNS, endNS int64, tracePath string) ledger.Entry {
+func ledgerEntryOf(j *job, lr *liveRun, resp *Response, runErr error, startNS, endNS int64, tracePath string, tracePeers []string) ledger.Entry {
 	e := ledger.Entry{
 		RunID:       lr.runID,
 		RequestID:   j.id,
@@ -312,6 +312,7 @@ func ledgerEntryOf(j *job, lr *liveRun, resp *Response, runErr error, startNS, e
 		EndUnixNS:   endNS,
 		WallNS:      endNS - startNS,
 		TracePath:   tracePath,
+		TracePeers:  tracePeers,
 	}
 	switch {
 	case runErr != nil:

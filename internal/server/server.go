@@ -78,6 +78,13 @@ type Config struct {
 	// write its dump to, so the run's ledger entry can point at it. Only
 	// consulted for aborted runs with a TraceSink configured.
 	TracePath func(id string) string
+	// TraceRuns, when positive, retains the flight-recorder dump of the
+	// last N runs in memory (keyed by run ID) and serves them — fanned
+	// out to cluster peers for distributed runs — on
+	// GET /v1/runs/{id}/trace. Tracing is enabled for every run when
+	// either TraceRuns or TraceSink is set; results stay bit-identical
+	// (the recorder is passive) and disabled tracing stays free.
+	TraceRuns int
 	// Ledger, if non-nil, receives one entry per executed verification
 	// (cache hits are not runs and are not journaled). The ledger also
 	// backs the completed half of GET /v1/runs. Nil disables journaling;
@@ -146,10 +153,11 @@ func (c Config) withDefaults() Config {
 // Server is the verification service. Create with New, mount Handler on
 // an http.Server, and Close when done.
 type Server struct {
-	cfg   Config
-	reg   *obs.Registry
-	cache *resultCache
-	mux   *http.ServeMux
+	cfg    Config
+	reg    *obs.Registry
+	cache  *resultCache
+	mux    *http.ServeMux
+	traces *runTraceStore // retained dumps for /v1/runs/{id}/trace (nil = off)
 
 	queue    chan *job
 	wg       sync.WaitGroup
@@ -177,8 +185,13 @@ type Server struct {
 	jobsSubmitted, jobsResumed, jobsDone, jobsFailed *obs.Counter
 	jobsCanceled, jobsCheckpointed                   *obs.Counter
 	ckptSaves, ckptSaveErrors, ckptBytes             *obs.Counter
+	jobsTraceEvents                                  *obs.Counter
 	ckptLoads, ckptLoadErrors                        *obs.Counter
 	jobsActive                                       *obs.Gauge
+
+	// traceRuns gauges the retained-dump count; registered only when
+	// cfg.TraceRuns is set.
+	traceRuns *obs.Gauge
 }
 
 // New starts a Server's worker pool and returns it ready to serve.
@@ -210,11 +223,16 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/runs", s.handleRuns)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleRun)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleRunEvents)
+	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleRunTrace)
 	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	if cfg.Cluster != nil {
 		cfg.Cluster.Register(s.mux)
+	}
+	if cfg.TraceRuns > 0 {
+		s.traces = newRunTraceStore(cfg.TraceRuns)
+		s.traceRuns = cfg.Metrics.Gauge("server.trace_runs")
 	}
 	if cfg.Jobs != nil {
 		s.jobRuns = make(map[string]*asyncRun)
@@ -225,6 +243,7 @@ func New(cfg Config) *Server {
 		s.jobsCanceled = cfg.Metrics.Counter("jobs.canceled")
 		s.jobsCheckpointed = cfg.Metrics.Counter("jobs.checkpointed")
 		s.jobsActive = cfg.Metrics.Gauge("jobs.active")
+		s.jobsTraceEvents = cfg.Metrics.Counter("jobs.trace_events")
 		s.ckptSaves = cfg.Metrics.Counter("ckpt.saves")
 		s.ckptSaveErrors = cfg.Metrics.Counter("ckpt.save_errors")
 		s.ckptBytes = cfg.Metrics.Counter("ckpt.bytes")
@@ -326,17 +345,7 @@ func (s *Server) runJob(j *job) {
 		Report:   lr.pub.Publish,
 	}
 	opts.Progress = prog
-	var tr *trace.Tracer
-	if s.cfg.TraceSink != nil {
-		tr = trace.New(trace.Options{Cap: s.cfg.TraceEvents})
-		tr.SetMeta("request_id", j.id)
-		tr.SetMeta("run_id", lr.runID)
-		tr.SetMeta("engine", opts.Engine.String())
-		tr.SetMeta("net", j.req.net.Name())
-		tr.SetMeta("check", j.req.check)
-		tr.SetTransNames(transNames(j.req.net))
-		opts.Trace = tr
-	}
+	tr := s.newRunTracer(j, lr, &opts)
 
 	// Cluster-flagged runs swap reach.Explore for the distributed
 	// sharded explorer; results are bit-identical, so nothing downstream
@@ -367,7 +376,7 @@ func (s *Server) runJob(j *job) {
 			// A deadline or disconnect killed the run mid-flight: dump
 			// the flight recorder so the abort is diagnosable after the
 			// fact, and point the ledger entry at the dump.
-			if tr != nil {
+			if tr != nil && s.cfg.TraceSink != nil {
 				s.cfg.TraceSink(j.id, tr.Dump())
 				if s.cfg.TracePath != nil {
 					tracePath = s.cfg.TracePath(j.id)
@@ -401,6 +410,7 @@ func (s *Server) runJob(j *job) {
 		j.peers = s.cfg.Cluster.NumPeers()
 		resp.Peers = j.peers
 	}
+	tracePeers := s.retainTrace(j, lr, tr)
 
 	// Introspection epilogue, strictly ordered: final response stored
 	// (so the SSE terminal event has a verdict), final progress update
@@ -411,7 +421,7 @@ func (s *Server) runJob(j *job) {
 	lr.finish(resp, err)
 	prog.Done()
 	lr.pub.Close()
-	if lerr := s.cfg.Ledger.Append(ledgerEntryOf(j, lr, resp, err, startNS, endNS, tracePath)); lerr != nil {
+	if lerr := s.cfg.Ledger.Append(ledgerEntryOf(j, lr, resp, err, startNS, endNS, tracePath, tracePeers)); lerr != nil {
 		s.ledgerErrors.Inc()
 	}
 	s.reg.Merge(lr.reg)

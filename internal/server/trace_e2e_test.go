@@ -1,0 +1,169 @@
+package server_test
+
+// End-to-end tests of the distributed-tracing surface on a single-node
+// server: GET /v1/runs/{id}/trace serves a one-peer bundle for a
+// retained run, the merged view reconstructs the exact state count,
+// durable jobs stamp lifecycle events onto the run's "job" track, and
+// retention-off servers answer 404 rather than empty bundles.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// traceService boots a server and returns its base URL alongside the
+// client — trace fetches go over raw HTTP, not the typed client.
+func traceService(t *testing.T, cfg server.Config) (*client.Client, string, *obs.Registry) {
+	t.Helper()
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.New()
+	}
+	svc := server.New(cfg)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		svc.Drain()
+		ts.Close()
+		svc.Close()
+	})
+	return client.New(ts.URL, ts.Client()), ts.URL, cfg.Metrics
+}
+
+// fetchBundle GETs /v1/runs/{id}/trace and parses the bundle.
+func fetchBundle(t *testing.T, base, id string) *trace.Bundle {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/runs/" + id + "/trace")
+	if err != nil {
+		t.Fatalf("GET trace: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET trace: %d: %s", resp.StatusCode, body)
+	}
+	b, err := trace.ReadBundle(resp.Body)
+	if err != nil {
+		t.Fatalf("ReadBundle: %v", err)
+	}
+	return b
+}
+
+func TestE2ERunTraceEndpoint(t *testing.T) {
+	c, base, reg := traceService(t, server.Config{Workers: 2, TraceRuns: 2})
+	ctx := context.Background()
+
+	resp, err := c.Verify(ctx, &server.Request{Model: "nsdp", Size: 4, Engine: "exhaustive"})
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if resp.Status != server.StatusOK || resp.States != 322 {
+		t.Fatalf("verify: %+v", resp)
+	}
+	if resp.RunID == "" {
+		t.Fatal("response carries no run_id to fetch the trace by")
+	}
+
+	b := fetchBundle(t, base, resp.RunID)
+	if b.RunID != resp.RunID || len(b.Peers) != 1 {
+		t.Fatalf("bundle: run=%q peers=%d, want run=%q peers=1", b.RunID, len(b.Peers), resp.RunID)
+	}
+	p := b.Peers[0]
+	if !p.Coordinator || p.Addr != "local" {
+		t.Fatalf("bundle peer: %+v, want local coordinator", p)
+	}
+	if p.Dump.Meta["run_id"] != resp.RunID || p.Dump.Meta["engine"] == "" {
+		t.Fatalf("dump meta: %+v", p.Dump.Meta)
+	}
+	m, err := trace.Merge(b)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if m.States != int64(resp.States) {
+		t.Fatalf("merged timeline reconstructs %d states, response says %d", m.States, resp.States)
+	}
+	if g := reg.Snapshot().Gauges["server.trace_runs"]; g != 1 {
+		t.Fatalf("server.trace_runs = %d, want 1", g)
+	}
+
+	// Unknown run is a 404, not an empty bundle.
+	hr, err := http.Get(base + "/v1/runs/no-such-run/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown run: %d, want 404", hr.StatusCode)
+	}
+}
+
+func TestE2ERunTraceDisabled(t *testing.T) {
+	c, base, _ := traceService(t, server.Config{Workers: 2})
+	resp, err := c.Verify(context.Background(), &server.Request{Model: "nsdp", Size: 4, Engine: "exhaustive"})
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	hr, err := http.Get(base + "/v1/runs/" + resp.RunID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusNotFound {
+		t.Fatalf("retention disabled: %d, want 404", hr.StatusCode)
+	}
+}
+
+// TestE2EJobTraceLifecycle: a durable job's retained trace carries the
+// lifecycle events on its "job" track (slice_begin → done), and the
+// jobs.trace_events counter accounts for them.
+func TestE2EJobTraceLifecycle(t *testing.T) {
+	st, err := jobs.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	c, base, reg := traceService(t, server.Config{Workers: 2, TraceRuns: 2, Jobs: st})
+	ctx := context.Background()
+
+	j, err := c.SubmitJob(ctx, &server.Request{Model: "nsdp", Size: 4, Engine: "exhaustive"})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	done := waitJob(t, c, j.ID, jobs.Done)
+	var res server.Response
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	if res.RunID == "" {
+		t.Fatal("job result carries no run_id")
+	}
+
+	b := fetchBundle(t, base, res.RunID)
+	var steps []string
+	for _, tk := range b.Peers[0].Dump.Tracks {
+		if tk.Name != "job" {
+			continue
+		}
+		for _, ev := range tk.Events {
+			if ev.Kind == trace.KindJob {
+				if ev.Arg0 >= 0 && ev.Arg0 < int64(len(b.Peers[0].Dump.Strings)) {
+					steps = append(steps, b.Peers[0].Dump.Strings[ev.Arg0])
+				}
+			}
+		}
+	}
+	if len(steps) < 2 || steps[0] != "slice_begin" || steps[len(steps)-1] != "done" {
+		t.Fatalf("job lifecycle steps = %v, want slice_begin ... done", steps)
+	}
+	if n := reg.Snapshot().Counters["jobs.trace_events"]; n < int64(len(steps)) {
+		t.Fatalf("jobs.trace_events = %d, want ≥ %d", n, len(steps))
+	}
+}

@@ -1,0 +1,22 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/obs/trace"
+)
+
+// BenchmarkDisabledTraceHotPath pins the untraced cost of the job
+// lifecycle call sites: a nil emitter and a nil track must stay
+// allocation-free (the zero-alloc gate in scripts/check.sh greps for
+// 0 allocs/op).
+func BenchmarkDisabledTraceHotPath(b *testing.B) {
+	var jt *jobTraceEmitter
+	var tk *trace.Track
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		jt.emit("ckpt_save", int64(i))
+		jt.emit("slice_begin", int64(i))
+		tk.Job(0, int64(i))
+	}
+}

@@ -14,10 +14,13 @@ go test -race ./...
 go test -run '^$' -bench . -benchtime 1x ./...
 # Disabled-tracer allocation gate: the flight-recorder instrumentation
 # on the analysis hot path must stay free when no tracer is attached.
-# The benchmark measures exactly the per-state emit mix on a nil track;
-# anything but "0 allocs/op" fails the gate.
-go test -run '^$' -bench BenchmarkDisabledTraceHotPath -benchtime=1x ./internal/core |
-	tee /dev/stderr | grep -q 'BenchmarkDisabledTraceHotPath.* 0 allocs/op'
+# The benchmarks measure exactly the per-state emit mix on a nil track
+# (core), the cluster wire-edge call sites (cluster), and the
+# job-lifecycle call sites (server); anything but "0 allocs/op" fails.
+for pkg in ./internal/core ./internal/cluster ./internal/server; do
+	go test -run '^$' -bench BenchmarkDisabledTraceHotPath -benchtime=1x "$pkg" |
+		tee /dev/stderr | grep -q 'BenchmarkDisabledTraceHotPath.* 0 allocs/op'
+done
 # Trace round-trip smoke: record a run, summarize the Chrome JSON and
 # the JSONL dump with gpotrace, and check both formats parse back.
 TRACE_TMP=$(mktemp -d)
@@ -76,6 +79,16 @@ go run ./cmd/gpostat -history -ledger "$TRACE_TMP/gpod-runs.jsonl" | grep -q 'NS
 # from the shared result tier with zero re-exploration anywhere.
 go run ./cmd/gpod -cluster-smoke -cluster-smoke-out "$TRACE_TMP/cluster.json"
 grep -q '"recomputed_states": 0' "$TRACE_TMP/cluster.json"
+# Trace-merge smoke: a 3-peer loopback cluster run with tracing on —
+# the merged timeline must reconstruct exactly the fleet-wide
+# reach.states count and render the per-level attribution table (both
+# asserted inside -trace-smoke), and the raw bundle it writes must
+# merge again through the gpotrace CLI.
+go run ./cmd/gpod -trace-smoke -trace-smoke-out "$TRACE_TMP/bundle.json"
+go run ./cmd/gpotrace -merge -o "$TRACE_TMP/merged.json" "$TRACE_TMP/bundle.json" \
+	>"$TRACE_TMP/attrib.txt"
+grep -q 'slowest' "$TRACE_TMP/attrib.txt"
+grep -q 'gpotrace-merged/v1' "$TRACE_TMP/merged.json"
 # Durable-jobs smoke: submit an async job, kill the daemon after its
 # first checkpoint, restart over the same directory, auto-resume, and
 # require the resumed verdict to be identical to a fresh uninterrupted
